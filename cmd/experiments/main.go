@@ -1,0 +1,75 @@
+// Command experiments regenerates the paper's tables and figures on the
+// synthetic corpora.
+//
+// Usage:
+//
+//	experiments -exp all                  # run everything (paper order)
+//	experiments -exp fig5 -scale 0.05     # one experiment, bigger corpus
+//	experiments -exp fig6 -datasets UK2002,IT2004 -targets 5
+//	experiments -list                     # list experiment IDs
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"sourcerank/internal/experiments"
+	"sourcerank/internal/gen"
+)
+
+func main() {
+	var (
+		exp      = flag.String("exp", "all", "experiment ID or 'all'")
+		list     = flag.Bool("list", false, "list experiment IDs and exit")
+		scale    = flag.Float64("scale", 0.02, "dataset scale relative to the paper's Table 1")
+		seed     = flag.Uint64("seed", 1, "deterministic corpus/sampling seed")
+		alpha    = flag.Float64("alpha", 0.85, "mixing parameter α")
+		targets  = flag.Int("targets", 5, "attack targets per dataset (figs 6–7)")
+		workers  = flag.Int("workers", 0, "solver goroutines (0 = GOMAXPROCS)")
+		datasets = flag.String("datasets", "", "comma-separated preset subset (UK2002,IT2004,WB2001)")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, id := range experiments.IDs() {
+			fmt.Println(id)
+		}
+		return
+	}
+
+	cfg := experiments.Config{
+		Scale:   *scale,
+		Seed:    *seed,
+		Alpha:   *alpha,
+		Targets: *targets,
+		Workers: *workers,
+	}
+	if *datasets != "" {
+		for _, name := range strings.Split(*datasets, ",") {
+			p := gen.Preset(strings.TrimSpace(name))
+			if _, ok := gen.TableOneSources[p]; !ok {
+				fmt.Fprintf(os.Stderr, "experiments: unknown dataset %q\n", name)
+				os.Exit(2)
+			}
+			cfg.Datasets = append(cfg.Datasets, p)
+		}
+	}
+
+	ids := []string{*exp}
+	if *exp == "all" {
+		ids = experiments.IDs()
+	}
+	for _, id := range ids {
+		tab, err := experiments.Run(id, cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", id, err)
+			os.Exit(1)
+		}
+		if err := tab.Fprint(os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: writing %s: %v\n", id, err)
+			os.Exit(1)
+		}
+	}
+}

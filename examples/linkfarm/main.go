@@ -1,0 +1,103 @@
+// Linkfarm: reproduce the paper's core comparison on a synthetic corpus —
+// a spammer grows a link farm pointed at a target page and we watch the
+// target's PageRank percentile soar while its Spam-Resilient SourceRank
+// percentile barely moves.
+//
+//	go run ./examples/linkfarm
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"sourcerank/internal/core"
+	"sourcerank/internal/gen"
+	"sourcerank/internal/rank"
+	"sourcerank/internal/rankeval"
+	"sourcerank/internal/source"
+	"sourcerank/internal/spam"
+)
+
+func main() {
+	// A UK2002-shaped corpus at 1% scale: ~982 sources.
+	ds, err := gen.GeneratePreset(gen.UK2002, 0.01, 7)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sg, err := source.Build(ds.Pages, source.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Base rankings: page-level PageRank, source-level SRSR (no
+	// throttling info at all — the worst case for SRSR).
+	basePR, err := rank.PageRank(ds.Pages.ToGraph(), rank.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	kappa := make([]float64, sg.NumSources())
+	baseSR, err := core.Rank(sg, kappa, core.Config{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Pick a genuinely obscure page: scan leaf pages of bottom-half
+	// sources for the one with the lowest base PageRank percentile.
+	bottom := rankeval.BottomHalf(baseSR.Scores)
+	var target int32 = -1
+	bestPct := 101.0
+	for i, s := range bottom {
+		if i >= 50 {
+			break
+		}
+		pages := ds.Pages.PagesOf(s)
+		if len(pages) < 2 {
+			continue
+		}
+		p := pages[len(pages)-1]
+		pct, err := rankeval.Percentile(basePR.Scores, int(p))
+		if err != nil {
+			log.Fatal(err)
+		}
+		if pct < bestPct {
+			bestPct, target = pct, p
+		}
+	}
+	if target < 0 {
+		log.Fatal("no eligible target")
+	}
+	targetSrc := ds.Pages.SourceOf(target)
+
+	basePagePct, _ := rankeval.Percentile(basePR.Scores, int(target))
+	baseSrcPct, _ := rankeval.Percentile(baseSR.Scores, int(targetSrc))
+	fmt.Printf("target: page %d in %s\n", target, ds.Pages.SourceLabel(targetSrc))
+	fmt.Printf("before: PageRank pct %.1f | SRSR pct %.1f\n\n", basePagePct, baseSrcPct)
+
+	fmt.Printf("%-10s %-22s %-22s\n", "farm size", "PageRank percentile", "SRSR percentile")
+	for _, tau := range []int{1, 10, 100, 1000} {
+		spammed := ds.Pages.Clone()
+		if _, err := spam.InjectIntraSource(spammed, target, tau); err != nil {
+			log.Fatal(err)
+		}
+		pr, err := rank.PageRank(spammed.ToGraph(), rank.Options{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		pagePct, _ := rankeval.Percentile(pr.Scores, int(target))
+
+		sg2, err := source.Build(spammed, source.Options{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		sr, err := core.Rank(sg2, kappa, core.Config{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		srcPct, _ := rankeval.Percentile(sr.Scores, int(targetSrc))
+
+		fmt.Printf("%-10d %6.1f (%+.1f)%8s %6.1f (%+.1f)\n",
+			tau, pagePct, pagePct-basePagePct, "", srcPct, srcPct-baseSrcPct)
+	}
+	fmt.Println("\nPageRank rewards every farmed page; the source view absorbs them")
+	fmt.Println("into the self-edge, so the source's standing barely moves (§4.1).")
+}

@@ -1,0 +1,3 @@
+module sourcerank
+
+go 1.22

@@ -1,0 +1,269 @@
+// Package analysis implements the closed-form spam-resilience models of
+// the paper's §4: optimal spammer configurations, the one-time gain bound
+// from tuning the self-edge (Figure 2), the collusion-equivalence cost of
+// raising the throttling factor (Figure 3), and the three attack-scenario
+// models comparing Spam-Resilient SourceRank to PageRank (Figure 4).
+//
+// All functions are pure; the experiment harness evaluates them over the
+// paper's parameter grids, and integration tests cross-check them against
+// the simulated random walks on explicitly constructed graphs.
+package analysis
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrParam reports a parameter outside its valid domain.
+var ErrParam = errors.New("analysis: parameter out of range")
+
+func checkAlpha(alpha float64) error {
+	if !(alpha > 0 && alpha < 1) {
+		return fmt.Errorf("%w: alpha = %v, want (0,1)", ErrParam, alpha)
+	}
+	return nil
+}
+
+func checkKappa(name string, k float64) error {
+	if !(k >= 0 && k <= 1) {
+		return fmt.Errorf("%w: %s = %v, want [0,1]", ErrParam, name, k)
+	}
+	return nil
+}
+
+// SingleSourceScore evaluates the unnormalized SRSR score of a target
+// source with self-edge weight w, incoming external score z, and |S|
+// total sources (paper §4.1):
+//
+//	σ_t = (αz + (1-α)/|S|) / (1 - α·w)
+func SingleSourceScore(alpha, z float64, numSources int, w float64) (float64, error) {
+	if err := checkAlpha(alpha); err != nil {
+		return 0, err
+	}
+	if err := checkKappa("w", w); err != nil {
+		return 0, err
+	}
+	if numSources <= 0 {
+		return 0, fmt.Errorf("%w: numSources = %d", ErrParam, numSources)
+	}
+	if z < 0 {
+		return 0, fmt.Errorf("%w: z = %v", ErrParam, z)
+	}
+	return (alpha*z + (1-alpha)/float64(numSources)) / (1 - alpha*w), nil
+}
+
+// OptimalSingleSourceScore evaluates Eq. 4, the score when the target
+// eliminates all out-edges and keeps only its self-edge (w = 1):
+//
+//	σ*_t = (αz + (1-α)/|S|) / (1-α)
+func OptimalSingleSourceScore(alpha, z float64, numSources int) (float64, error) {
+	if err := checkAlpha(alpha); err != nil {
+		return 0, err
+	}
+	if numSources <= 0 {
+		return 0, fmt.Errorf("%w: numSources = %d", ErrParam, numSources)
+	}
+	if z < 0 {
+		return 0, fmt.Errorf("%w: z = %v", ErrParam, z)
+	}
+	return (alpha*z + (1-alpha)/float64(numSources)) / (1 - alpha), nil
+}
+
+// MaxGainFactor is the Figure 2 curve: the maximum one-time factor by
+// which a source with baseline throttling value κ can raise its SRSR
+// score by tuning its self-edge weight up to 1:
+//
+//	σ*_t / σ_t = (1 - ακ) / (1 - α)
+//
+// For κ = 0 this is 1/(1-α) (5–10× for typical α); a fully-throttled
+// source (κ = 1) gains nothing.
+func MaxGainFactor(alpha, kappa float64) (float64, error) {
+	if err := checkAlpha(alpha); err != nil {
+		return 0, err
+	}
+	if err := checkKappa("kappa", kappa); err != nil {
+		return 0, err
+	}
+	return (1 - alpha*kappa) / (1 - alpha), nil
+}
+
+// CollusionEquivalenceRatio is the Figure 3 relationship: the factor
+// x'/x by which a spammer must multiply his colluding-source count when
+// the throttling factor rises from κ to κ' for the target to keep the
+// same score (zᵢ = 0 case of §4.2):
+//
+//	x'/x = (1-ακ')/(1-ακ) · (1-κ)/(1-κ')
+//
+// κ' = 1 returns +Inf is invalid: the colluding sources contribute
+// nothing, so no finite multiple suffices; it is rejected with ErrParam.
+func CollusionEquivalenceRatio(alpha, kappa, kappaPrime float64) (float64, error) {
+	if err := checkAlpha(alpha); err != nil {
+		return 0, err
+	}
+	if err := checkKappa("kappa", kappa); err != nil {
+		return 0, err
+	}
+	if err := checkKappa("kappaPrime", kappaPrime); err != nil {
+		return 0, err
+	}
+	if kappa == 1 {
+		return 0, fmt.Errorf("%w: kappa = 1 gives zero baseline influence", ErrParam)
+	}
+	if kappaPrime == 1 {
+		return 0, fmt.Errorf("%w: kappaPrime = 1 admits no finite equivalence", ErrParam)
+	}
+	return (1 - alpha*kappaPrime) / (1 - alpha*kappa) * (1 - kappa) / (1 - kappaPrime), nil
+}
+
+// AdditionalSourcesPercent is Figure 3's y-axis: the percentage of extra
+// colluding sources needed under κ' relative to a κ = 0 baseline,
+// 100·(x'/x − 1).
+func AdditionalSourcesPercent(alpha, kappaPrime float64) (float64, error) {
+	r, err := CollusionEquivalenceRatio(alpha, 0, kappaPrime)
+	if err != nil {
+		return 0, err
+	}
+	return 100 * (r - 1), nil
+}
+
+// CollusionContribution evaluates Eq. 5's per-configuration total: the
+// SRSR score added to the target by x colluding sources, each with
+// throttling factor κ and no external in-links (z_i = 0):
+//
+//	Δσ = α/(1-α) · x · (1-κ) · ((1-α)/|S|) / (1-ακ)
+func CollusionContribution(alpha float64, x, numSources int, kappa float64) (float64, error) {
+	if err := checkAlpha(alpha); err != nil {
+		return 0, err
+	}
+	if err := checkKappa("kappa", kappa); err != nil {
+		return 0, err
+	}
+	if x < 0 || numSources <= 0 {
+		return 0, fmt.Errorf("%w: x = %d, numSources = %d", ErrParam, x, numSources)
+	}
+	base := (1 - alpha) / float64(numSources)
+	return alpha / (1 - alpha) * float64(x) * (1 - kappa) * base / (1 - alpha*kappa), nil
+}
+
+// TargetScoreWithColluders is §4.2's σ0(x, κ): the unnormalized score of
+// an optimally-configured target source supported by x colluding sources
+// of throttling factor κ (z_i = 0):
+//
+//	σ0(x,κ) = (α(1-κ)x/(1-ακ) + 1) · (1-α)/|S| / (1-α)
+func TargetScoreWithColluders(alpha float64, x, numSources int, kappa float64) (float64, error) {
+	opt, err := OptimalSingleSourceScore(alpha, 0, numSources)
+	if err != nil {
+		return 0, err
+	}
+	if err := checkKappa("kappa", kappa); err != nil {
+		return 0, err
+	}
+	if x < 0 {
+		return 0, fmt.Errorf("%w: x = %d", ErrParam, x)
+	}
+	return opt * (1 + alpha*(1-kappa)*float64(x)/(1-alpha*kappa)), nil
+}
+
+// PageRankTargetScore is §4.3's model of the PageRank score of a target
+// page supported by τ colluding pages, each holding a single link to the
+// target (z = external score, |P| = total pages):
+//
+//	π0 = z + (1-α)/|P| + τ·α·(1-α)/|P|
+func PageRankTargetScore(alpha, z float64, tau, numPages int) (float64, error) {
+	if err := checkAlpha(alpha); err != nil {
+		return 0, err
+	}
+	if z < 0 || tau < 0 || numPages <= 0 {
+		return 0, fmt.Errorf("%w: z=%v tau=%d numPages=%d", ErrParam, z, tau, numPages)
+	}
+	e := (1 - alpha) / float64(numPages)
+	return z + e + float64(tau)*alpha*e, nil
+}
+
+// PageRankGainFactor is the factor by which τ colluding pages multiply
+// the target's PageRank relative to its unaided score (z = 0):
+//
+//	factor = 1 + τ·α
+//
+// This grows without bound in τ — the vulnerability Figure 4 plots.
+func PageRankGainFactor(alpha float64, tau int) (float64, error) {
+	if err := checkAlpha(alpha); err != nil {
+		return 0, err
+	}
+	if tau < 0 {
+		return 0, fmt.Errorf("%w: tau = %d", ErrParam, tau)
+	}
+	return 1 + float64(tau)*alpha, nil
+}
+
+// Scenario identifies the three attack layouts of §4.3.
+type Scenario int
+
+const (
+	// Scenario1 puts the target page and all colluding pages in one
+	// source: intra-source collusion (link farm inside the source).
+	Scenario1 Scenario = iota + 1
+	// Scenario2 puts all colluding pages in a single separate source.
+	Scenario2
+	// Scenario3 spreads the colluding pages across many sources, one
+	// colluding source per page.
+	Scenario3
+)
+
+// String implements fmt.Stringer.
+func (s Scenario) String() string {
+	switch s {
+	case Scenario1:
+		return "scenario1-intra-source"
+	case Scenario2:
+		return "scenario2-one-colluding-source"
+	case Scenario3:
+		return "scenario3-many-colluding-sources"
+	default:
+		return fmt.Sprintf("Scenario(%d)", int(s))
+	}
+}
+
+// SRSRGainFactor models the Figure 4 SRSR curves: the maximum factor by
+// which τ colluding pages (arranged per scenario) can raise the target
+// source's SRSR score relative to the optimally-configured lone target.
+//
+// Scenario 1: intra-source links are absorbed by the self-edge, so the
+// only gain is the one-time self-edge tuning, already counted — factor 1
+// relative to the optimal configuration (the paper plots the one-time
+// (1-ακ)/(1-α) jump relative to the *unoptimized* baseline; use
+// MaxGainFactor for that curve).
+//
+// Scenario 2: all colluding pages share one source of throttle κ, so the
+// contribution saturates at x = 1 colluding source regardless of τ:
+// factor = 1 + α(1-κ)/(1-ακ), which stays below 2 for any κ and α < 1 —
+// the paper's "capped at 2 times" observation.
+//
+// Scenario 3: τ pages spread over x = τ colluding sources:
+// factor = 1 + α(1-κ)τ/(1-ακ), linear in τ but with slope suppressed by
+// (1-κ)/(1-ακ) — tuning κ toward 1 flattens the curve.
+func SRSRGainFactor(sc Scenario, alpha float64, tau int, kappa float64) (float64, error) {
+	if err := checkAlpha(alpha); err != nil {
+		return 0, err
+	}
+	if err := checkKappa("kappa", kappa); err != nil {
+		return 0, err
+	}
+	if tau < 0 {
+		return 0, fmt.Errorf("%w: tau = %d", ErrParam, tau)
+	}
+	switch sc {
+	case Scenario1:
+		return 1, nil
+	case Scenario2:
+		x := 0
+		if tau > 0 {
+			x = 1
+		}
+		return 1 + alpha*(1-kappa)*float64(x)/(1-alpha*kappa), nil
+	case Scenario3:
+		return 1 + alpha*(1-kappa)*float64(tau)/(1-alpha*kappa), nil
+	default:
+		return 0, fmt.Errorf("%w: unknown scenario %d", ErrParam, int(sc))
+	}
+}

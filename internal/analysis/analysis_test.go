@@ -1,0 +1,280 @@
+package analysis
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almost(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestMaxGainFactorPaperValues(t *testing.T) {
+	// §4.1: "A highly-throttled source may tune its SourceRank score
+	// upward by a factor of 2 for an initial κ = 0.80, a factor of 1.57
+	// times for κ = 0.90, and not at all for a fully-throttled source."
+	g, err := MaxGainFactor(0.85, 0.80)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almost(g, 2.1333, 0.001) {
+		t.Errorf("gain(0.85, 0.8) = %v, want ~2.13 (paper: 'factor of 2')", g)
+	}
+	g, _ = MaxGainFactor(0.85, 0.90)
+	if !almost(g, 1.5667, 0.001) {
+		t.Errorf("gain(0.85, 0.9) = %v, want 1.57", g)
+	}
+	g, _ = MaxGainFactor(0.85, 1.0)
+	if !almost(g, 1, 1e-12) {
+		t.Errorf("gain(0.85, 1) = %v, want 1 (no gain when fully throttled)", g)
+	}
+}
+
+func TestMaxGainFactorTypicalAlphaRange(t *testing.T) {
+	// §4.1: "For typical values of α – from 0.80 to 0.90 – this means a
+	// source may increase its score from 5 to 10 times" (κ = 0).
+	lo, _ := MaxGainFactor(0.80, 0)
+	hi, _ := MaxGainFactor(0.90, 0)
+	if !almost(lo, 5, 1e-9) || !almost(hi, 10, 1e-9) {
+		t.Errorf("gain range = [%v, %v], want [5, 10]", lo, hi)
+	}
+}
+
+func TestAdditionalSourcesPercentPaperValues(t *testing.T) {
+	// §4.2: "when α = 0.85 and κ' = 0.6, there are 23% more sources
+	// necessary ... κ' = 0.8, 60% ... κ' = 0.9, 135% ... κ' = 0.99, 1485%."
+	cases := []struct {
+		kp   float64
+		want float64
+		tol  float64
+	}{
+		{0.6, 22.5, 1},     // paper rounds 22.5 up to 23
+		{0.8, 60, 1e-9},    // exact
+		{0.9, 135, 1e-9},   // exact
+		{0.99, 1485, 1e-9}, // exact
+	}
+	for _, c := range cases {
+		got, err := AdditionalSourcesPercent(0.85, c.kp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !almost(got, c.want, c.tol) {
+			t.Errorf("extra%%(0.85, %v) = %v, want %v", c.kp, got, c.want)
+		}
+	}
+}
+
+func TestCollusionEquivalenceRatioMonotone(t *testing.T) {
+	prev := 0.0
+	for _, kp := range []float64{0, 0.2, 0.4, 0.6, 0.8, 0.9, 0.99} {
+		r, err := CollusionEquivalenceRatio(0.85, 0, kp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r < prev {
+			t.Errorf("ratio not monotone at κ'=%v: %v < %v", kp, r, prev)
+		}
+		prev = r
+	}
+	if r, _ := CollusionEquivalenceRatio(0.85, 0, 0); !almost(r, 1, 1e-12) {
+		t.Errorf("ratio at κ'=κ=0 should be 1, got %v", r)
+	}
+}
+
+func TestCollusionEquivalenceRatioErrors(t *testing.T) {
+	if _, err := CollusionEquivalenceRatio(0.85, 0, 1); !errors.Is(err, ErrParam) {
+		t.Error("κ'=1 accepted")
+	}
+	if _, err := CollusionEquivalenceRatio(0.85, 1, 0.5); !errors.Is(err, ErrParam) {
+		t.Error("κ=1 accepted")
+	}
+	if _, err := CollusionEquivalenceRatio(1.2, 0, 0.5); !errors.Is(err, ErrParam) {
+		t.Error("alpha out of range accepted")
+	}
+}
+
+func TestPageRankGainNearly100x(t *testing.T) {
+	// §4.3: "the PageRank score of the target page jumps by a factor of
+	// nearly 100 times with only 100 colluding pages."
+	f, err := PageRankGainFactor(0.85, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f < 80 || f > 100 {
+		t.Errorf("PR gain with 100 pages = %v, want 'nearly 100'", f)
+	}
+}
+
+func TestPageRankTargetScoreDecomposition(t *testing.T) {
+	alpha, pages := 0.85, 10000
+	base, err := PageRankTargetScore(alpha, 0, 0, pages)
+	if err != nil {
+		t.Fatal(err)
+	}
+	with, _ := PageRankTargetScore(alpha, 0, 50, pages)
+	factor, _ := PageRankGainFactor(alpha, 50)
+	if !almost(with/base, factor, 1e-9) {
+		t.Errorf("score ratio %v != factor %v", with/base, factor)
+	}
+	// External score z adds linearly.
+	z, _ := PageRankTargetScore(alpha, 0.01, 0, pages)
+	if !almost(z-base, 0.01, 1e-12) {
+		t.Errorf("z contribution = %v, want 0.01", z-base)
+	}
+}
+
+func TestScenario2CappedAtTwo(t *testing.T) {
+	// §4.3 Figure 4(b): "the maximum influence over Spam-Resilient
+	// SourceRank is capped at 2 times the original score for several
+	// values of κ" — and the cap holds for ALL κ since
+	// 1 + α(1-κ)/(1-ακ) < 2 whenever α < 1.
+	for _, kappa := range []float64{0, 0.1, 0.5, 0.8, 0.9, 0.99, 1} {
+		for _, tau := range []int{1, 10, 100, 1000} {
+			f, err := SRSRGainFactor(Scenario2, 0.85, tau, kappa)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if f >= 2 {
+				t.Errorf("scenario 2 factor = %v at κ=%v τ=%d, want < 2", f, kappa, tau)
+			}
+			// Independent of τ (saturates at one colluding source).
+			f1, _ := SRSRGainFactor(Scenario2, 0.85, 1, kappa)
+			if !almost(f, f1, 1e-12) {
+				t.Errorf("scenario 2 factor varies with τ: %v vs %v", f, f1)
+			}
+		}
+	}
+}
+
+func TestScenario1FlatAndScenario3Suppressed(t *testing.T) {
+	f, err := SRSRGainFactor(Scenario1, 0.85, 1000, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f != 1 {
+		t.Errorf("scenario 1 factor = %v, want 1 (intra-source links absorbed)", f)
+	}
+	// Scenario 3 grows with τ but throttling suppresses the slope.
+	low, _ := SRSRGainFactor(Scenario3, 0.85, 100, 0)
+	high, _ := SRSRGainFactor(Scenario3, 0.85, 100, 0.99)
+	if low <= high {
+		t.Errorf("κ=0.99 (%v) should suppress scenario 3 versus κ=0 (%v)", high, low)
+	}
+	// At κ=0.99 even 100 colluding sources yield a small factor.
+	if high > 1+0.85*100*(0.01/0.1585)+1e-9 {
+		t.Errorf("scenario 3 κ=0.99 factor = %v exceeds closed form", high)
+	}
+}
+
+func TestSRSRGainFactorVsPageRankCrossover(t *testing.T) {
+	// The qualitative Figure 4 claim: PageRank's factor overtakes SRSR's
+	// quickly and diverges. At τ=1000, PR is ~851x while SRSR scenario 3
+	// at κ=0.9 is ~1+0.85*0.1*1000/0.235 ≈ 362x; at κ=0.99 it is ~54x.
+	pr, _ := PageRankGainFactor(0.85, 1000)
+	s3, _ := SRSRGainFactor(Scenario3, 0.85, 1000, 0.99)
+	if s3 >= pr {
+		t.Errorf("SRSR (%v) should stay below PageRank (%v) at κ=0.99", s3, pr)
+	}
+}
+
+func TestSingleSourceScoreOptimalAtW1(t *testing.T) {
+	alpha, z, n := 0.85, 0.001, 1000
+	opt, err := OptimalSingleSourceScore(alpha, z, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range []float64{0, 0.3, 0.7, 0.99} {
+		s, err := SingleSourceScore(alpha, z, n, w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s >= opt {
+			t.Errorf("score at w=%v (%v) >= optimal (%v)", w, s, opt)
+		}
+	}
+	s1, _ := SingleSourceScore(alpha, z, n, 1)
+	if !almost(s1, opt, 1e-15) {
+		t.Errorf("w=1 score %v != optimal %v", s1, opt)
+	}
+}
+
+func TestCollusionContributionMatchesTargetScore(t *testing.T) {
+	alpha, n, kappa := 0.85, 500, 0.6
+	for _, x := range []int{0, 1, 10, 100} {
+		opt, _ := OptimalSingleSourceScore(alpha, 0, n)
+		delta, err := CollusionContribution(alpha, x, n, kappa)
+		if err != nil {
+			t.Fatal(err)
+		}
+		total, _ := TargetScoreWithColluders(alpha, x, n, kappa)
+		// σ0(x,κ) = σ* + Δ/(1-α)... verify the two formulations agree:
+		// total = opt + opt·α(1-κ)x/(1-ακ) and delta = α/(1-α)·x(1-κ)e/(1-ακ)
+		// where e = (1-α)/n = opt·(1-α). So total-opt = delta.
+		if !almost(total-opt, delta, 1e-12) {
+			t.Errorf("x=%d: total-opt = %v, delta = %v", x, total-opt, delta)
+		}
+	}
+}
+
+func TestScenarioString(t *testing.T) {
+	if Scenario1.String() == "" || Scenario(99).String() == "" {
+		t.Error("empty scenario strings")
+	}
+}
+
+func TestParameterValidation(t *testing.T) {
+	if _, err := MaxGainFactor(0, 0.5); !errors.Is(err, ErrParam) {
+		t.Error("alpha=0 accepted")
+	}
+	if _, err := MaxGainFactor(0.85, -0.1); !errors.Is(err, ErrParam) {
+		t.Error("negative kappa accepted")
+	}
+	if _, err := SingleSourceScore(0.85, -1, 10, 0.5); !errors.Is(err, ErrParam) {
+		t.Error("negative z accepted")
+	}
+	if _, err := SingleSourceScore(0.85, 0, 0, 0.5); !errors.Is(err, ErrParam) {
+		t.Error("zero sources accepted")
+	}
+	if _, err := PageRankTargetScore(0.85, 0, -1, 10); !errors.Is(err, ErrParam) {
+		t.Error("negative tau accepted")
+	}
+	if _, err := SRSRGainFactor(Scenario(42), 0.85, 1, 0); !errors.Is(err, ErrParam) {
+		t.Error("unknown scenario accepted")
+	}
+	if _, err := CollusionContribution(0.85, -1, 10, 0); !errors.Is(err, ErrParam) {
+		t.Error("negative x accepted")
+	}
+	if _, err := TargetScoreWithColluders(0.85, -1, 10, 0); !errors.Is(err, ErrParam) {
+		t.Error("negative x accepted")
+	}
+}
+
+// Property: the gain factor is decreasing in κ and the equivalence ratio
+// is increasing in κ' for any valid α.
+func TestQuickMonotonicity(t *testing.T) {
+	f := func(rawAlpha, rawK1, rawK2 float64) bool {
+		alpha := 0.5 + math.Mod(math.Abs(rawAlpha), 0.45)
+		k1 := math.Mod(math.Abs(rawK1), 1)
+		k2 := math.Mod(math.Abs(rawK2), 1)
+		if k1 > k2 {
+			k1, k2 = k2, k1
+		}
+		g1, err1 := MaxGainFactor(alpha, k1)
+		g2, err2 := MaxGainFactor(alpha, k2)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		if g1 < g2-1e-12 {
+			return false
+		}
+		r1, err1 := CollusionEquivalenceRatio(alpha, 0, k1)
+		r2, err2 := CollusionEquivalenceRatio(alpha, 0, k2)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return r2 >= r1-1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,58 @@
+package core
+
+import (
+	"sync"
+	"testing"
+
+	"sourcerank/internal/linalg"
+)
+
+// TestConcurrentRanking verifies that a source graph is safe for
+// concurrent read-only use: many goroutines ranking with different κ
+// vectors simultaneously must neither race (run with -race) nor perturb
+// each other's results.
+func TestConcurrentRanking(t *testing.T) {
+	sg := buildSG(t, corpus(t))
+	n := sg.NumSources()
+
+	reference := make([]linalg.Vector, 4)
+	kappas := make([][]float64, 4)
+	for i := range kappas {
+		kappa := make([]float64, n)
+		for j := range kappa {
+			if (j+i)%3 == 0 {
+				kappa[j] = float64(i) / 4
+			}
+		}
+		kappas[i] = kappa
+		res, err := Rank(sg, kappa, Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		reference[i] = res.Scores
+	}
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 32)
+	for round := 0; round < 8; round++ {
+		for i := range kappas {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				res, err := Rank(sg, kappas[i], Config{})
+				if err != nil {
+					errs <- err
+					return
+				}
+				if d := linalg.L2Distance(res.Scores, reference[i]); d != 0 {
+					t.Errorf("concurrent run %d diverged by %g", i, d)
+				}
+			}(i)
+		}
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,48 @@
+package core
+
+import (
+	"errors"
+
+	"sourcerank/internal/linalg"
+	"sourcerank/internal/source"
+	"sourcerank/internal/throttle"
+)
+
+// RankFrom computes Spam-Resilient SourceRank warm-started from a
+// previous score vector. When the source graph changed only slightly —
+// a spam injection, a recrawl of one site — the old stationary vector is
+// an excellent initial iterate and the power method converges in a
+// fraction of the cold-start iterations. prev must have one entry per
+// source and is not modified.
+//
+// Only the Power solver supports warm starting; cfg.Solver is ignored.
+func RankFrom(sg *source.Graph, kappa []float64, prev linalg.Vector, cfg Config) (*Result, error) {
+	if sg == nil || sg.NumSources() == 0 {
+		return nil, errors.New("core: empty source graph")
+	}
+	if len(prev) != sg.NumSources() {
+		return nil, linalg.ErrDimension
+	}
+	tpp, err := throttle.Apply(sg.T, kappa)
+	if err != nil {
+		return nil, err
+	}
+	x0 := prev.Clone()
+	if !x0.Normalize1() {
+		// Degenerate previous vector: fall back to uniform.
+		x0 = linalg.NewUniformVector(sg.NumSources())
+	}
+	tele := linalg.NewUniformVector(sg.NumSources())
+	scores, stats, err := linalg.PowerMethod(tpp, cfg.alpha(), tele, x0, linalg.SolverOptions{
+		Tol: cfg.Tol, MaxIter: cfg.MaxIter, Workers: cfg.Workers,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Result{
+		Scores:    scores,
+		Kappa:     append([]float64(nil), kappa...),
+		Throttled: tpp,
+		Stats:     stats,
+	}, nil
+}

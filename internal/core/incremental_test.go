@@ -1,0 +1,97 @@
+package core
+
+import (
+	"testing"
+
+	"sourcerank/internal/linalg"
+	"sourcerank/internal/source"
+	"sourcerank/internal/spam"
+)
+
+func TestRankFromMatchesColdStart(t *testing.T) {
+	sg := buildSG(t, corpus(t))
+	kappa := make([]float64, sg.NumSources())
+	cold, err := Rank(sg, kappa, Config{Tol: 1e-12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm, err := RankFrom(sg, kappa, cold.Scores, Config{Tol: 1e-12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := linalg.L2Distance(cold.Scores, warm.Scores); d > 1e-9 {
+		t.Errorf("warm start diverged by %g", d)
+	}
+	// Restarting from the answer should converge almost immediately.
+	if warm.Stats.Iterations > 3 {
+		t.Errorf("warm start from the fixed point took %d iterations", warm.Stats.Iterations)
+	}
+}
+
+func TestRankFromAfterSmallChange(t *testing.T) {
+	pg := corpus(t)
+	sg := buildSG(t, pg)
+	kappa := make([]float64, sg.NumSources())
+	cold, err := Rank(sg, kappa, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Inject a small attack and re-rank warm vs cold.
+	attacked := pg.Clone()
+	if _, err := spam.InjectIntraSource(attacked, 0, 10); err != nil {
+		t.Fatal(err)
+	}
+	sg2, err := source.Build(attacked, source.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold2, err := Rank(sg2, kappa, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm2, err := RankFrom(sg2, kappa, cold.Scores, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := linalg.L2Distance(cold2.Scores, warm2.Scores); d > 1e-7 {
+		t.Errorf("warm result differs from cold by %g", d)
+	}
+	if warm2.Stats.Iterations > cold2.Stats.Iterations {
+		t.Errorf("warm start (%d iters) slower than cold (%d)",
+			warm2.Stats.Iterations, cold2.Stats.Iterations)
+	}
+}
+
+func TestRankFromValidation(t *testing.T) {
+	sg := buildSG(t, corpus(t))
+	kappa := make([]float64, sg.NumSources())
+	if _, err := RankFrom(nil, kappa, nil, Config{}); err == nil {
+		t.Error("nil graph accepted")
+	}
+	if _, err := RankFrom(sg, kappa, linalg.NewVector(2), Config{}); err == nil {
+		t.Error("wrong prev length accepted")
+	}
+	if _, err := RankFrom(sg, []float64{0.5}, linalg.NewVector(sg.NumSources()), Config{}); err == nil {
+		t.Error("short kappa accepted")
+	}
+}
+
+func TestRankFromZeroPrevFallsBack(t *testing.T) {
+	sg := buildSG(t, corpus(t))
+	kappa := make([]float64, sg.NumSources())
+	zero := linalg.NewVector(sg.NumSources())
+	res, err := RankFrom(sg, kappa, zero, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Stats.Converged {
+		t.Errorf("fallback did not converge: %+v", res.Stats)
+	}
+	cold, err := Rank(sg, kappa, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := linalg.L2Distance(res.Scores, cold.Scores); d > 1e-7 {
+		t.Errorf("fallback differs from cold by %g", d)
+	}
+}

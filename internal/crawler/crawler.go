@@ -1,0 +1,148 @@
+// Package crawler simulates the data-collection substrate behind the
+// paper's corpora: WebBase and UbiCrawler are breadth-first web crawlers,
+// and the graphs the paper ranks are exactly what such a crawler
+// discovers. Crawl walks a "hidden" page graph from seed pages under a
+// page budget and a per-source cap (real crawlers bound per-host fetches
+// for politeness), producing the discovered sub-corpus with dense IDs.
+//
+// Running the ranking pipeline on a crawl of a synthetic "true web"
+// (rather than on the true web directly) reproduces the partial-
+// observation character of the paper's datasets.
+package crawler
+
+import (
+	"errors"
+	"fmt"
+
+	"sourcerank/internal/pagegraph"
+)
+
+// Options configures a crawl. MaxPages <= 0 means unbounded;
+// MaxPerSource <= 0 means no per-source cap.
+type Options struct {
+	// Seeds are the hidden-graph page IDs the frontier starts from.
+	Seeds []pagegraph.PageID
+	// MaxPages bounds the number of fetched pages.
+	MaxPages int
+	// MaxPerSource bounds fetches per source (politeness / crawl-depth
+	// limits real crawlers apply per host).
+	MaxPerSource int
+}
+
+// Result is the outcome of a crawl.
+type Result struct {
+	// Corpus is the discovered page graph: fetched pages, remapped to
+	// dense IDs, with the links among fetched pages. Sources appear in
+	// the corpus only if at least one of their pages was fetched.
+	Corpus *pagegraph.Graph
+	// PageMap maps hidden page IDs to corpus page IDs (-1 = not fetched).
+	PageMap []pagegraph.PageID
+	// SourceMap maps hidden source IDs to corpus source IDs (-1 = no
+	// page of that source was fetched).
+	SourceMap []pagegraph.SourceID
+	// Fetched is the number of pages crawled.
+	Fetched int
+	// FrontierLeft is the number of discovered-but-unfetched pages when
+	// the budget ran out.
+	FrontierLeft int
+}
+
+// ErrNoSeeds reports a crawl without seed pages.
+var ErrNoSeeds = errors.New("crawler: no seed pages")
+
+// Crawl breadth-first crawls hidden from the seeds under opt's limits.
+// The traversal is deterministic: the frontier is a FIFO queue and each
+// page's out-links are visited in stored order.
+func Crawl(hidden *pagegraph.Graph, opt Options) (*Result, error) {
+	if len(opt.Seeds) == 0 {
+		return nil, ErrNoSeeds
+	}
+	for _, s := range opt.Seeds {
+		if s < 0 || int(s) >= hidden.NumPages() {
+			return nil, fmt.Errorf("crawler: seed page %d of %d", s, hidden.NumPages())
+		}
+	}
+	res := &Result{
+		Corpus:    pagegraph.New(),
+		PageMap:   make([]pagegraph.PageID, hidden.NumPages()),
+		SourceMap: make([]pagegraph.SourceID, hidden.NumSources()),
+	}
+	for i := range res.PageMap {
+		res.PageMap[i] = -1
+	}
+	for i := range res.SourceMap {
+		res.SourceMap[i] = -1
+	}
+	perSource := make([]int, hidden.NumSources())
+
+	enqueued := make([]bool, hidden.NumPages())
+	queue := make([]pagegraph.PageID, 0, len(opt.Seeds))
+	for _, s := range opt.Seeds {
+		if !enqueued[s] {
+			enqueued[s] = true
+			queue = append(queue, s)
+		}
+	}
+
+	var fetchedOrder []pagegraph.PageID
+	for len(queue) > 0 {
+		if opt.MaxPages > 0 && res.Fetched >= opt.MaxPages {
+			break
+		}
+		p := queue[0]
+		queue = queue[1:]
+		src := hidden.SourceOf(p)
+		if opt.MaxPerSource > 0 && perSource[src] >= opt.MaxPerSource {
+			continue // politeness cap reached; page dropped
+		}
+		// Fetch p.
+		if res.SourceMap[src] == -1 {
+			res.SourceMap[src] = res.Corpus.AddSource(hidden.SourceLabel(src))
+		}
+		res.PageMap[p] = res.Corpus.AddPage(res.SourceMap[src])
+		perSource[src]++
+		res.Fetched++
+		fetchedOrder = append(fetchedOrder, p)
+		for _, q := range hidden.OutLinks(p) {
+			if !enqueued[q] {
+				enqueued[q] = true
+				queue = append(queue, q)
+			}
+		}
+	}
+	// Count leftover frontier (enqueued, never fetched).
+	for _, p := range queue {
+		if res.PageMap[p] == -1 {
+			res.FrontierLeft++
+		}
+	}
+	// Second pass: add the links among fetched pages.
+	for _, p := range fetchedOrder {
+		from := res.PageMap[p]
+		for _, q := range hidden.OutLinks(p) {
+			if to := res.PageMap[q]; to != -1 {
+				res.Corpus.AddLink(from, to)
+			}
+		}
+	}
+	return res, nil
+}
+
+// CoverageBySource returns, for each hidden source, the fraction of its
+// pages that were fetched (0 for sources never touched).
+func (r *Result) CoverageBySource(hidden *pagegraph.Graph) []float64 {
+	total := hidden.PageCounts()
+	fetched := make([]int, hidden.NumSources())
+	for p, mapped := range r.PageMap {
+		if mapped != -1 {
+			fetched[hidden.SourceOf(pagegraph.PageID(p))]++
+		}
+	}
+	cov := make([]float64, hidden.NumSources())
+	for s := range cov {
+		if total[s] > 0 {
+			cov[s] = float64(fetched[s]) / float64(total[s])
+		}
+	}
+	return cov
+}

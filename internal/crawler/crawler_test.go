@@ -1,0 +1,203 @@
+package crawler
+
+import (
+	"errors"
+	"testing"
+
+	"sourcerank/internal/core"
+	"sourcerank/internal/gen"
+	"sourcerank/internal/pagegraph"
+)
+
+// hiddenWeb builds: source A {0,1,2}, source B {3,4}, source C {5}.
+// Links: 0->1, 1->3, 3->4, 4->5, 2 unreachable from 0.
+func hiddenWeb(t *testing.T) *pagegraph.Graph {
+	t.Helper()
+	g := pagegraph.New()
+	a := g.AddSource("a.com")
+	b := g.AddSource("b.com")
+	c := g.AddSource("c.com")
+	for i := 0; i < 3; i++ {
+		g.AddPage(a)
+	}
+	g.AddPage(b)
+	g.AddPage(b)
+	g.AddPage(c)
+	g.AddLink(0, 1)
+	g.AddLink(1, 3)
+	g.AddLink(3, 4)
+	g.AddLink(4, 5)
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestCrawlReachabilityOnly(t *testing.T) {
+	res, err := Crawl(hiddenWeb(t), Options{Seeds: []pagegraph.PageID{0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Fetched != 5 { // page 2 is unreachable
+		t.Errorf("fetched = %d, want 5", res.Fetched)
+	}
+	if res.PageMap[2] != -1 {
+		t.Error("unreachable page fetched")
+	}
+	if res.Corpus.NumSources() != 3 {
+		t.Errorf("corpus sources = %d, want 3", res.Corpus.NumSources())
+	}
+	if err := res.Corpus.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCrawlPreservesLinks(t *testing.T) {
+	hidden := hiddenWeb(t)
+	res, err := Crawl(hidden, Options{Seeds: []pagegraph.PageID{0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every hidden link among fetched pages must appear in the corpus.
+	var want, got int64
+	for p := 0; p < hidden.NumPages(); p++ {
+		if res.PageMap[p] == -1 {
+			continue
+		}
+		for _, q := range hidden.OutLinks(pagegraph.PageID(p)) {
+			if res.PageMap[q] != -1 {
+				want++
+			}
+		}
+	}
+	got = res.Corpus.NumLinks()
+	if got != want {
+		t.Errorf("corpus links = %d, want %d", got, want)
+	}
+	// Source labels carried over.
+	if res.Corpus.SourceLabel(res.SourceMap[1]) != "b.com" {
+		t.Error("label lost in crawl")
+	}
+}
+
+func TestCrawlBudget(t *testing.T) {
+	res, err := Crawl(hiddenWeb(t), Options{Seeds: []pagegraph.PageID{0}, MaxPages: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Fetched != 2 {
+		t.Errorf("fetched = %d, want 2", res.Fetched)
+	}
+	if res.FrontierLeft == 0 {
+		t.Error("no frontier left despite budget cut")
+	}
+}
+
+func TestCrawlPerSourceCap(t *testing.T) {
+	g := pagegraph.New()
+	a := g.AddSource("big.com")
+	var pages []pagegraph.PageID
+	for i := 0; i < 10; i++ {
+		pages = append(pages, g.AddPage(a))
+	}
+	for i := 0; i < 9; i++ {
+		g.AddLink(pages[i], pages[i+1])
+	}
+	res, err := Crawl(g, Options{Seeds: []pagegraph.PageID{pages[0]}, MaxPerSource: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Fetched != 3 {
+		t.Errorf("fetched = %d, want 3 (per-source cap)", res.Fetched)
+	}
+}
+
+func TestCrawlErrors(t *testing.T) {
+	g := hiddenWeb(t)
+	if _, err := Crawl(g, Options{}); !errors.Is(err, ErrNoSeeds) {
+		t.Error("no seeds accepted")
+	}
+	if _, err := Crawl(g, Options{Seeds: []pagegraph.PageID{99}}); err == nil {
+		t.Error("bad seed accepted")
+	}
+}
+
+func TestCrawlDeterministic(t *testing.T) {
+	hidden := hiddenWeb(t)
+	a, err := Crawl(hidden, Options{Seeds: []pagegraph.PageID{0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Crawl(hidden, Options{Seeds: []pagegraph.PageID{0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Fetched != b.Fetched || a.Corpus.NumLinks() != b.Corpus.NumLinks() {
+		t.Error("crawl not deterministic")
+	}
+	for p := range a.PageMap {
+		if a.PageMap[p] != b.PageMap[p] {
+			t.Fatalf("page map differs at %d", p)
+		}
+	}
+}
+
+func TestCoverageBySource(t *testing.T) {
+	hidden := hiddenWeb(t)
+	res, err := Crawl(hidden, Options{Seeds: []pagegraph.PageID{0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cov := res.CoverageBySource(hidden)
+	// Source A: 2 of 3 pages (page 2 unreachable); B: 2/2; C: 1/1.
+	if cov[0] < 0.66 || cov[0] > 0.67 {
+		t.Errorf("coverage[A] = %v, want 2/3", cov[0])
+	}
+	if cov[1] != 1 || cov[2] != 1 {
+		t.Errorf("coverage B/C = %v/%v, want 1/1", cov[1], cov[2])
+	}
+}
+
+// Integration: crawl a synthetic true web and run the full SRSR pipeline
+// on the crawled corpus — the exact data path the paper's experiments
+// had (crawler -> corpus -> rankings).
+func TestCrawlThenRankPipeline(t *testing.T) {
+	ds, err := gen.GeneratePreset(gen.UK2002, 0.005, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Seed from the first page of the first 20 sources.
+	var seeds []pagegraph.PageID
+	for s := 0; s < 20 && s < ds.Pages.NumSources(); s++ {
+		if pages := ds.Pages.PagesOf(pagegraph.SourceID(s)); len(pages) > 0 {
+			seeds = append(seeds, pages[0])
+		}
+	}
+	res, err := Crawl(ds.Pages, Options{Seeds: seeds, MaxPages: 5000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Fetched == 0 {
+		t.Fatal("crawl fetched nothing")
+	}
+	// Remap the spam labels into the crawled corpus.
+	var spamSeeds []int32
+	for _, s := range ds.SpamSources {
+		if mapped := res.SourceMap[s]; mapped != -1 {
+			spamSeeds = append(spamSeeds, int32(mapped))
+		}
+	}
+	if len(spamSeeds) == 0 {
+		t.Skip("crawl did not reach any spam source at this scale/seed")
+	}
+	pipe, err := core.Pipeline(res.Corpus, core.PipelineConfig{
+		SpamSeeds: spamSeeds,
+		TopK:      res.Corpus.NumSources() / 40,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !pipe.Stats.Converged {
+		t.Errorf("pipeline on crawl did not converge: %+v", pipe.Stats)
+	}
+}

@@ -1,0 +1,117 @@
+package experiments
+
+import (
+	"strconv"
+	"testing"
+)
+
+func TestROIMonotoneInKappa(t *testing.T) {
+	tab, err := ROI(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 7 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	prev := 1e18
+	for _, r := range tab.Rows {
+		v, err := strconv.ParseFloat(r[3], 64)
+		if err != nil {
+			t.Fatalf("bad cell %q", r[3])
+		}
+		if v > prev {
+			t.Errorf("scenario 3 ROI not decreasing: %v after %v", v, prev)
+		}
+		prev = v
+		// Scenario 1 ROI is always zero: intra-source links buy nothing.
+		if r[1] != "0.0000" {
+			t.Errorf("scenario 1 ROI = %s, want 0", r[1])
+		}
+	}
+}
+
+func TestDetectionImprovesWithSeeds(t *testing.T) {
+	tab, err := Detection(tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) < 3 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	// AUC must beat chance once the seed set is meaningful (the paper's
+	// ~10% fraction and above); a single seed at tiny scale may not
+	// propagate beyond its own community.
+	for _, r := range tab.Rows {
+		frac, err := strconv.ParseFloat(r[0], 64)
+		if err != nil {
+			t.Fatalf("bad fraction cell %q", r[0])
+		}
+		auc, err := strconv.ParseFloat(r[2], 64)
+		if err != nil {
+			t.Fatalf("bad AUC cell %q", r[2])
+		}
+		if frac >= 0.097 && auc <= 0.5 {
+			t.Errorf("AUC %v at seed fraction %s not better than chance", auc, r[0])
+		}
+	}
+}
+
+func TestStabilityAdversarialWorse(t *testing.T) {
+	tab, err := Stability(tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 2 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	randTau, _ := strconv.ParseFloat(tab.Rows[0][1], 64)
+	advGain, _ := strconv.ParseFloat(tab.Rows[1][2], 64)
+	randGain, _ := strconv.ParseFloat(tab.Rows[0][2], 64)
+	// Random perturbation barely moves the global ranking...
+	if randTau < 0.95 {
+		t.Errorf("random-perturbation tau = %v, want near 1", randTau)
+	}
+	// ...while the adversarial farm moves ITS target far more than the
+	// random noise moved it.
+	if advGain <= randGain {
+		t.Errorf("adversarial gain %v <= random gain %v", advGain, randGain)
+	}
+}
+
+func TestAblationGranularity(t *testing.T) {
+	tab, err := AblationGranularity(tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 2 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	hostSources, _ := strconv.Atoi(tab.Rows[0][1])
+	domainSources, _ := strconv.Atoi(tab.Rows[1][1])
+	if domainSources >= hostSources {
+		t.Errorf("domain grouping (%d) did not merge any hosts (%d)", domainSources, hostSources)
+	}
+	// Merging ~20%% of hosts should remove roughly that share of sources.
+	if float64(domainSources) > 0.95*float64(hostSources) {
+		t.Errorf("too few merges: %d -> %d", hostSources, domainSources)
+	}
+}
+
+func TestAblationWarmStartFewerIterations(t *testing.T) {
+	tab, err := AblationWarmStart(tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold, _ := strconv.Atoi(tab.Rows[0][1])
+	warm, _ := strconv.Atoi(tab.Rows[1][1])
+	if warm >= cold {
+		t.Errorf("warm start (%d iters) not faster than cold (%d)", warm, cold)
+	}
+	var tau float64
+	if _, err := fmtSscan(tab.Notes[0], &tau); err != nil {
+		t.Fatal(err)
+	}
+	if tau < 0.999 {
+		t.Errorf("warm/cold rankings diverge: tau = %v", tau)
+	}
+}

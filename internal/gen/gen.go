@@ -1,0 +1,362 @@
+package gen
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"sourcerank/internal/pagegraph"
+)
+
+// expApprox and lnApprox wrap math for clarity at the call site.
+func expApprox(x float64) float64 { return math.Exp(x) }
+func lnApprox(x float64) float64  { return math.Log(x) }
+
+// Config parameterizes corpus generation. Use the preset constructors in
+// presets.go for shapes matching the paper's datasets.
+type Config struct {
+	// Seed fixes the pseudo-random sequence; corpora are reproducible
+	// bit-for-bit for a given (Config) value.
+	Seed uint64
+	// NumSources is the number of legitimate sources.
+	NumSources int
+	// PagesPerSourceMin / Exp / Max shape the bounded-Pareto
+	// pages-per-source distribution.
+	PagesPerSourceMin int
+	PagesPerSourceExp float64
+	PagesPerSourceMax int
+	// OutLinksPerPage is the mean out-degree of a page.
+	OutLinksPerPage float64
+	// IntraSourceProb is the probability a link stays inside its source
+	// (link locality; crawl studies put this around 0.75).
+	IntraSourceProb float64
+	// PrefAttach is the probability a source draws an external partner
+	// from the global popularity distribution (heavy-tailed Pareto
+	// weights) instead of uniformly. Popularity-weighted citation is
+	// what spreads source in-link mass over several decades, as in real
+	// crawls.
+	PrefAttach float64
+	// PartnersPerSource is the mean number of distinct external partner
+	// sources a source links to. Web sources cite a small, stable set of
+	// external sites (navigation, sister sites), which is what keeps the
+	// source graph sparse (Table 1: ~16–20 edges/source) even when
+	// sources have hundreds of pages. <= 0 defaults to 12.
+	PartnersPerSource float64
+	// DanglingSourceProb is the probability a legitimate source emits no
+	// links at all. Real host graphs are full of such leaf hosts; they
+	// become pure self-loops in the source transition matrix and retain
+	// their full teleport-amplified score, which is what bounds how far
+	// a self-edge manipulation can climb the ranking.
+	DanglingSourceProb float64
+	// SubdomainProb is the probability a legitimate source is labeled as
+	// a subdomain host (blog.siteN.com) of the preceding source's
+	// registered domain, so that domain-granularity regrouping (paper
+	// §3.1) actually merges hosts. 0 (the preset default) keeps every
+	// host on its own domain.
+	SubdomainProb float64
+
+	// SpamSources is the number of spam sources appended after the
+	// legitimate ones. Spam sources form link-farm communities.
+	SpamSources int
+	// SpamCommunitySize groups spam sources into collusion communities
+	// of this size (link exchange inside each community).
+	SpamCommunitySize int
+	// SpamPagesPerSource is the page count of each spam source.
+	SpamPagesPerSource int
+	// HijackPerSpam is the mean number of hijacked in-links each spam
+	// source receives. Hijacked links originate from a small pool of
+	// victim sources (~1.5x the spam count) — spammers reuse the same
+	// vulnerable messageboards and wikis — which is what lets the
+	// paper's top-k throttling cover both the spam and its feeders.
+	HijackPerSpam float64
+	// SpamCrossLinks is the probability that a spam source also trades a
+	// link with a random spam source outside its community (shared
+	// spammer infrastructure), which lets spam proximity propagate
+	// across communities from a partial seed set.
+	SpamCrossLinks float64
+}
+
+// Dataset is a generated corpus: the page graph plus ground-truth labels.
+type Dataset struct {
+	Pages *pagegraph.Graph
+	// SpamSources lists the source IDs generated as spam (ground truth;
+	// experiments seed the proximity walk with a subset of these).
+	SpamSources []int32
+	// Name records the preset label, if any.
+	Name string
+}
+
+// Validate rejects configurations that cannot generate a corpus.
+func (c Config) Validate() error {
+	switch {
+	case c.NumSources <= 0:
+		return errors.New("gen: NumSources must be positive")
+	case c.PagesPerSourceMin <= 0:
+		return errors.New("gen: PagesPerSourceMin must be positive")
+	case c.PagesPerSourceExp <= 1:
+		return errors.New("gen: PagesPerSourceExp must exceed 1")
+	case c.PagesPerSourceMax < c.PagesPerSourceMin:
+		return errors.New("gen: PagesPerSourceMax below PagesPerSourceMin")
+	case c.OutLinksPerPage < 0:
+		return errors.New("gen: OutLinksPerPage must be nonnegative")
+	case c.IntraSourceProb < 0 || c.IntraSourceProb > 1:
+		return errors.New("gen: IntraSourceProb outside [0,1]")
+	case c.PrefAttach < 0 || c.PrefAttach > 1:
+		return errors.New("gen: PrefAttach outside [0,1]")
+	case c.SpamSources < 0 || c.SpamPagesPerSource < 0:
+		return errors.New("gen: negative spam parameters")
+	case c.SpamSources > 0 && c.SpamCommunitySize <= 0:
+		return errors.New("gen: SpamCommunitySize must be positive when spam is generated")
+	case c.HijackPerSpam < 0:
+		return errors.New("gen: negative HijackPerSpam")
+	case c.SpamCrossLinks < 0 || c.SpamCrossLinks > 1:
+		return errors.New("gen: SpamCrossLinks outside [0,1]")
+	case c.DanglingSourceProb < 0 || c.DanglingSourceProb > 1:
+		return errors.New("gen: DanglingSourceProb outside [0,1]")
+	case c.SubdomainProb < 0 || c.SubdomainProb > 1:
+		return errors.New("gen: SubdomainProb outside [0,1]")
+	}
+	return nil
+}
+
+// zipfIndex samples an index in [0, n) with probability approximately
+// proportional to 1/(k+1) (log-uniform), concentrating mass on small
+// indices like intra-site link popularity does.
+func zipfIndex(rng *RNG, n int) int {
+	if n <= 1 {
+		return 0
+	}
+	u := rng.Float64()
+	idx := int(expApprox(u*lnApprox(float64(n)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= n {
+		idx = n - 1
+	}
+	return idx
+}
+
+// Generate builds a corpus from cfg.
+func Generate(cfg Config) (*Dataset, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	rng := NewRNG(cfg.Seed)
+	g := pagegraph.New()
+
+	// 1. Legitimate sources with Pareto page counts. Some sources are
+	// subdomain hosts of their predecessor's registered domain so that
+	// domain-level regrouping has hosts to merge.
+	legitPages := make([][]pagegraph.PageID, cfg.NumSources)
+	prevWasSub := false
+	for s := 0; s < cfg.NumSources; s++ {
+		label := fmt.Sprintf("www.site%06d.com", s)
+		// The draw is skipped entirely at probability zero so corpora
+		// generated before this feature keep their exact RNG stream.
+		if cfg.SubdomainProb > 0 && s > 0 && !prevWasSub && rng.Float64() < cfg.SubdomainProb {
+			label = fmt.Sprintf("blog.site%06d.com", s-1)
+			prevWasSub = true
+		} else {
+			prevWasSub = false
+		}
+		id := g.AddSource(label)
+		n := int(rng.Pareto(float64(cfg.PagesPerSourceMin), cfg.PagesPerSourceExp, float64(cfg.PagesPerSourceMax)))
+		if n < 1 {
+			n = 1
+		}
+		legitPages[s] = make([]pagegraph.PageID, n)
+		for p := 0; p < n; p++ {
+			legitPages[s][p] = g.AddPage(id)
+		}
+		// Site navigation: the homepage (page 0) links to every page and
+		// every page links back. In a crawled corpus each page was
+		// discovered through some link, so no page floats free.
+		for p := 1; p < n; p++ {
+			g.AddLink(legitPages[s][0], legitPages[s][p])
+			g.AddLink(legitPages[s][p], legitPages[s][0])
+		}
+	}
+	// 2. Spam communities: each spam source is a small link farm whose
+	// pages interlink within the community.
+	spam := make([]int32, 0, cfg.SpamSources)
+	spamPages := make([][]pagegraph.PageID, cfg.SpamSources)
+	for s := 0; s < cfg.SpamSources; s++ {
+		id := g.AddSource(fmt.Sprintf("spam%05d.biz", s))
+		spam = append(spam, int32(id))
+		n := cfg.SpamPagesPerSource
+		if n < 1 {
+			n = 1
+		}
+		spamPages[s] = make([]pagegraph.PageID, n)
+		for p := 0; p < n; p++ {
+			spamPages[s][p] = g.AddPage(id)
+		}
+	}
+
+	// 3. Legitimate links. Each source first samples its partner set —
+	// the distinct external sources it will ever link to. Partners are
+	// drawn from a heavy-tailed popularity distribution (with
+	// probability PrefAttach) or uniformly, so source in-link mass
+	// spans several decades like a real crawl. Pages then emit links:
+	// intra with probability IntraSourceProb, otherwise to a random
+	// page of a random partner.
+	partnersMean := cfg.PartnersPerSource
+	if partnersMean <= 0 {
+		partnersMean = 12
+	}
+	// Pareto popularity weights and their prefix sums for weighted
+	// sampling by binary search.
+	popPrefix := make([]float64, cfg.NumSources+1)
+	for s := 0; s < cfg.NumSources; s++ {
+		popPrefix[s+1] = popPrefix[s] + rng.Pareto(1, 2.0, 1e4)
+	}
+	weightedSource := func() int {
+		x := rng.Float64() * popPrefix[cfg.NumSources]
+		lo, hi := 0, cfg.NumSources
+		for lo < hi {
+			mid := (lo + hi) / 2
+			if popPrefix[mid+1] <= x {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		if lo >= cfg.NumSources {
+			lo = cfg.NumSources - 1
+		}
+		return lo
+	}
+	for s := 0; s < cfg.NumSources; s++ {
+		pages := legitPages[s]
+		if rng.Float64() < cfg.DanglingSourceProb {
+			continue // leaf host: no out-links at all
+		}
+		nPartners := 1 + rng.Poissonish(partnersMean-1)
+		partnerSet := map[int]bool{}
+		var partners []int // insertion order keeps generation deterministic
+		attempts := 0
+		for len(partners) < nPartners && len(partners) < cfg.NumSources-1 {
+			attempts++
+			if attempts > 50*nPartners {
+				break // popularity mass too concentrated to fill the set
+			}
+			var cand int
+			if rng.Float64() < cfg.PrefAttach {
+				cand = weightedSource()
+			} else {
+				cand = rng.Intn(cfg.NumSources)
+			}
+			if cand == s || partnerSet[cand] {
+				continue
+			}
+			partnerSet[cand] = true
+			partners = append(partners, cand)
+		}
+		for _, p := range pages {
+			deg := rng.Poissonish(cfg.OutLinksPerPage)
+			for k := 0; k < deg; k++ {
+				var q pagegraph.PageID
+				if rng.Float64() < cfg.IntraSourceProb || len(partners) == 0 {
+					if len(pages) < 2 {
+						continue
+					}
+					// Intra-source links concentrate on a few hub pages
+					// (Zipf: P(page k) ∝ 1/k), so a typical page has
+					// almost no in-links beyond navigation — as in
+					// real sites.
+					q = pages[zipfIndex(rng, len(pages))]
+				} else {
+					tp := legitPages[partners[rng.Intn(len(partners))]]
+					// Inter-source links mostly hit the partner's
+					// homepage, as in real crawls.
+					if rng.Float64() < 0.7 {
+						q = tp[0]
+					} else {
+						q = tp[rng.Intn(len(tp))]
+					}
+				}
+				if q == p {
+					continue
+				}
+				g.AddLink(p, q)
+			}
+		}
+	}
+
+	// 4. Hijacked links into spam: each spam source receives
+	// ~HijackPerSpam links from pages of a small victim pool of
+	// legitimate sources.
+	if cfg.SpamSources > 0 && cfg.HijackPerSpam > 0 {
+		poolSize := cfg.SpamSources * 3 / 2
+		if poolSize < 1 {
+			poolSize = 1
+		}
+		if poolSize > cfg.NumSources {
+			poolSize = cfg.NumSources
+		}
+		perm := rng.Perm(cfg.NumSources)
+		victims := perm[:poolSize]
+		for s := 0; s < cfg.SpamSources; s++ {
+			h := rng.Poissonish(cfg.HijackPerSpam)
+			if h < 1 {
+				h = 1
+			}
+			for k := 0; k < h; k++ {
+				vp := legitPages[victims[rng.Intn(poolSize)]]
+				g.AddLink(vp[rng.Intn(len(vp))], spamPages[s][rng.Intn(len(spamPages[s]))])
+			}
+		}
+	}
+
+	// 5. Spam collusion: within each community, every source's pages link
+	// to pages of the next sources in the community ring (link exchange),
+	// plus dense intra-source farm links.
+	if cfg.SpamSources > 0 {
+		commSize := cfg.SpamCommunitySize
+		for s := 0; s < cfg.SpamSources; s++ {
+			commStart := (s / commSize) * commSize
+			commEnd := commStart + commSize
+			if commEnd > cfg.SpamSources {
+				commEnd = cfg.SpamSources
+			}
+			pages := spamPages[s]
+			for _, p := range pages {
+				// Farm links inside the source.
+				if len(pages) > 1 {
+					q := pages[rng.Intn(len(pages))]
+					if q != p {
+						g.AddLink(p, q)
+					}
+				}
+				// Exchange links with every other community member, so
+				// each spam source has in-links from all its partners
+				// and proximity from any seeded member reaches the
+				// whole community.
+				for other := commStart; other < commEnd; other++ {
+					if other == s {
+						continue
+					}
+					tp := spamPages[other]
+					g.AddLink(p, tp[rng.Intn(len(tp))])
+				}
+			}
+			// Cross-community infrastructure links: a reciprocal trade
+			// with one random spam source anywhere, so a partially
+			// seeded proximity walk can reach every community.
+			if cfg.SpamSources > 1 && rng.Float64() < cfg.SpamCrossLinks {
+				other := rng.Intn(cfg.SpamSources)
+				if other != s {
+					g.AddLink(pages[rng.Intn(len(pages))], spamPages[other][rng.Intn(len(spamPages[other]))])
+					g.AddLink(spamPages[other][rng.Intn(len(spamPages[other]))], pages[rng.Intn(len(pages))])
+				}
+			}
+		}
+	}
+
+	ds := &Dataset{Pages: g, SpamSources: spam}
+	if err := g.Validate(); err != nil {
+		return nil, fmt.Errorf("gen: generated corpus invalid: %w", err)
+	}
+	return ds, nil
+}

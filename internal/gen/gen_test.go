@@ -1,0 +1,345 @@
+package gen
+
+import (
+	"math"
+	"testing"
+
+	"sourcerank/internal/source"
+)
+
+func smallConfig(seed uint64) Config {
+	return Config{
+		Seed:               seed,
+		NumSources:         200,
+		PagesPerSourceMin:  2,
+		PagesPerSourceExp:  2.0,
+		PagesPerSourceMax:  50,
+		OutLinksPerPage:    6,
+		IntraSourceProb:    0.75,
+		PrefAttach:         0.5,
+		SpamSources:        10,
+		SpamCommunitySize:  5,
+		SpamPagesPerSource: 8,
+		HijackPerSpam:      6,
+	}
+}
+
+func TestGenerateBasicShape(t *testing.T) {
+	ds, err := Generate(smallConfig(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := ds.Pages
+	if g.NumSources() != 210 {
+		t.Errorf("sources = %d, want 210", g.NumSources())
+	}
+	if len(ds.SpamSources) != 10 {
+		t.Errorf("spam sources = %d, want 10", len(ds.SpamSources))
+	}
+	if g.NumPages() < 400 {
+		t.Errorf("pages = %d, suspiciously few", g.NumPages())
+	}
+	if g.NumLinks() == 0 {
+		t.Error("no links generated")
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a, err := Generate(smallConfig(42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(smallConfig(42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Pages.NumPages() != b.Pages.NumPages() || a.Pages.NumLinks() != b.Pages.NumLinks() {
+		t.Fatalf("same seed produced different shapes: %d/%d vs %d/%d",
+			a.Pages.NumPages(), a.Pages.NumLinks(), b.Pages.NumPages(), b.Pages.NumLinks())
+	}
+	for p := 0; p < a.Pages.NumPages(); p++ {
+		la, lb := a.Pages.OutLinks(int32(p)), b.Pages.OutLinks(int32(p))
+		if len(la) != len(lb) {
+			t.Fatalf("page %d out-degree differs", p)
+		}
+		for i := range la {
+			if la[i] != lb[i] {
+				t.Fatalf("page %d link %d differs", p, i)
+			}
+		}
+	}
+}
+
+func TestGenerateSeedsDiffer(t *testing.T) {
+	a, _ := Generate(smallConfig(1))
+	b, _ := Generate(smallConfig(2))
+	if a.Pages.NumLinks() == b.Pages.NumLinks() && a.Pages.NumPages() == b.Pages.NumPages() {
+		// Same shape is possible but same everything is not: compare a
+		// few adjacency rows.
+		same := true
+		for p := 0; p < 50 && p < a.Pages.NumPages(); p++ {
+			la, lb := a.Pages.OutLinks(int32(p)), b.Pages.OutLinks(int32(p))
+			if len(la) != len(lb) {
+				same = false
+				break
+			}
+			for i := range la {
+				if la[i] != lb[i] {
+					same = false
+					break
+				}
+			}
+		}
+		if same {
+			t.Error("different seeds produced identical corpora")
+		}
+	}
+}
+
+func TestGenerateSpamCommunitiesInterlinked(t *testing.T) {
+	ds, err := Generate(smallConfig(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sg, err := source.Build(ds.Pages, source.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Each spam source should have at least one out-edge to another spam
+	// source in its community (the link exchange).
+	spamSet := map[int32]bool{}
+	for _, s := range ds.SpamSources {
+		spamSet[s] = true
+	}
+	interlinked := 0
+	for _, s := range ds.SpamSources {
+		cols, _ := sg.Counts.Row(int(s))
+		for _, c := range cols {
+			if c != s && spamSet[c] {
+				interlinked++
+				break
+			}
+		}
+	}
+	if interlinked < len(ds.SpamSources)/2 {
+		t.Errorf("only %d/%d spam sources interlinked", interlinked, len(ds.SpamSources))
+	}
+}
+
+func TestGenerateLinkLocality(t *testing.T) {
+	ds, err := Generate(smallConfig(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := ds.Pages
+	var intra, total int
+	for p := 0; p < g.NumPages(); p++ {
+		sp := g.SourceOf(int32(p))
+		for _, q := range g.OutLinks(int32(p)) {
+			total++
+			if g.SourceOf(q) == sp {
+				intra++
+			}
+		}
+	}
+	frac := float64(intra) / float64(total)
+	// Configured locality is 0.75; spam/hijack links shift it slightly.
+	if frac < 0.5 || frac > 0.95 {
+		t.Errorf("intra-source link fraction = %v, want ~0.75", frac)
+	}
+}
+
+func TestGenerateHeavyTailPageCounts(t *testing.T) {
+	cfg := smallConfig(9)
+	cfg.NumSources = 2000
+	ds, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := ds.Pages.PageCounts()
+	maxC, sum := 0, 0
+	for _, c := range counts[:cfg.NumSources] {
+		if c > maxC {
+			maxC = c
+		}
+		sum += c
+	}
+	mean := float64(sum) / float64(cfg.NumSources)
+	if float64(maxC) < 4*mean {
+		t.Errorf("max pages/source %d vs mean %.1f: tail too light", maxC, mean)
+	}
+}
+
+func TestGenerateValidation(t *testing.T) {
+	bad := smallConfig(1)
+	bad.NumSources = 0
+	if _, err := Generate(bad); err == nil {
+		t.Error("NumSources=0 accepted")
+	}
+	bad = smallConfig(1)
+	bad.PagesPerSourceExp = 1.0
+	if _, err := Generate(bad); err == nil {
+		t.Error("exponent 1.0 accepted")
+	}
+	bad = smallConfig(1)
+	bad.IntraSourceProb = 1.5
+	if _, err := Generate(bad); err == nil {
+		t.Error("bad locality accepted")
+	}
+	bad = smallConfig(1)
+	bad.HijackPerSpam = -1
+	if _, err := Generate(bad); err == nil {
+		t.Error("negative HijackPerSpam accepted")
+	}
+	bad = smallConfig(1)
+	bad.SpamCommunitySize = 0
+	if _, err := Generate(bad); err == nil {
+		t.Error("zero community size with spam accepted")
+	}
+}
+
+func TestSubdomainLabels(t *testing.T) {
+	cfg := smallConfig(5)
+	cfg.SubdomainProb = 0.3
+	ds, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	subs := 0
+	for s := 0; s < ds.Pages.NumSources(); s++ {
+		label := ds.Pages.SourceLabel(int32(s))
+		if len(label) > 5 && label[:5] == "blog." {
+			subs++
+		}
+	}
+	if subs == 0 {
+		t.Error("no subdomain hosts generated at SubdomainProb=0.3")
+	}
+	// Zero probability must not change the RNG stream: same seed with
+	// prob 0 reproduces the exact default corpus.
+	base, err := Generate(smallConfig(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	again, err := Generate(smallConfig(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.Pages.NumLinks() != again.Pages.NumLinks() {
+		t.Error("prob-0 generation not reproducible")
+	}
+	bad := smallConfig(5)
+	bad.SubdomainProb = 1.5
+	if _, err := Generate(bad); err == nil {
+		t.Error("SubdomainProb > 1 accepted")
+	}
+}
+
+func TestPresetConfigsScale(t *testing.T) {
+	for _, p := range Presets {
+		cfg := PresetConfig(p, 0.01, 5)
+		if err := cfg.Validate(); err != nil {
+			t.Errorf("%s: %v", p, err)
+		}
+		total := cfg.NumSources + cfg.SpamSources
+		want := int(math.Round(float64(TableOneSources[p]) * 0.01))
+		if math.Abs(float64(total-want)) > 2 {
+			t.Errorf("%s: scaled sources = %d, want ~%d", p, total, want)
+		}
+	}
+}
+
+func TestGeneratePresetEdgeDensity(t *testing.T) {
+	// The derived source graph should land in the neighborhood of
+	// Table 1's edges-per-source ratio (16.5–20.3). Allow a wide band:
+	// the claim is shape, not exact counts.
+	ds, err := GeneratePreset(UK2002, 0.02, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sg, err := source.Build(ds.Pages, source.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	perSource := float64(sg.NumEdges) / float64(sg.NumSources())
+	if perSource < 5 || perSource > 40 {
+		t.Errorf("edges/source = %.1f, want within [5, 40] (paper: 16.5)", perSource)
+	}
+	if ds.Name != string(UK2002) {
+		t.Errorf("Name = %q", ds.Name)
+	}
+}
+
+func TestRNGBasics(t *testing.T) {
+	r := NewRNG(123)
+	seen := map[uint64]bool{}
+	for i := 0; i < 1000; i++ {
+		seen[r.Uint64()] = true
+	}
+	if len(seen) != 1000 {
+		t.Errorf("collisions in 1000 draws: %d unique", len(seen))
+	}
+	for i := 0; i < 1000; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of range: %v", f)
+		}
+		n := r.Intn(10)
+		if n < 0 || n >= 10 {
+			t.Fatalf("Intn out of range: %v", n)
+		}
+	}
+}
+
+func TestRNGIntnPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Intn(0) did not panic")
+		}
+	}()
+	NewRNG(1).Intn(0)
+}
+
+func TestRNGPerm(t *testing.T) {
+	p := NewRNG(5).Perm(20)
+	seen := make([]bool, 20)
+	for _, v := range p {
+		if v < 0 || v >= 20 || seen[v] {
+			t.Fatalf("invalid permutation: %v", p)
+		}
+		seen[v] = true
+	}
+}
+
+func TestRNGPareto(t *testing.T) {
+	r := NewRNG(8)
+	for i := 0; i < 10000; i++ {
+		x := r.Pareto(2, 2.0, 100)
+		if x < 2 || x > 100 {
+			t.Fatalf("Pareto out of bounds: %v", x)
+		}
+	}
+}
+
+func TestRNGPoissonish(t *testing.T) {
+	r := NewRNG(4)
+	var sum float64
+	const n = 20000
+	for i := 0; i < n; i++ {
+		v := r.Poissonish(6)
+		if v < 0 {
+			t.Fatalf("negative draw %d", v)
+		}
+		sum += float64(v)
+	}
+	mean := sum / n
+	if mean < 5.5 || mean > 6.5 {
+		t.Errorf("mean = %v, want ~6", mean)
+	}
+	if r.Poissonish(0) != 0 || r.Poissonish(-3) != 0 {
+		t.Error("non-positive mean should return 0")
+	}
+}

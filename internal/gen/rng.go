@@ -1,0 +1,79 @@
+// Package gen generates synthetic Web corpora with the structural
+// properties the paper's experiments depend on: power-law pages-per-source
+// sizes, power-law in-degrees via preferential attachment, strong
+// intra-source link locality, and plantable labeled spam communities.
+// These stand in for the proprietary WB2001 / UK2002 / IT2004 crawls
+// (see DESIGN.md, Substitutions).
+package gen
+
+import "math"
+
+// RNG is a deterministic SplitMix64 pseudo-random generator. Unlike
+// math/rand, its sequence is fixed by this package alone, so generated
+// corpora are bit-for-bit reproducible across Go releases.
+type RNG struct {
+	state uint64
+}
+
+// NewRNG returns a generator seeded with seed.
+func NewRNG(seed uint64) *RNG { return &RNG{state: seed} }
+
+// Uint64 returns the next 64 pseudo-random bits (SplitMix64 step).
+func (r *RNG) Uint64() uint64 {
+	r.state += 0x9E3779B97F4A7C15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+// Float64 returns a uniform float64 in [0, 1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Intn returns a uniform int in [0, n). It panics if n <= 0.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("gen: Intn with non-positive n")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// Perm returns a random permutation of [0, n) by Fisher–Yates.
+func (r *RNG) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		p[i], p[j] = p[j], p[i]
+	}
+	return p
+}
+
+// Pareto samples a bounded Pareto (power-law) variate with minimum xmin
+// and tail exponent alpha > 1, truncated at xmax. This drives the
+// heavy-tailed pages-per-source distribution observed in web crawls.
+func (r *RNG) Pareto(xmin, alpha, xmax float64) float64 {
+	u := r.Float64()
+	x := xmin * math.Pow(1-u, -1/(alpha-1))
+	if x > xmax {
+		return xmax
+	}
+	return x
+}
+
+// Poissonish samples a nonnegative integer with the given mean using a
+// geometric-flavored draw; cheap and adequate for out-degree counts.
+func (r *RNG) Poissonish(mean float64) int {
+	if mean <= 0 {
+		return 0
+	}
+	// Sum of two uniform draws around the mean keeps variance moderate
+	// while staying integer-friendly and deterministic.
+	a := r.Float64() * mean
+	b := r.Float64() * mean
+	return int(a + b + 0.5)
+}

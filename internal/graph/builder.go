@@ -1,0 +1,132 @@
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Builder accumulates edges and produces an immutable Graph. It
+// deduplicates parallel edges and sorts successor lists at Build time.
+// The zero value is ready to use.
+type Builder struct {
+	n     int
+	edges []edge
+}
+
+type edge struct{ u, v NodeID }
+
+// NewBuilder returns a builder pre-sized for n nodes. Nodes can still be
+// grown later with AddNode or by adding edges with larger endpoints.
+func NewBuilder(n int) *Builder {
+	return &Builder{n: n}
+}
+
+// NumNodes returns the current node count.
+func (b *Builder) NumNodes() int { return b.n }
+
+// NumEdgesAdded returns the number of AddEdge calls so far (before
+// deduplication).
+func (b *Builder) NumEdgesAdded() int { return len(b.edges) }
+
+// AddNode appends a fresh node and returns its ID.
+func (b *Builder) AddNode() NodeID {
+	id := NodeID(b.n)
+	b.n++
+	return id
+}
+
+// Grow ensures the builder has at least n nodes.
+func (b *Builder) Grow(n int) {
+	if n > b.n {
+		b.n = n
+	}
+}
+
+// AddEdge records the directed edge (u, v), growing the node count if
+// either endpoint is new. Negative IDs panic.
+func (b *Builder) AddEdge(u, v NodeID) {
+	if u < 0 || v < 0 {
+		panic(fmt.Sprintf("graph: negative node id (%d, %d)", u, v))
+	}
+	if int(u) >= b.n {
+		b.n = int(u) + 1
+	}
+	if int(v) >= b.n {
+		b.n = int(v) + 1
+	}
+	b.edges = append(b.edges, edge{u, v})
+}
+
+// Build produces the immutable graph. The builder remains usable; calling
+// Build again after more AddEdge calls produces a new snapshot.
+func (b *Builder) Build() *Graph {
+	es := make([]edge, len(b.edges))
+	copy(es, b.edges)
+	sort.Slice(es, func(i, j int) bool {
+		if es[i].u != es[j].u {
+			return es[i].u < es[j].u
+		}
+		return es[i].v < es[j].v
+	})
+	g := &Graph{
+		n:      b.n,
+		rowPtr: make([]int64, b.n+1),
+	}
+	g.succ = make([]NodeID, 0, len(es))
+	for i := 0; i < len(es); {
+		j := i + 1
+		for j < len(es) && es[j] == es[i] {
+			j++ // skip duplicates
+		}
+		g.succ = append(g.succ, es[i].v)
+		g.rowPtr[es[i].u+1]++
+		i = j
+	}
+	for i := 0; i < b.n; i++ {
+		g.rowPtr[i+1] += g.rowPtr[i]
+	}
+	return g
+}
+
+// FromAdjacency builds a graph from an explicit adjacency list, useful in
+// tests. Row u of adj lists the successors of node u; duplicate and
+// unsorted entries are tolerated.
+func FromAdjacency(adj [][]NodeID) *Graph {
+	b := NewBuilder(len(adj))
+	for u, succ := range adj {
+		for _, v := range succ {
+			b.AddEdge(NodeID(u), v)
+		}
+	}
+	return b.Build()
+}
+
+// Subgraph returns the induced subgraph on keep, along with the mapping
+// from old IDs to new IDs (-1 for dropped nodes). Nodes listed twice are
+// kept once; order of keep determines the new IDs.
+func (g *Graph) Subgraph(keep []NodeID) (*Graph, []NodeID) {
+	remap := make([]NodeID, g.n)
+	for i := range remap {
+		remap[i] = -1
+	}
+	next := NodeID(0)
+	for _, u := range keep {
+		if remap[u] == -1 {
+			remap[u] = next
+			next++
+		}
+	}
+	b := NewBuilder(int(next))
+	for u := 0; u < g.n; u++ {
+		nu := remap[u]
+		if nu == -1 {
+			continue
+		}
+		for _, v := range g.Successors(NodeID(u)) {
+			if nv := remap[v]; nv != -1 {
+				b.AddEdge(nu, nv)
+			}
+		}
+	}
+	return b.Build(), remap
+}

@@ -1,0 +1,139 @@
+package graph
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// Binary format: magic, version, node count, edge count, then for each
+// node its out-degree followed by its successor IDs as raw little-endian
+// int32s. The compressed variant lives in internal/webgraph; this plain
+// encoding exists for debugging and as the interchange baseline.
+
+const (
+	ioMagic   = 0x53524B47 // "SRKG"
+	ioVersion = 1
+)
+
+// WriteTo serializes g in the plain binary format.
+func (g *Graph) WriteTo(w io.Writer) (int64, error) {
+	bw := bufio.NewWriter(w)
+	var written int64
+	put32 := func(x uint32) error {
+		var buf [4]byte
+		binary.LittleEndian.PutUint32(buf[:], x)
+		n, err := bw.Write(buf[:])
+		written += int64(n)
+		return err
+	}
+	put64 := func(x uint64) error {
+		var buf [8]byte
+		binary.LittleEndian.PutUint64(buf[:], x)
+		n, err := bw.Write(buf[:])
+		written += int64(n)
+		return err
+	}
+	if err := put32(ioMagic); err != nil {
+		return written, err
+	}
+	if err := put32(ioVersion); err != nil {
+		return written, err
+	}
+	if err := put64(uint64(g.n)); err != nil {
+		return written, err
+	}
+	if err := put64(uint64(len(g.succ))); err != nil {
+		return written, err
+	}
+	for u := 0; u < g.n; u++ {
+		s := g.Successors(NodeID(u))
+		if err := put32(uint32(len(s))); err != nil {
+			return written, err
+		}
+		for _, v := range s {
+			if err := put32(uint32(v)); err != nil {
+				return written, err
+			}
+		}
+	}
+	return written, bw.Flush()
+}
+
+// ReadFrom deserializes a graph written by WriteTo, validating structure
+// as it goes so corrupted inputs surface as wrapped ErrCorrupt errors
+// rather than panics.
+func ReadFrom(r io.Reader) (*Graph, error) {
+	br := bufio.NewReader(r)
+	get32 := func() (uint32, error) {
+		var buf [4]byte
+		if _, err := io.ReadFull(br, buf[:]); err != nil {
+			return 0, err
+		}
+		return binary.LittleEndian.Uint32(buf[:]), nil
+	}
+	get64 := func() (uint64, error) {
+		var buf [8]byte
+		if _, err := io.ReadFull(br, buf[:]); err != nil {
+			return 0, err
+		}
+		return binary.LittleEndian.Uint64(buf[:]), nil
+	}
+	magic, err := get32()
+	if err != nil {
+		return nil, fmt.Errorf("graph: reading magic: %w", err)
+	}
+	if magic != ioMagic {
+		return nil, fmt.Errorf("%w: bad magic %#x", ErrCorrupt, magic)
+	}
+	ver, err := get32()
+	if err != nil {
+		return nil, fmt.Errorf("graph: reading version: %w", err)
+	}
+	if ver != ioVersion {
+		return nil, fmt.Errorf("%w: unsupported version %d", ErrCorrupt, ver)
+	}
+	n64, err := get64()
+	if err != nil {
+		return nil, fmt.Errorf("graph: reading node count: %w", err)
+	}
+	edges64, err := get64()
+	if err != nil {
+		return nil, fmt.Errorf("graph: reading edge count: %w", err)
+	}
+	const maxNodes = 1 << 31
+	if n64 > maxNodes || edges64 > (1<<40) {
+		return nil, fmt.Errorf("%w: implausible sizes n=%d edges=%d", ErrCorrupt, n64, edges64)
+	}
+	n := int(n64)
+	g := &Graph{
+		n:      n,
+		rowPtr: make([]int64, n+1),
+		succ:   make([]NodeID, 0, int(edges64)),
+	}
+	for u := 0; u < n; u++ {
+		deg, err := get32()
+		if err != nil {
+			return nil, fmt.Errorf("graph: reading degree of node %d: %w", u, err)
+		}
+		if int64(len(g.succ))+int64(deg) > int64(edges64) {
+			return nil, fmt.Errorf("%w: degrees exceed declared edge count", ErrCorrupt)
+		}
+		g.rowPtr[u+1] = g.rowPtr[u] + int64(deg)
+		for k := uint32(0); k < deg; k++ {
+			v, err := get32()
+			if err != nil {
+				return nil, fmt.Errorf("graph: reading successor of node %d: %w", u, err)
+			}
+			g.succ = append(g.succ, NodeID(v))
+		}
+	}
+	if int64(len(g.succ)) != int64(edges64) {
+		return nil, fmt.Errorf("%w: edge count mismatch: declared %d, read %d", ErrCorrupt, edges64, len(g.succ))
+	}
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	return g, nil
+}

@@ -1,0 +1,124 @@
+package graph
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestIORoundTrip(t *testing.T) {
+	g := FromAdjacency([][]NodeID{{1, 2}, {2}, {0}})
+	var buf bytes.Buffer
+	if _, err := g.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFrom(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumNodes() != g.NumNodes() || got.NumEdges() != g.NumEdges() {
+		t.Fatalf("shape changed: %d/%d", got.NumNodes(), got.NumEdges())
+	}
+	for u := 0; u < g.NumNodes(); u++ {
+		a, b := g.Successors(NodeID(u)), got.Successors(NodeID(u))
+		if len(a) != len(b) {
+			t.Fatalf("node %d degree changed", u)
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("node %d successor %d changed", u, i)
+			}
+		}
+	}
+}
+
+func TestIOEmptyGraph(t *testing.T) {
+	g := NewBuilder(0).Build()
+	var buf bytes.Buffer
+	if _, err := g.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFrom(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumNodes() != 0 || got.NumEdges() != 0 {
+		t.Errorf("empty graph round-trip: %d/%d", got.NumNodes(), got.NumEdges())
+	}
+}
+
+func TestReadFromBadMagic(t *testing.T) {
+	buf := bytes.NewBuffer([]byte{0, 1, 2, 3, 4, 5, 6, 7})
+	_, err := ReadFrom(buf)
+	if !errors.Is(err, ErrCorrupt) {
+		t.Errorf("err = %v, want ErrCorrupt", err)
+	}
+}
+
+func TestReadFromTruncated(t *testing.T) {
+	g := FromAdjacency([][]NodeID{{1}, {0}})
+	var buf bytes.Buffer
+	if _, err := g.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	for _, cut := range []int{1, 4, 8, 12, 20, len(raw) - 1} {
+		if cut >= len(raw) {
+			continue
+		}
+		if _, err := ReadFrom(bytes.NewReader(raw[:cut])); err == nil {
+			t.Errorf("truncation at %d accepted", cut)
+		}
+	}
+}
+
+func TestReadFromCorruptedSuccessor(t *testing.T) {
+	g := FromAdjacency([][]NodeID{{1}, {0}})
+	var buf bytes.Buffer
+	if _, err := g.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	// Flip the last successor ID to an out-of-range value.
+	raw[len(raw)-1] = 0xFF
+	if _, err := ReadFrom(bytes.NewReader(raw)); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("corrupt successor: err = %v, want ErrCorrupt", err)
+	}
+}
+
+// Property: serialize/deserialize is the identity on random graphs.
+func TestQuickIORoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(60)
+		g := randomGraph(rng, n, rng.Intn(400))
+		var buf bytes.Buffer
+		if _, err := g.WriteTo(&buf); err != nil {
+			return false
+		}
+		got, err := ReadFrom(&buf)
+		if err != nil {
+			return false
+		}
+		if got.NumNodes() != g.NumNodes() || got.NumEdges() != g.NumEdges() {
+			return false
+		}
+		for u := 0; u < n; u++ {
+			a, b := g.Successors(NodeID(u)), got.Successors(NodeID(u))
+			if len(a) != len(b) {
+				return false
+			}
+			for i := range a {
+				if a[i] != b[i] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}

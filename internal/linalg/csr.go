@@ -1,0 +1,214 @@
+package linalg
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// CSR is an immutable weighted sparse matrix in compressed-sparse-row form.
+// Row i's nonzeros occupy Cols[RowPtr[i]:RowPtr[i+1]] with matching Vals.
+// Within a row, column indices are strictly increasing.
+type CSR struct {
+	Rows   int
+	ColsN  int
+	RowPtr []int64
+	Cols   []int32
+	Vals   []float64
+}
+
+// Entry is a single (row, col, value) triple used when building a CSR.
+type Entry struct {
+	Row, Col int
+	Val      float64
+}
+
+// ErrBadShape reports an invalid matrix dimension.
+var ErrBadShape = errors.New("linalg: invalid matrix shape")
+
+// NewCSR builds a CSR matrix from an unordered list of entries. Duplicate
+// (row, col) entries are summed. Entries outside [0,rows)×[0,cols) return
+// an error.
+func NewCSR(rows, cols int, entries []Entry) (*CSR, error) {
+	if rows < 0 || cols < 0 {
+		return nil, ErrBadShape
+	}
+	for _, e := range entries {
+		if e.Row < 0 || e.Row >= rows || e.Col < 0 || e.Col >= cols {
+			return nil, fmt.Errorf("linalg: entry (%d,%d) outside %dx%d matrix", e.Row, e.Col, rows, cols)
+		}
+	}
+	sorted := make([]Entry, len(entries))
+	copy(sorted, entries)
+	sort.Slice(sorted, func(i, j int) bool {
+		if sorted[i].Row != sorted[j].Row {
+			return sorted[i].Row < sorted[j].Row
+		}
+		return sorted[i].Col < sorted[j].Col
+	})
+	m := &CSR{
+		Rows:   rows,
+		ColsN:  cols,
+		RowPtr: make([]int64, rows+1),
+	}
+	// Coalesce duplicates while copying into the column/value arrays.
+	for i := 0; i < len(sorted); {
+		j := i + 1
+		v := sorted[i].Val
+		for j < len(sorted) && sorted[j].Row == sorted[i].Row && sorted[j].Col == sorted[i].Col {
+			v += sorted[j].Val
+			j++
+		}
+		m.Cols = append(m.Cols, int32(sorted[i].Col))
+		m.Vals = append(m.Vals, v)
+		m.RowPtr[sorted[i].Row+1]++
+		i = j
+	}
+	for i := 0; i < rows; i++ {
+		m.RowPtr[i+1] += m.RowPtr[i]
+	}
+	return m, nil
+}
+
+// NNZ returns the number of stored nonzeros.
+func (m *CSR) NNZ() int { return len(m.Vals) }
+
+// RowNNZ returns the number of stored entries in row i.
+func (m *CSR) RowNNZ(i int) int { return int(m.RowPtr[i+1] - m.RowPtr[i]) }
+
+// Row returns the column indices and values of row i. The returned slices
+// alias the matrix storage and must not be modified.
+func (m *CSR) Row(i int) ([]int32, []float64) {
+	lo, hi := m.RowPtr[i], m.RowPtr[i+1]
+	return m.Cols[lo:hi], m.Vals[lo:hi]
+}
+
+// At returns the value at (i, j), or 0 if the entry is not stored.
+func (m *CSR) At(i, j int) float64 {
+	cols, vals := m.Row(i)
+	k := sort.Search(len(cols), func(k int) bool { return cols[k] >= int32(j) })
+	if k < len(cols) && cols[k] == int32(j) {
+		return vals[k]
+	}
+	return 0
+}
+
+// RowSum returns the sum of the stored values in row i.
+func (m *CSR) RowSum(i int) float64 {
+	_, vals := m.Row(i)
+	var s float64
+	for _, v := range vals {
+		s += v
+	}
+	return s
+}
+
+// Transpose returns Mᵀ as a new CSR matrix.
+func (m *CSR) Transpose() *CSR {
+	t := &CSR{
+		Rows:   m.ColsN,
+		ColsN:  m.Rows,
+		RowPtr: make([]int64, m.ColsN+1),
+		Cols:   make([]int32, len(m.Cols)),
+		Vals:   make([]float64, len(m.Vals)),
+	}
+	// Counting sort by column index.
+	for _, c := range m.Cols {
+		t.RowPtr[c+1]++
+	}
+	for i := 0; i < t.Rows; i++ {
+		t.RowPtr[i+1] += t.RowPtr[i]
+	}
+	next := make([]int64, t.Rows)
+	copy(next, t.RowPtr[:t.Rows])
+	for r := 0; r < m.Rows; r++ {
+		lo, hi := m.RowPtr[r], m.RowPtr[r+1]
+		for k := lo; k < hi; k++ {
+			c := int(m.Cols[k])
+			pos := next[c]
+			t.Cols[pos] = int32(r)
+			t.Vals[pos] = m.Vals[k]
+			next[c]++
+		}
+	}
+	return t
+}
+
+// Validate checks structural invariants: monotone row pointers, in-range
+// and strictly increasing column indices per row, finite values.
+func (m *CSR) Validate() error {
+	if m.Rows < 0 || m.ColsN < 0 {
+		return ErrBadShape
+	}
+	if len(m.RowPtr) != m.Rows+1 {
+		return fmt.Errorf("linalg: RowPtr length %d, want %d", len(m.RowPtr), m.Rows+1)
+	}
+	if m.RowPtr[0] != 0 {
+		return fmt.Errorf("linalg: RowPtr[0] = %d, want 0", m.RowPtr[0])
+	}
+	if int(m.RowPtr[m.Rows]) != len(m.Cols) || len(m.Cols) != len(m.Vals) {
+		return fmt.Errorf("linalg: storage lengths inconsistent: RowPtr end %d, cols %d, vals %d",
+			m.RowPtr[m.Rows], len(m.Cols), len(m.Vals))
+	}
+	for i := 0; i < m.Rows; i++ {
+		if m.RowPtr[i] > m.RowPtr[i+1] {
+			return fmt.Errorf("linalg: row %d has negative extent", i)
+		}
+		cols, vals := m.Row(i)
+		for k, c := range cols {
+			if c < 0 || int(c) >= m.ColsN {
+				return fmt.Errorf("linalg: row %d col %d out of range [0,%d)", i, c, m.ColsN)
+			}
+			if k > 0 && cols[k-1] >= c {
+				return fmt.Errorf("linalg: row %d columns not strictly increasing at %d", i, k)
+			}
+			if v := vals[k]; v != v || v > 1e308 || v < -1e308 {
+				return fmt.Errorf("linalg: row %d col %d non-finite value", i, c)
+			}
+		}
+	}
+	return nil
+}
+
+// IsRowStochastic reports whether every nonempty row sums to 1 within tol
+// and every stored value is nonnegative. Empty rows are permitted (callers
+// decide how to treat dangling rows).
+func (m *CSR) IsRowStochastic(tol float64) bool {
+	for i := 0; i < m.Rows; i++ {
+		_, vals := m.Row(i)
+		if len(vals) == 0 {
+			continue
+		}
+		var s float64
+		for _, v := range vals {
+			if v < 0 {
+				return false
+			}
+			s += v
+		}
+		if s < 1-tol || s > 1+tol {
+			return false
+		}
+	}
+	return true
+}
+
+// ScaleRows multiplies each row i by f(i), returning a new matrix with the
+// same sparsity pattern.
+func (m *CSR) ScaleRows(f func(row int) float64) *CSR {
+	out := &CSR{
+		Rows:   m.Rows,
+		ColsN:  m.ColsN,
+		RowPtr: m.RowPtr, // sparsity pattern shared; values are fresh
+		Cols:   m.Cols,
+		Vals:   make([]float64, len(m.Vals)),
+	}
+	for i := 0; i < m.Rows; i++ {
+		lo, hi := m.RowPtr[i], m.RowPtr[i+1]
+		s := f(i)
+		for k := lo; k < hi; k++ {
+			out.Vals[k] = m.Vals[k] * s
+		}
+	}
+	return out
+}

@@ -1,0 +1,78 @@
+package linalg
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+)
+
+// Binary score-vector format: magic, version, length, IEEE-754 values.
+// cmd/srank uses it to snapshot rankings for later comparison or
+// warm-started recomputation.
+
+const (
+	vecMagic   = 0x53524B56 // "SRKV"
+	vecVersion = 1
+)
+
+// ErrVectorCorrupt reports a malformed serialized vector.
+var ErrVectorCorrupt = errors.New("linalg: corrupt vector encoding")
+
+// WriteVector serializes v.
+func WriteVector(w io.Writer, v Vector) error {
+	bw := bufio.NewWriter(w)
+	le := binary.LittleEndian
+	if err := binary.Write(bw, le, uint32(vecMagic)); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, le, uint32(vecVersion)); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, le, uint64(len(v))); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, le, []float64(v)); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// ReadVector deserializes a vector written by WriteVector, rejecting
+// non-finite values so downstream solvers never see NaNs from disk.
+func ReadVector(r io.Reader) (Vector, error) {
+	br := bufio.NewReader(r)
+	le := binary.LittleEndian
+	var magic, ver uint32
+	if err := binary.Read(br, le, &magic); err != nil {
+		return nil, fmt.Errorf("linalg: reading magic: %w", err)
+	}
+	if magic != vecMagic {
+		return nil, fmt.Errorf("%w: bad magic %#x", ErrVectorCorrupt, magic)
+	}
+	if err := binary.Read(br, le, &ver); err != nil {
+		return nil, err
+	}
+	if ver != vecVersion {
+		return nil, fmt.Errorf("%w: unsupported version %d", ErrVectorCorrupt, ver)
+	}
+	var n uint64
+	if err := binary.Read(br, le, &n); err != nil {
+		return nil, err
+	}
+	if n > 1<<33 {
+		return nil, fmt.Errorf("%w: implausible length %d", ErrVectorCorrupt, n)
+	}
+	v := make(Vector, n)
+	if err := binary.Read(br, le, []float64(v)); err != nil {
+		return nil, fmt.Errorf("linalg: reading values: %w", err)
+	}
+	for i, x := range v {
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			return nil, fmt.Errorf("%w: non-finite value at %d", ErrVectorCorrupt, i)
+		}
+	}
+	return v, nil
+}

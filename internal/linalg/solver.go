@@ -1,0 +1,115 @@
+package linalg
+
+import "errors"
+
+// IterStats records the outcome of an iterative solve.
+type IterStats struct {
+	Iterations int     // iterations performed
+	Residual   float64 // distance between the last two iterates
+	Converged  bool    // whether Residual dropped below Tol
+}
+
+// SolverOptions configures the iterative solvers. The zero value is usable:
+// it selects the paper's convergence threshold (L2 distance below 1e-9),
+// a 1000-iteration cap, and automatic worker selection.
+type SolverOptions struct {
+	Tol     float64 // convergence threshold on successive-iterate distance; default 1e-9
+	MaxIter int     // iteration cap; default 1000
+	Workers int     // goroutines for SpMV; <=0 means GOMAXPROCS
+	Dist    func(a, b Vector) float64
+}
+
+func (o SolverOptions) withDefaults() SolverOptions {
+	if o.Tol <= 0 {
+		o.Tol = 1e-9
+	}
+	if o.MaxIter <= 0 {
+		o.MaxIter = 1000
+	}
+	if o.Dist == nil {
+		o.Dist = L2Distance
+	}
+	return o
+}
+
+// ErrDimension reports mismatched operand sizes passed to a solver.
+var ErrDimension = errors.New("linalg: dimension mismatch")
+
+// FixedPoint iterates x_{k+1} = step(x_k) until the configured distance
+// between successive iterates drops below Tol or MaxIter is reached.
+// step must write its result into dst and may read but not modify src.
+// The returned vector is a fresh allocation-free alias of the final
+// internal buffer; callers must not retain x0.
+func FixedPoint(x0 Vector, step func(dst, src Vector), opt SolverOptions) (Vector, IterStats) {
+	opt = opt.withDefaults()
+	cur := x0.Clone()
+	next := NewVector(len(x0))
+	var st IterStats
+	for st.Iterations = 1; st.Iterations <= opt.MaxIter; st.Iterations++ {
+		step(next, cur)
+		st.Residual = opt.Dist(next, cur)
+		cur, next = next, cur
+		if st.Residual < opt.Tol {
+			st.Converged = true
+			return cur, st
+		}
+	}
+	st.Iterations = opt.MaxIter
+	return cur, st
+}
+
+// JacobiAffine solves x = c·Aᵀx + b by Jacobi iteration, the "convenient
+// linear form" of the ranking equations (paper Eq. 3 uses c = α and
+// b = (1-α)·teleport). A is row-stochastic in row-major CSR form, so the
+// iteration multiplies by the transpose, which is materialized once so
+// every iteration can use the parallel gather kernel.
+//
+// The iteration converges for any 0 <= c < 1 because the spectral radius
+// of c·Aᵀ is at most c.
+func JacobiAffine(a *CSR, c float64, b Vector, opt SolverOptions) (Vector, IterStats, error) {
+	if a.Rows != a.ColsN || len(b) != a.Rows {
+		return nil, IterStats{}, ErrDimension
+	}
+	opt = opt.withDefaults()
+	at := a.Transpose()
+	x0 := b.Clone()
+	x, st := FixedPoint(x0, func(dst, src Vector) {
+		MulVecParallel(at, src, dst, opt.Workers)
+		dst.Scale(c)
+		dst.Axpy(1, b)
+	}, opt)
+	return x, st, nil
+}
+
+// PowerMethod computes the stationary distribution of the row-stochastic
+// chain P̂ = c·Pᵀ + teleportation. Rather than forming the dense rank-one
+// teleportation term, each iteration computes y = c·Pᵀx, then adds the
+// lost probability mass (1 - ||y||₁) times the teleport distribution t.
+// This treatment also absorbs dangling rows (rows of P summing to zero):
+// their mass is redistributed according to t, the standard PageRank fix.
+//
+// t must be a probability distribution (nonnegative, sums to 1); x0, if
+// nil, defaults to t.
+func PowerMethod(p *CSR, c float64, t Vector, x0 Vector, opt SolverOptions) (Vector, IterStats, error) {
+	if p.Rows != p.ColsN || len(t) != p.Rows {
+		return nil, IterStats{}, ErrDimension
+	}
+	opt = opt.withDefaults()
+	pt := p.Transpose()
+	if x0 == nil {
+		x0 = t
+	}
+	if len(x0) != p.Rows {
+		return nil, IterStats{}, ErrDimension
+	}
+	x, st := FixedPoint(x0, func(dst, src Vector) {
+		MulVecParallel(pt, src, dst, opt.Workers)
+		dst.Scale(c)
+		lost := 1 - dst.Sum()
+		if lost < 0 {
+			lost = 0
+		}
+		dst.Axpy(lost, t)
+	}, opt)
+	return x, st, nil
+}

@@ -1,0 +1,149 @@
+package linalg
+
+import (
+	"math"
+	"sort"
+)
+
+// GaussSeidelAffine solves x = c·Aᵀx + b by Gauss–Seidel iteration: each
+// sweep uses already-updated entries of x, which roughly halves the
+// iteration count versus Jacobi on ranking systems (Gleich et al., the
+// paper's [18], report the same effect for PageRank linear systems).
+// A must be square and len(b) == A.Rows.
+//
+// The sweep needs column access to Aᵀ, i.e. row access to A's transpose's
+// transpose — we materialize Aᵀ once and walk its rows in order,
+// updating x in place.
+func GaussSeidelAffine(a *CSR, c float64, b Vector, opt SolverOptions) (Vector, IterStats, error) {
+	if a.Rows != a.ColsN || len(b) != a.Rows {
+		return nil, IterStats{}, ErrDimension
+	}
+	opt = opt.withDefaults()
+	at := a.Transpose()
+	n := a.Rows
+	x := b.Clone()
+	prev := NewVector(n)
+	var st IterStats
+	for st.Iterations = 1; st.Iterations <= opt.MaxIter; st.Iterations++ {
+		copy(prev, x)
+		for i := 0; i < n; i++ {
+			cols, vals := at.Row(i)
+			var s, diag float64
+			for k, j := range cols {
+				if int(j) == i {
+					diag = vals[k]
+					continue
+				}
+				s += vals[k] * x[j]
+			}
+			// x_i = c·(Σ_{j≠i} a_ij x_j + a_ii x_i) + b_i solved for x_i.
+			denom := 1 - c*diag
+			if denom <= 0 {
+				denom = 1e-12
+			}
+			x[i] = (c*s + b[i]) / denom
+		}
+		st.Residual = opt.Dist(x, prev)
+		if st.Residual < opt.Tol {
+			st.Converged = true
+			return x, st, nil
+		}
+	}
+	st.Iterations = opt.MaxIter
+	return x, st, nil
+}
+
+// PowerMethodExtrapolated runs the damped power method with periodic
+// Aitken Δ² extrapolation (Kamvar et al.'s quadratic-extrapolation idea
+// in its simplest scalar form), accelerating convergence when the
+// subdominant eigenvalue is close to the damping factor.
+//
+// Every extrapolateEvery iterations, each component is replaced by the
+// Aitken-accelerated estimate built from its last three iterates.
+func PowerMethodExtrapolated(p *CSR, c float64, t Vector, opt SolverOptions) (Vector, IterStats, error) {
+	if p.Rows != p.ColsN || len(t) != p.Rows {
+		return nil, IterStats{}, ErrDimension
+	}
+	opt = opt.withDefaults()
+	const extrapolateEvery = 10
+	pt := p.Transpose()
+	n := p.Rows
+	x2 := t.Clone() // x_{k-2}
+	x1 := NewVector(n)
+	x0 := NewVector(n)
+	cur := x2.Clone()
+	next := NewVector(n)
+	var st IterStats
+	for st.Iterations = 1; st.Iterations <= opt.MaxIter; st.Iterations++ {
+		MulVecParallel(pt, cur, next, opt.Workers)
+		next.Scale(c)
+		lost := 1 - next.Sum()
+		if lost < 0 {
+			lost = 0
+		}
+		next.Axpy(lost, t)
+
+		st.Residual = opt.Dist(next, cur)
+		copy(x2, x1)
+		copy(x1, cur)
+		copy(x0, next)
+		cur, next = next, cur
+		if st.Residual < opt.Tol {
+			st.Converged = true
+			break
+		}
+		if st.Iterations >= 3 && st.Iterations%extrapolateEvery == 0 {
+			aitken(cur, x2, x1, x0)
+			cur.Normalize1()
+		}
+	}
+	if st.Iterations > opt.MaxIter {
+		st.Iterations = opt.MaxIter
+	}
+	return cur, st, nil
+}
+
+// aitken writes the component-wise Aitken Δ² estimate of the sequence
+// (a, b, c) into dst, falling back to c where the denominator vanishes.
+func aitken(dst, a, b, c Vector) {
+	for i := range dst {
+		d1 := b[i] - a[i]
+		d2 := c[i] - 2*b[i] + a[i]
+		if math.Abs(d2) > 1e-300 {
+			v := a[i] - d1*d1/d2
+			if v > 0 && !math.IsInf(v, 0) && !math.IsNaN(v) {
+				dst[i] = v
+				continue
+			}
+		}
+		dst[i] = c[i]
+	}
+}
+
+// Gini returns the Gini coefficient of a nonnegative vector: 0 for a
+// perfectly uniform distribution, approaching 1 as the mass concentrates
+// on a single entry. Ranking-score inequality is a standard diagnostic
+// for how "spread" an authority distribution is.
+func Gini(v Vector) float64 {
+	n := len(v)
+	if n == 0 {
+		return 0
+	}
+	sorted := v.Clone()
+	insertionOrQuickSort(sorted)
+	var cum, total float64
+	for i, x := range sorted {
+		cum += float64(i+1) * x
+		total += x
+	}
+	if total == 0 {
+		return 0
+	}
+	return (2*cum/(float64(n)*total) - float64(n+1)/float64(n))
+}
+
+// insertionOrQuickSort sorts ascending; isolated so the Gini hot path
+// reads clearly.
+func insertionOrQuickSort(v Vector) {
+	sort.Float64s([]float64(v))
+}

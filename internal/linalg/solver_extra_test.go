@@ -1,0 +1,207 @@
+package linalg
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func stochasticChain(t *testing.T, rng *rand.Rand, n int) *CSR {
+	t.Helper()
+	entries := []Entry{}
+	for i := 0; i < n; i++ {
+		deg := 1 + rng.Intn(4)
+		if deg > n {
+			deg = n
+		}
+		seen := map[int]bool{}
+		for len(seen) < deg {
+			seen[rng.Intn(n)] = true
+		}
+		for j := range seen {
+			entries = append(entries, Entry{i, j, 1 / float64(deg)})
+		}
+	}
+	m, err := NewCSR(n, n, entries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestGaussSeidelMatchesJacobi(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	m := stochasticChain(t, rng, 40)
+	alpha := 0.85
+	b := NewUniformVector(40)
+	b.Scale(1 - alpha)
+	jac, st1, err := JacobiAffine(m, alpha, b, SolverOptions{Tol: 1e-13})
+	if err != nil || !st1.Converged {
+		t.Fatalf("jacobi: %v %+v", err, st1)
+	}
+	gs, st2, err := GaussSeidelAffine(m, alpha, b, SolverOptions{Tol: 1e-13})
+	if err != nil || !st2.Converged {
+		t.Fatalf("gauss-seidel: %v %+v", err, st2)
+	}
+	if d := L2Distance(jac, gs); d > 1e-9 {
+		t.Errorf("solutions differ by %g", d)
+	}
+	if st2.Iterations >= st1.Iterations {
+		t.Logf("note: GS iterations %d vs Jacobi %d (usually fewer)", st2.Iterations, st1.Iterations)
+	}
+}
+
+func TestGaussSeidelConvergesFasterOnSelfLoopHeavyChain(t *testing.T) {
+	// Self-loop-heavy chains (exactly the SRSR throttled matrices) are
+	// where in-place sweeps shine: the diagonal term is solved exactly.
+	n := 30
+	entries := []Entry{}
+	for i := 0; i < n; i++ {
+		entries = append(entries, Entry{i, i, 0.9})
+		entries = append(entries, Entry{i, (i + 1) % n, 0.1})
+	}
+	m, err := NewCSR(n, n, entries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := NewUniformVector(n)
+	b.Scale(0.15)
+	jac, st1, err := JacobiAffine(m, 0.85, b, SolverOptions{Tol: 1e-12, MaxIter: 5000})
+	if err != nil || !st1.Converged {
+		t.Fatalf("jacobi: %v %+v", err, st1)
+	}
+	gs, st2, err := GaussSeidelAffine(m, 0.85, b, SolverOptions{Tol: 1e-12, MaxIter: 5000})
+	if err != nil || !st2.Converged {
+		t.Fatalf("gs: %v %+v", err, st2)
+	}
+	if d := L2Distance(jac, gs); d > 1e-8 {
+		t.Fatalf("solutions differ by %g", d)
+	}
+	if st2.Iterations >= st1.Iterations {
+		t.Errorf("GS (%d iters) not faster than Jacobi (%d) on diagonal-heavy system",
+			st2.Iterations, st1.Iterations)
+	}
+}
+
+func TestGaussSeidelDimensionError(t *testing.T) {
+	m := mustCSR(t, 2, 3, nil)
+	if _, _, err := GaussSeidelAffine(m, 0.5, NewVector(2), SolverOptions{}); err == nil {
+		t.Error("non-square accepted")
+	}
+}
+
+func TestPowerMethodExtrapolatedMatchesPlain(t *testing.T) {
+	rng := rand.New(rand.NewSource(33))
+	m := stochasticChain(t, rng, 50)
+	tele := NewUniformVector(50)
+	plain, st1, err := PowerMethod(m, 0.85, tele, nil, SolverOptions{Tol: 1e-12})
+	if err != nil || !st1.Converged {
+		t.Fatalf("plain: %v %+v", err, st1)
+	}
+	extra, st2, err := PowerMethodExtrapolated(m, 0.85, tele, SolverOptions{Tol: 1e-12})
+	if err != nil || !st2.Converged {
+		t.Fatalf("extrapolated: %v %+v", err, st2)
+	}
+	if d := L2Distance(plain, extra); d > 1e-8 {
+		t.Errorf("solutions differ by %g", d)
+	}
+}
+
+func TestPowerMethodExtrapolatedDimensionError(t *testing.T) {
+	m := mustCSR(t, 2, 2, nil)
+	if _, _, err := PowerMethodExtrapolated(m, 0.85, NewVector(3), SolverOptions{}); err == nil {
+		t.Error("bad teleport length accepted")
+	}
+}
+
+func TestGini(t *testing.T) {
+	if g := Gini(NewUniformVector(100)); math.Abs(g) > 1e-9 {
+		t.Errorf("uniform Gini = %v, want 0", g)
+	}
+	// All mass on one entry of n: Gini -> (n-1)/n.
+	v := NewVector(100)
+	v[7] = 1
+	if g := Gini(v); math.Abs(g-0.99) > 1e-9 {
+		t.Errorf("point-mass Gini = %v, want 0.99", g)
+	}
+	if g := Gini(Vector{}); g != 0 {
+		t.Errorf("empty Gini = %v", g)
+	}
+	if g := Gini(NewVector(5)); g != 0 {
+		t.Errorf("zero-vector Gini = %v", g)
+	}
+}
+
+func TestGiniDoesNotMutate(t *testing.T) {
+	v := Vector{3, 1, 2}
+	Gini(v)
+	if v[0] != 3 || v[1] != 1 || v[2] != 2 {
+		t.Errorf("Gini mutated input: %v", v)
+	}
+}
+
+// Property: Gini is in [0, 1) and scale-invariant.
+func TestQuickGiniProperties(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(50)
+		v := make(Vector, n)
+		for i := range v {
+			v[i] = rng.Float64() * 100
+		}
+		g := Gini(v)
+		if g < -1e-12 || g >= 1 {
+			return false
+		}
+		w := v.Clone()
+		w.Scale(7.5)
+		return math.Abs(Gini(w)-g) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: all three linear solvers agree on random stochastic systems.
+func TestQuickSolversAgree(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(25)
+		m := stochasticChainRaw(rng, n)
+		alpha := 0.5 + rng.Float64()*0.4
+		b := NewUniformVector(n)
+		b.Scale(1 - alpha)
+		jac, st1, err1 := JacobiAffine(m, alpha, b, SolverOptions{Tol: 1e-13, MaxIter: 3000})
+		gs, st2, err2 := GaussSeidelAffine(m, alpha, b, SolverOptions{Tol: 1e-13, MaxIter: 3000})
+		if err1 != nil || err2 != nil || !st1.Converged || !st2.Converged {
+			return false
+		}
+		return L2Distance(jac, gs) < 1e-8
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func stochasticChainRaw(rng *rand.Rand, n int) *CSR {
+	entries := []Entry{}
+	for i := 0; i < n; i++ {
+		deg := 1 + rng.Intn(4)
+		if deg > n {
+			deg = n
+		}
+		seen := map[int]bool{}
+		for len(seen) < deg {
+			seen[rng.Intn(n)] = true
+		}
+		for j := range seen {
+			entries = append(entries, Entry{i, j, 1 / float64(deg)})
+		}
+	}
+	m, err := NewCSR(n, n, entries)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}

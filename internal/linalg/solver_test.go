@@ -1,0 +1,208 @@
+package linalg
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestFixedPointConverges(t *testing.T) {
+	// x -> x/2 + 1 converges to 2.
+	x, st := FixedPoint(Vector{0}, func(dst, src Vector) {
+		dst[0] = src[0]/2 + 1
+	}, SolverOptions{Tol: 1e-12, MaxIter: 200})
+	if !st.Converged {
+		t.Fatalf("did not converge: %+v", st)
+	}
+	if math.Abs(x[0]-2) > 1e-10 {
+		t.Errorf("fixed point = %v, want 2", x[0])
+	}
+}
+
+func TestFixedPointMaxIter(t *testing.T) {
+	// x -> x+1 never converges.
+	_, st := FixedPoint(Vector{0}, func(dst, src Vector) {
+		dst[0] = src[0] + 1
+	}, SolverOptions{Tol: 1e-9, MaxIter: 17})
+	if st.Converged {
+		t.Error("diverging iteration reported converged")
+	}
+	if st.Iterations != 17 {
+		t.Errorf("iterations = %d, want 17", st.Iterations)
+	}
+}
+
+// twoStateChain returns the row-stochastic matrix
+// [[1-p, p], [q, 1-q]] whose stationary distribution is
+// (q/(p+q), p/(p+q)).
+func twoStateChain(t *testing.T, p, q float64) *CSR {
+	t.Helper()
+	return mustCSR(t, 2, 2, []Entry{
+		{0, 0, 1 - p}, {0, 1, p},
+		{1, 0, q}, {1, 1, 1 - q},
+	})
+}
+
+func TestPowerMethodNoTeleport(t *testing.T) {
+	// With c=1 (no teleportation) the power method should find the exact
+	// stationary distribution of an aperiodic irreducible chain.
+	p, q := 0.3, 0.6
+	m := twoStateChain(t, p, q)
+	tele := NewUniformVector(2)
+	x, st, err := PowerMethod(m, 1.0, tele, nil, SolverOptions{Tol: 1e-13, MaxIter: 10000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.Converged {
+		t.Fatalf("not converged: %+v", st)
+	}
+	want0 := q / (p + q)
+	if math.Abs(x[0]-want0) > 1e-9 {
+		t.Errorf("stationary[0] = %v, want %v", x[0], want0)
+	}
+	if math.Abs(x.Sum()-1) > 1e-9 {
+		t.Errorf("sum = %v, want 1", x.Sum())
+	}
+}
+
+func TestPowerMethodDanglingRow(t *testing.T) {
+	// Node 1 has no out-edges; its mass must be redistributed via the
+	// teleport vector so the result still sums to 1.
+	m := mustCSR(t, 2, 2, []Entry{{0, 1, 1}})
+	tele := NewUniformVector(2)
+	x, st, err := PowerMethod(m, 0.85, tele, nil, SolverOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.Converged {
+		t.Fatalf("not converged: %+v", st)
+	}
+	if math.Abs(x.Sum()-1) > 1e-8 {
+		t.Errorf("sum = %v, want 1", x.Sum())
+	}
+	if x[1] <= x[0] {
+		t.Errorf("node 1 should outrank node 0: %v", x)
+	}
+}
+
+func TestPowerMethodDimensionErrors(t *testing.T) {
+	m := mustCSR(t, 2, 3, nil)
+	if _, _, err := PowerMethod(m, 0.85, NewUniformVector(2), nil, SolverOptions{}); err == nil {
+		t.Error("non-square matrix accepted")
+	}
+	sq := mustCSR(t, 2, 2, nil)
+	if _, _, err := PowerMethod(sq, 0.85, NewUniformVector(3), nil, SolverOptions{}); err == nil {
+		t.Error("wrong teleport length accepted")
+	}
+	if _, _, err := PowerMethod(sq, 0.85, NewUniformVector(2), NewVector(5), SolverOptions{}); err == nil {
+		t.Error("wrong x0 length accepted")
+	}
+}
+
+func TestJacobiAffineMatchesClosedForm(t *testing.T) {
+	// Solve x = c·Aᵀx + b for a 1x1 system: x = c·a·x + b => x = b/(1-c·a).
+	m := mustCSR(t, 1, 1, []Entry{{0, 0, 0.5}})
+	b := Vector{1}
+	x, st, err := JacobiAffine(m, 0.8, b, SolverOptions{Tol: 1e-13})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.Converged {
+		t.Fatalf("not converged: %+v", st)
+	}
+	want := 1 / (1 - 0.8*0.5)
+	if math.Abs(x[0]-want) > 1e-9 {
+		t.Errorf("x = %v, want %v", x[0], want)
+	}
+}
+
+func TestJacobiAffineDimensionError(t *testing.T) {
+	m := mustCSR(t, 2, 3, nil)
+	if _, _, err := JacobiAffine(m, 0.5, NewVector(2), SolverOptions{}); err == nil {
+		t.Error("non-square matrix accepted")
+	}
+}
+
+func TestJacobiMatchesPowerMethodOnStochasticChain(t *testing.T) {
+	// For a fully stochastic chain with uniform teleportation, the linear
+	// system x = α·Pᵀx + (1-α)/n solves the same stationary equation the
+	// power method does (up to normalization).
+	rng := rand.New(rand.NewSource(11))
+	n := 30
+	entries := []Entry{}
+	for i := 0; i < n; i++ {
+		deg := 1 + rng.Intn(5)
+		targets := map[int]bool{}
+		for len(targets) < deg {
+			targets[rng.Intn(n)] = true
+		}
+		for j := range targets {
+			entries = append(entries, Entry{i, j, 1 / float64(deg)})
+		}
+	}
+	m := mustCSR(t, n, n, entries)
+	alpha := 0.85
+	tele := NewUniformVector(n)
+	pm, st1, err := PowerMethod(m, alpha, tele, nil, SolverOptions{Tol: 1e-12})
+	if err != nil || !st1.Converged {
+		t.Fatalf("power method: %v %+v", err, st1)
+	}
+	b := tele.Clone()
+	b.Scale(1 - alpha)
+	jac, st2, err := JacobiAffine(m, alpha, b, SolverOptions{Tol: 1e-14})
+	if err != nil || !st2.Converged {
+		t.Fatalf("jacobi: %v %+v", err, st2)
+	}
+	jac.Normalize1()
+	if d := L2Distance(pm, jac); d > 1e-8 {
+		t.Errorf("power vs jacobi differ by %g", d)
+	}
+}
+
+// Property: power-method output is always a probability distribution for
+// random stochastic chains and any damping in (0,1).
+func TestQuickPowerMethodIsDistribution(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(20)
+		entries := []Entry{}
+		for i := 0; i < n; i++ {
+			if rng.Float64() < 0.2 {
+				continue // dangling row
+			}
+			deg := 1 + rng.Intn(4)
+			if deg > n {
+				deg = n
+			}
+			seen := map[int]bool{}
+			for len(seen) < deg {
+				seen[rng.Intn(n)] = true
+			}
+			for j := range seen {
+				entries = append(entries, Entry{i, j, 1 / float64(deg)})
+			}
+		}
+		m, err := NewCSR(n, n, entries)
+		if err != nil {
+			return false
+		}
+		alpha := 0.5 + rng.Float64()*0.45
+		x, _, err := PowerMethod(m, alpha, NewUniformVector(n), nil, SolverOptions{Tol: 1e-10})
+		if err != nil {
+			return false
+		}
+		if math.Abs(x.Sum()-1) > 1e-6 {
+			return false
+		}
+		for _, v := range x {
+			if v < -1e-12 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,119 @@
+package linalg
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// MulVec computes dst = M·x serially. dst and x must not alias.
+// It panics on dimension mismatch.
+func MulVec(m *CSR, x, dst Vector) {
+	checkMulDims(m, x, dst)
+	for i := 0; i < m.Rows; i++ {
+		lo, hi := m.RowPtr[i], m.RowPtr[i+1]
+		var s float64
+		for k := lo; k < hi; k++ {
+			s += m.Vals[k] * x[m.Cols[k]]
+		}
+		dst[i] = s
+	}
+}
+
+// MulVecParallel computes dst = M·x with rows partitioned across workers.
+// Each worker writes a disjoint slice of dst, so no synchronization beyond
+// the final WaitGroup is needed. workers <= 0 selects GOMAXPROCS.
+// Row ranges are balanced by nonzero count, not row count, so a few very
+// heavy rows (high-degree hubs in a power-law graph) do not serialize the
+// computation.
+func MulVecParallel(m *CSR, x, dst Vector, workers int) {
+	checkMulDims(m, x, dst)
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > m.Rows {
+		workers = m.Rows
+	}
+	if workers <= 1 || m.NNZ() < 4096 {
+		MulVec(m, x, dst)
+		return
+	}
+	bounds := partitionRowsByNNZ(m, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo, hi := bounds[w], bounds[w+1]
+		if lo >= hi {
+			continue
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				a, b := m.RowPtr[i], m.RowPtr[i+1]
+				var s float64
+				for k := a; k < b; k++ {
+					s += m.Vals[k] * x[m.Cols[k]]
+				}
+				dst[i] = s
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// partitionRowsByNNZ splits [0, m.Rows) into workers contiguous ranges of
+// approximately equal nonzero count. It returns workers+1 boundaries.
+func partitionRowsByNNZ(m *CSR, workers int) []int {
+	bounds := make([]int, workers+1)
+	bounds[workers] = m.Rows
+	total := int64(m.NNZ())
+	if total == 0 {
+		// Degenerate: balance by rows.
+		for w := 1; w < workers; w++ {
+			bounds[w] = w * m.Rows / workers
+		}
+		return bounds
+	}
+	row := 0
+	for w := 1; w < workers; w++ {
+		target := total * int64(w) / int64(workers)
+		for row < m.Rows && m.RowPtr[row] < target {
+			row++
+		}
+		bounds[w] = row
+	}
+	return bounds
+}
+
+func checkMulDims(m *CSR, x, dst Vector) {
+	if len(x) != m.ColsN {
+		panic(fmt.Sprintf("linalg: MulVec x length %d, want %d", len(x), m.ColsN))
+	}
+	if len(dst) != m.Rows {
+		panic(fmt.Sprintf("linalg: MulVec dst length %d, want %d", len(dst), m.Rows))
+	}
+}
+
+// MulTVec computes dst = Mᵀ·x serially using a scatter over the rows of M,
+// avoiding an explicit transpose. dst and x must not alias.
+func MulTVec(m *CSR, x, dst Vector) {
+	if len(x) != m.Rows {
+		panic(fmt.Sprintf("linalg: MulTVec x length %d, want %d", len(x), m.Rows))
+	}
+	if len(dst) != m.ColsN {
+		panic(fmt.Sprintf("linalg: MulTVec dst length %d, want %d", len(dst), m.ColsN))
+	}
+	for i := range dst {
+		dst[i] = 0
+	}
+	for i := 0; i < m.Rows; i++ {
+		xi := x[i]
+		if xi == 0 {
+			continue
+		}
+		lo, hi := m.RowPtr[i], m.RowPtr[i+1]
+		for k := lo; k < hi; k++ {
+			dst[m.Cols[k]] += m.Vals[k] * xi
+		}
+	}
+}

@@ -1,0 +1,213 @@
+package linalg
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEq(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestNewUniformVector(t *testing.T) {
+	v := NewUniformVector(4)
+	if len(v) != 4 {
+		t.Fatalf("len = %d, want 4", len(v))
+	}
+	for i, x := range v {
+		if x != 0.25 {
+			t.Errorf("v[%d] = %v, want 0.25", i, x)
+		}
+	}
+	if !almostEq(v.Sum(), 1, 1e-15) {
+		t.Errorf("sum = %v, want 1", v.Sum())
+	}
+}
+
+func TestNewUniformVectorEmpty(t *testing.T) {
+	if v := NewUniformVector(0); len(v) != 0 {
+		t.Errorf("NewUniformVector(0) len = %d, want 0", len(v))
+	}
+	if v := NewUniformVector(-3); len(v) != 0 {
+		t.Errorf("NewUniformVector(-3) len = %d, want 0", len(v))
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	v := Vector{1, 2, 3}
+	w := v.Clone()
+	w[0] = 99
+	if v[0] != 1 {
+		t.Errorf("Clone aliases original: v[0] = %v", v[0])
+	}
+}
+
+func TestDot(t *testing.T) {
+	v := Vector{1, 2, 3}
+	w := Vector{4, -5, 6}
+	if got := v.Dot(w); got != 12 {
+		t.Errorf("Dot = %v, want 12", got)
+	}
+}
+
+func TestDotPanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Dot did not panic on length mismatch")
+		}
+	}()
+	Vector{1}.Dot(Vector{1, 2})
+}
+
+func TestNorms(t *testing.T) {
+	v := Vector{3, -4}
+	if got := v.Norm1(); got != 7 {
+		t.Errorf("Norm1 = %v, want 7", got)
+	}
+	if got := v.Norm2(); got != 5 {
+		t.Errorf("Norm2 = %v, want 5", got)
+	}
+	if got := v.NormInf(); got != 4 {
+		t.Errorf("NormInf = %v, want 4", got)
+	}
+}
+
+func TestScaleAxpy(t *testing.T) {
+	v := Vector{1, 2}
+	v.Scale(3)
+	if v[0] != 3 || v[1] != 6 {
+		t.Fatalf("Scale got %v", v)
+	}
+	v.Axpy(2, Vector{1, 1})
+	if v[0] != 5 || v[1] != 8 {
+		t.Fatalf("Axpy got %v", v)
+	}
+	v.AddScalar(-5)
+	if v[0] != 0 || v[1] != 3 {
+		t.Fatalf("AddScalar got %v", v)
+	}
+}
+
+func TestNormalize1(t *testing.T) {
+	v := Vector{2, 6}
+	if !v.Normalize1() {
+		t.Fatal("Normalize1 returned false for nonzero vector")
+	}
+	if !almostEq(v[0], 0.25, 1e-15) || !almostEq(v[1], 0.75, 1e-15) {
+		t.Errorf("Normalize1 got %v", v)
+	}
+	z := Vector{0, 0}
+	if z.Normalize1() {
+		t.Error("Normalize1 returned true for zero vector")
+	}
+}
+
+func TestDistances(t *testing.T) {
+	a := Vector{1, 2, 3}
+	b := Vector{1, 2, 3}
+	if d := L2Distance(a, b); d != 0 {
+		t.Errorf("L2Distance equal vectors = %v", d)
+	}
+	if d := L1Distance(a, b); d != 0 {
+		t.Errorf("L1Distance equal vectors = %v", d)
+	}
+	c := Vector{4, 6, 3}
+	if d := L2Distance(a, c); !almostEq(d, 5, 1e-12) {
+		t.Errorf("L2Distance = %v, want 5", d)
+	}
+	if d := L1Distance(a, c); !almostEq(d, 7, 1e-12) {
+		t.Errorf("L1Distance = %v, want 7", d)
+	}
+}
+
+func TestMaxIndex(t *testing.T) {
+	cases := []struct {
+		v    Vector
+		want int
+	}{
+		{Vector{}, -1},
+		{Vector{5}, 0},
+		{Vector{1, 3, 2}, 1},
+		{Vector{3, 3, 3}, 0}, // ties resolve to the smallest index
+		{Vector{-5, -1, -9}, 1},
+	}
+	for _, c := range cases {
+		if got := c.v.MaxIndex(); got != c.want {
+			t.Errorf("MaxIndex(%v) = %d, want %d", c.v, got, c.want)
+		}
+	}
+}
+
+func TestFill(t *testing.T) {
+	v := NewVector(3)
+	v.Fill(7)
+	for i := range v {
+		if v[i] != 7 {
+			t.Fatalf("Fill got %v", v)
+		}
+	}
+}
+
+// Property: for any vector, Normalize1 on a strictly positive vector makes
+// it sum to 1.
+func TestQuickNormalize1Sums(t *testing.T) {
+	f := func(raw []float64) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		v := make(Vector, len(raw))
+		for i, x := range raw {
+			v[i] = math.Abs(math.Mod(x, 1000)) + 1 // strictly positive, bounded
+		}
+		v.Normalize1()
+		return almostEq(v.Sum(), 1, 1e-9)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Cauchy–Schwarz |v·w| <= ||v||₂||w||₂ on bounded inputs.
+func TestQuickCauchySchwarz(t *testing.T) {
+	f := func(raw []float64) bool {
+		n := len(raw) / 2
+		v, w := make(Vector, n), make(Vector, n)
+		for i := 0; i < n; i++ {
+			v[i] = math.Mod(raw[i], 100)
+			w[i] = math.Mod(raw[n+i], 100)
+			if math.IsNaN(v[i]) {
+				v[i] = 0
+			}
+			if math.IsNaN(w[i]) {
+				w[i] = 0
+			}
+		}
+		return math.Abs(v.Dot(w)) <= v.Norm2()*w.Norm2()+1e-6
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: triangle inequality for L2Distance.
+func TestQuickTriangleInequality(t *testing.T) {
+	f := func(raw []float64) bool {
+		n := len(raw) / 3
+		a, b, c := make(Vector, n), make(Vector, n), make(Vector, n)
+		for i := 0; i < n; i++ {
+			a[i] = clean(raw[i])
+			b[i] = clean(raw[n+i])
+			c[i] = clean(raw[2*n+i])
+		}
+		return L2Distance(a, c) <= L2Distance(a, b)+L2Distance(b, c)+1e-6
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func clean(x float64) float64 {
+	if math.IsNaN(x) || math.IsInf(x, 0) {
+		return 0
+	}
+	return math.Mod(x, 1e6)
+}

@@ -1,0 +1,153 @@
+package pagegraph
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Binary corpus format: magic, version, counts, source labels, page→source
+// assignments, then adjacency rows. Labels are length-prefixed UTF-8.
+
+const (
+	ioMagic   = 0x53524B50 // "SRKP"
+	ioVersion = 1
+	// maxReasonable guards against corrupted headers allocating huge
+	// buffers before any data is read.
+	maxReasonable = 1 << 31
+)
+
+// ErrCorrupt reports a malformed serialized corpus.
+var ErrCorrupt = errors.New("pagegraph: corrupt corpus encoding")
+
+// Write serializes the page graph.
+func (g *Graph) Write(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	le := binary.LittleEndian
+	put32 := func(x uint32) error { return binary.Write(bw, le, x) }
+	put64 := func(x uint64) error { return binary.Write(bw, le, x) }
+	if err := put32(ioMagic); err != nil {
+		return err
+	}
+	if err := put32(ioVersion); err != nil {
+		return err
+	}
+	if err := put64(uint64(g.NumSources())); err != nil {
+		return err
+	}
+	if err := put64(uint64(g.NumPages())); err != nil {
+		return err
+	}
+	if err := put64(uint64(g.numLinks)); err != nil {
+		return err
+	}
+	for _, label := range g.sourceName {
+		if err := put32(uint32(len(label))); err != nil {
+			return err
+		}
+		if _, err := bw.WriteString(label); err != nil {
+			return err
+		}
+	}
+	for _, s := range g.sourceOf {
+		if err := put32(uint32(s)); err != nil {
+			return err
+		}
+	}
+	for _, row := range g.adj {
+		if err := put32(uint32(len(row))); err != nil {
+			return err
+		}
+		for _, q := range row {
+			if err := put32(uint32(q)); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadFrom deserializes a corpus written by Write, validating structure
+// so corrupted files surface as ErrCorrupt.
+func ReadFrom(r io.Reader) (*Graph, error) {
+	br := bufio.NewReader(r)
+	le := binary.LittleEndian
+	var magic, ver uint32
+	if err := binary.Read(br, le, &magic); err != nil {
+		return nil, fmt.Errorf("pagegraph: reading magic: %w", err)
+	}
+	if magic != ioMagic {
+		return nil, fmt.Errorf("%w: bad magic %#x", ErrCorrupt, magic)
+	}
+	if err := binary.Read(br, le, &ver); err != nil {
+		return nil, err
+	}
+	if ver != ioVersion {
+		return nil, fmt.Errorf("%w: unsupported version %d", ErrCorrupt, ver)
+	}
+	var sources, pages, links uint64
+	if err := binary.Read(br, le, &sources); err != nil {
+		return nil, err
+	}
+	if err := binary.Read(br, le, &pages); err != nil {
+		return nil, err
+	}
+	if err := binary.Read(br, le, &links); err != nil {
+		return nil, err
+	}
+	if sources > maxReasonable || pages > maxReasonable || links > maxReasonable {
+		return nil, fmt.Errorf("%w: implausible header %d/%d/%d", ErrCorrupt, sources, pages, links)
+	}
+	g := New()
+	for s := uint64(0); s < sources; s++ {
+		var n uint32
+		if err := binary.Read(br, le, &n); err != nil {
+			return nil, fmt.Errorf("pagegraph: reading label length: %w", err)
+		}
+		if n > 1<<16 {
+			return nil, fmt.Errorf("%w: label length %d", ErrCorrupt, n)
+		}
+		buf := make([]byte, n)
+		if _, err := io.ReadFull(br, buf); err != nil {
+			return nil, fmt.Errorf("pagegraph: reading label: %w", err)
+		}
+		g.AddSource(string(buf))
+	}
+	for p := uint64(0); p < pages; p++ {
+		var s uint32
+		if err := binary.Read(br, le, &s); err != nil {
+			return nil, fmt.Errorf("pagegraph: reading page source: %w", err)
+		}
+		if uint64(s) >= sources {
+			return nil, fmt.Errorf("%w: page %d has source %d of %d", ErrCorrupt, p, s, sources)
+		}
+		g.AddPage(SourceID(s))
+	}
+	var total uint64
+	for p := uint64(0); p < pages; p++ {
+		var deg uint32
+		if err := binary.Read(br, le, &deg); err != nil {
+			return nil, fmt.Errorf("pagegraph: reading degree: %w", err)
+		}
+		total += uint64(deg)
+		if total > links {
+			return nil, fmt.Errorf("%w: adjacency exceeds declared %d links", ErrCorrupt, links)
+		}
+		for k := uint32(0); k < deg; k++ {
+			var q uint32
+			if err := binary.Read(br, le, &q); err != nil {
+				return nil, fmt.Errorf("pagegraph: reading link: %w", err)
+			}
+			if uint64(q) >= pages {
+				return nil, fmt.Errorf("%w: link to page %d of %d", ErrCorrupt, q, pages)
+			}
+			g.AddLink(PageID(p), PageID(q))
+		}
+	}
+	if total != links {
+		return nil, fmt.Errorf("%w: declared %d links, read %d", ErrCorrupt, links, total)
+	}
+	return g, nil
+}

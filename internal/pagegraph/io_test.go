@@ -1,0 +1,94 @@
+package pagegraph
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+func TestCorpusRoundTrip(t *testing.T) {
+	g := twoSourceFixture(t)
+	var buf bytes.Buffer
+	if err := g.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFrom(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumPages() != g.NumPages() || got.NumSources() != g.NumSources() || got.NumLinks() != g.NumLinks() {
+		t.Fatalf("shape changed: %d/%d/%d", got.NumPages(), got.NumSources(), got.NumLinks())
+	}
+	for s := 0; s < g.NumSources(); s++ {
+		if got.SourceLabel(SourceID(s)) != g.SourceLabel(SourceID(s)) {
+			t.Errorf("label %d changed", s)
+		}
+	}
+	for p := 0; p < g.NumPages(); p++ {
+		if got.SourceOf(PageID(p)) != g.SourceOf(PageID(p)) {
+			t.Errorf("page %d source changed", p)
+		}
+		a, b := g.OutLinks(PageID(p)), got.OutLinks(PageID(p))
+		if len(a) != len(b) {
+			t.Fatalf("page %d degree changed", p)
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Errorf("page %d link %d changed", p, i)
+			}
+		}
+	}
+	if err := got.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCorpusRoundTripEmpty(t *testing.T) {
+	g := New()
+	var buf bytes.Buffer
+	if err := g.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFrom(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumPages() != 0 || got.NumSources() != 0 {
+		t.Error("empty corpus round trip not empty")
+	}
+}
+
+func TestCorpusReadErrors(t *testing.T) {
+	g := twoSourceFixture(t)
+	var buf bytes.Buffer
+	if err := g.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+
+	t.Run("bad magic", func(t *testing.T) {
+		bad := append([]byte{}, raw...)
+		bad[0] ^= 0xFF
+		if _, err := ReadFrom(bytes.NewReader(bad)); !errors.Is(err, ErrCorrupt) {
+			t.Errorf("err = %v", err)
+		}
+	})
+	t.Run("truncations", func(t *testing.T) {
+		for _, cut := range []int{2, 6, 10, 20, 30, len(raw) - 2} {
+			if cut >= len(raw) {
+				continue
+			}
+			if _, err := ReadFrom(bytes.NewReader(raw[:cut])); err == nil {
+				t.Errorf("truncation at %d accepted", cut)
+			}
+		}
+	})
+	t.Run("dangling link", func(t *testing.T) {
+		bad := append([]byte{}, raw...)
+		bad[len(bad)-1] = 0x7F // last link points far out of range
+		bad[len(bad)-2] = 0x7F
+		if _, err := ReadFrom(bytes.NewReader(bad)); !errors.Is(err, ErrCorrupt) {
+			t.Errorf("err = %v", err)
+		}
+	})
+}

@@ -1,0 +1,221 @@
+// Package pagegraph implements the page-level view of the Web: pages with
+// out-links, each page assigned to a source (host). It is the mutable
+// substrate the spam-attack injectors operate on; the source-level view is
+// derived from it by internal/source.
+package pagegraph
+
+import (
+	"errors"
+	"fmt"
+
+	"sourcerank/internal/graph"
+	"sourcerank/internal/linalg"
+	"sourcerank/internal/urlutil"
+)
+
+// PageID identifies a page; SourceID identifies a source. Both are dense.
+type (
+	PageID   = int32
+	SourceID = int32
+)
+
+// ErrUnknownID reports an out-of-range page or source identifier.
+var ErrUnknownID = errors.New("pagegraph: unknown identifier")
+
+// Graph is a mutable page-level web graph. Every page belongs to exactly
+// one source. Links may be added at any time; parallel links are kept
+// (they collapse when converting to transition matrices or graph.Graph).
+type Graph struct {
+	sourceOf   []SourceID // page -> owning source
+	adj        [][]PageID // page -> out-links (unsorted, possibly duplicated)
+	sourceName []string   // source -> label (host)
+	numLinks   int64
+}
+
+// New returns an empty page graph.
+func New() *Graph { return &Graph{} }
+
+// NumPages returns the number of pages.
+func (g *Graph) NumPages() int { return len(g.adj) }
+
+// NumSources returns the number of sources.
+func (g *Graph) NumSources() int { return len(g.sourceName) }
+
+// NumLinks returns the number of links added (parallel links counted).
+func (g *Graph) NumLinks() int64 { return g.numLinks }
+
+// AddSource registers a new source with the given label (typically a host
+// name) and returns its ID.
+func (g *Graph) AddSource(label string) SourceID {
+	id := SourceID(len(g.sourceName))
+	g.sourceName = append(g.sourceName, label)
+	return id
+}
+
+// SourceLabel returns the label of source s.
+func (g *Graph) SourceLabel(s SourceID) string { return g.sourceName[s] }
+
+// AddPage creates a page owned by source s and returns its ID.
+// It panics if s is not a registered source.
+func (g *Graph) AddPage(s SourceID) PageID {
+	if s < 0 || int(s) >= len(g.sourceName) {
+		panic(fmt.Sprintf("pagegraph: AddPage to unknown source %d", s))
+	}
+	id := PageID(len(g.adj))
+	g.adj = append(g.adj, nil)
+	g.sourceOf = append(g.sourceOf, s)
+	return id
+}
+
+// AddLink records the hyperlink (from, to). It panics on unknown IDs.
+func (g *Graph) AddLink(from, to PageID) {
+	if from < 0 || int(from) >= len(g.adj) || to < 0 || int(to) >= len(g.adj) {
+		panic(fmt.Sprintf("pagegraph: AddLink(%d, %d) with %d pages", from, to, len(g.adj)))
+	}
+	g.adj[from] = append(g.adj[from], to)
+	g.numLinks++
+}
+
+// SourceOf returns the owning source of page p.
+func (g *Graph) SourceOf(p PageID) SourceID { return g.sourceOf[p] }
+
+// OutLinks returns page p's out-links. The slice aliases internal storage
+// and must not be modified.
+func (g *Graph) OutLinks(p PageID) []PageID { return g.adj[p] }
+
+// PagesOf returns the IDs of all pages belonging to source s, in
+// increasing order.
+func (g *Graph) PagesOf(s SourceID) []PageID {
+	var pages []PageID
+	for p, owner := range g.sourceOf {
+		if owner == s {
+			pages = append(pages, PageID(p))
+		}
+	}
+	return pages
+}
+
+// PageCounts returns the number of pages per source.
+func (g *Graph) PageCounts() []int {
+	counts := make([]int, g.NumSources())
+	for _, s := range g.sourceOf {
+		counts[s]++
+	}
+	return counts
+}
+
+// Clone returns a deep copy of the graph. Spam injectors clone the base
+// corpus once per scenario so cases stay independent.
+func (g *Graph) Clone() *Graph {
+	c := &Graph{
+		sourceOf:   append([]SourceID(nil), g.sourceOf...),
+		adj:        make([][]PageID, len(g.adj)),
+		sourceName: append([]string(nil), g.sourceName...),
+		numLinks:   g.numLinks,
+	}
+	for i, row := range g.adj {
+		if len(row) > 0 {
+			c.adj[i] = append([]PageID(nil), row...)
+		}
+	}
+	return c
+}
+
+// ToGraph snapshots the page graph as an immutable graph.Graph
+// (deduplicated, sorted adjacency).
+func (g *Graph) ToGraph() *graph.Graph {
+	b := graph.NewBuilder(g.NumPages())
+	for u, row := range g.adj {
+		for _, v := range row {
+			b.AddEdge(PageID(u), v)
+		}
+	}
+	return b.Build()
+}
+
+// Transition returns the page-level transition matrix M of the paper's
+// §2: M_ij = 1/o(p_i) for each distinct hyperlink (p_i, p_j), where
+// o(p_i) counts distinct out-links. Dangling pages produce empty rows;
+// the solvers redistribute their mass via the teleport vector.
+func (g *Graph) Transition() (*linalg.CSR, error) {
+	var entries []linalg.Entry
+	seen := map[PageID]bool{}
+	for u, row := range g.adj {
+		if len(row) == 0 {
+			continue
+		}
+		for k := range seen {
+			delete(seen, k)
+		}
+		for _, v := range row {
+			seen[v] = true
+		}
+		w := 1 / float64(len(seen))
+		for v := range seen {
+			entries = append(entries, linalg.Entry{Row: u, Col: int(v), Val: w})
+		}
+	}
+	return linalg.NewCSR(g.NumPages(), g.NumPages(), entries)
+}
+
+// Validate checks cross-structure invariants.
+func (g *Graph) Validate() error {
+	if len(g.sourceOf) != len(g.adj) {
+		return fmt.Errorf("pagegraph: sourceOf length %d != adj length %d", len(g.sourceOf), len(g.adj))
+	}
+	for p, s := range g.sourceOf {
+		if s < 0 || int(s) >= len(g.sourceName) {
+			return fmt.Errorf("pagegraph: page %d has unknown source %d", p, s)
+		}
+	}
+	var links int64
+	for u, row := range g.adj {
+		links += int64(len(row))
+		for _, v := range row {
+			if v < 0 || int(v) >= len(g.adj) {
+				return fmt.Errorf("pagegraph: page %d links to unknown page %d", u, v)
+			}
+		}
+	}
+	if links != g.numLinks {
+		return fmt.Errorf("pagegraph: link count drifted: counted %d, recorded %d", links, g.numLinks)
+	}
+	return nil
+}
+
+// FromURLCorpus builds a page graph from a URL-labeled corpus: urls[i] is
+// page i's URL and links[i] its out-links as indices into urls. Pages are
+// grouped into sources at the given granularity. URLs that fail host
+// extraction are grouped under a single "(invalid)" source rather than
+// dropped, so page indices stay aligned with the caller's corpus.
+func FromURLCorpus(urls []string, links [][]int, gran urlutil.Granularity) (*Graph, error) {
+	if len(urls) != len(links) {
+		return nil, fmt.Errorf("pagegraph: %d urls but %d link rows", len(urls), len(links))
+	}
+	g := New()
+	sourceIDs := map[string]SourceID{}
+	lookup := func(key string) SourceID {
+		if id, ok := sourceIDs[key]; ok {
+			return id
+		}
+		id := g.AddSource(key)
+		sourceIDs[key] = id
+		return id
+	}
+	for _, raw := range urls {
+		key, err := urlutil.SourceKey(raw, gran)
+		if err != nil {
+			key = "(invalid)"
+		}
+		g.AddPage(lookup(key))
+	}
+	for u, row := range links {
+		for _, v := range row {
+			if v < 0 || v >= len(urls) {
+				return nil, fmt.Errorf("pagegraph: page %d links to out-of-range index %d", u, v)
+			}
+			g.AddLink(PageID(u), PageID(v))
+		}
+	}
+	return g, nil
+}

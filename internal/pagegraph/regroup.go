@@ -1,0 +1,36 @@
+package pagegraph
+
+import "fmt"
+
+// Regroup returns a copy of the graph with sources merged according to
+// keyFn: sources whose labels map to the same key become one source in
+// the result. Pages and links are preserved; the paper's §3.1 uses this
+// to move between host-level and domain-level source definitions
+// ("a source could be defined using the host or domain information").
+// The returned mapping gives, for each old source ID, its new source ID.
+func (g *Graph) Regroup(keyFn func(label string) string) (*Graph, []SourceID, error) {
+	if keyFn == nil {
+		return nil, nil, fmt.Errorf("pagegraph: nil keyFn")
+	}
+	out := New()
+	newID := map[string]SourceID{}
+	mapping := make([]SourceID, g.NumSources())
+	for s := 0; s < g.NumSources(); s++ {
+		key := keyFn(g.SourceLabel(SourceID(s)))
+		id, ok := newID[key]
+		if !ok {
+			id = out.AddSource(key)
+			newID[key] = id
+		}
+		mapping[s] = id
+	}
+	for p := 0; p < g.NumPages(); p++ {
+		out.AddPage(mapping[g.SourceOf(PageID(p))])
+	}
+	for p := 0; p < g.NumPages(); p++ {
+		for _, q := range g.OutLinks(PageID(p)) {
+			out.AddLink(PageID(p), q)
+		}
+	}
+	return out, mapping, nil
+}

@@ -1,0 +1,85 @@
+package pagegraph
+
+import (
+	"strings"
+	"testing"
+
+	"sourcerank/internal/urlutil"
+)
+
+func TestRegroupMergesByDomain(t *testing.T) {
+	g := New()
+	www := g.AddSource("www.acme.com")
+	blog := g.AddSource("blog.acme.com")
+	other := g.AddSource("other.net")
+	p0 := g.AddPage(www)
+	p1 := g.AddPage(blog)
+	p2 := g.AddPage(other)
+	g.AddLink(p0, p1)
+	g.AddLink(p1, p2)
+
+	merged, mapping, err := g.Regroup(urlutil.RegisteredDomain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if merged.NumSources() != 2 {
+		t.Fatalf("sources = %d, want 2", merged.NumSources())
+	}
+	if mapping[www] != mapping[blog] {
+		t.Error("www and blog of the same domain not merged")
+	}
+	if mapping[www] == mapping[other] {
+		t.Error("unrelated domains merged")
+	}
+	// Pages and links preserved with identical IDs.
+	if merged.NumPages() != 3 || merged.NumLinks() != 2 {
+		t.Fatalf("pages/links = %d/%d", merged.NumPages(), merged.NumLinks())
+	}
+	if merged.SourceOf(p0) != merged.SourceOf(p1) {
+		t.Error("pages of merged sources differ")
+	}
+	out := merged.OutLinks(p1)
+	if len(out) != 1 || out[0] != p2 {
+		t.Errorf("links altered: %v", out)
+	}
+	if err := merged.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRegroupIdentity(t *testing.T) {
+	g := twoSourceFixture(t)
+	merged, mapping, err := g.Regroup(func(l string) string { return l })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if merged.NumSources() != g.NumSources() {
+		t.Errorf("identity regroup changed source count")
+	}
+	for s, m := range mapping {
+		if int(m) != s {
+			t.Errorf("mapping[%d] = %d", s, m)
+		}
+	}
+}
+
+func TestRegroupAllIntoOne(t *testing.T) {
+	g := twoSourceFixture(t)
+	merged, _, err := g.Regroup(func(string) string { return "everything" })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if merged.NumSources() != 1 {
+		t.Errorf("sources = %d, want 1", merged.NumSources())
+	}
+	if merged.NumLinks() != g.NumLinks() {
+		t.Errorf("links changed: %d != %d", merged.NumLinks(), g.NumLinks())
+	}
+}
+
+func TestRegroupNilKeyFn(t *testing.T) {
+	g := twoSourceFixture(t)
+	if _, _, err := g.Regroup(nil); err == nil || !strings.Contains(err.Error(), "nil keyFn") {
+		t.Errorf("err = %v", err)
+	}
+}

@@ -1,0 +1,160 @@
+// Package rank implements the link-analysis baselines the paper builds on
+// and compares against: PageRank (§2), the un-throttled SourceRank, HITS,
+// and TrustRank. The paper's own contribution, Spam-Resilient SourceRank,
+// lives in internal/core and reuses these solvers.
+package rank
+
+import (
+	"errors"
+
+	"sourcerank/internal/graph"
+	"sourcerank/internal/linalg"
+)
+
+// Options configures the random-walk rankers. The zero value matches the
+// paper's experimental setup: α = 0.85, L2 tolerance 1e-9, uniform
+// teleportation.
+type Options struct {
+	// Alpha is the mixing (damping) parameter; 0 defaults to 0.85.
+	Alpha float64
+	// Tol is the L2 convergence threshold on successive iterates;
+	// 0 defaults to 1e-9, the paper's threshold.
+	Tol float64
+	// MaxIter caps iterations; 0 defaults to 1000.
+	MaxIter int
+	// Workers bounds SpMV parallelism; <= 0 selects GOMAXPROCS.
+	Workers int
+	// Teleport optionally overrides the uniform teleportation vector.
+	// It must be a probability distribution of length NumNodes.
+	Teleport linalg.Vector
+}
+
+func (o Options) alpha() float64 {
+	if o.Alpha == 0 {
+		return 0.85
+	}
+	return o.Alpha
+}
+
+func (o Options) solver() linalg.SolverOptions {
+	return linalg.SolverOptions{Tol: o.Tol, MaxIter: o.MaxIter, Workers: o.Workers}
+}
+
+// ErrEmptyGraph reports ranking over a graph with no nodes.
+var ErrEmptyGraph = errors.New("rank: empty graph")
+
+// Result bundles a score vector with solver statistics.
+type Result struct {
+	Scores linalg.Vector
+	Stats  linalg.IterStats
+}
+
+// transition builds the uniform out-degree transition matrix of g
+// (paper §2): M_ij = 1/o(p_i) for each edge. Dangling rows stay empty;
+// the power method redistributes their mass through the teleport vector.
+func transition(g *graph.Graph) (*linalg.CSR, error) {
+	n := g.NumNodes()
+	entries := make([]linalg.Entry, 0, g.NumEdges())
+	for u := 0; u < n; u++ {
+		succ := g.Successors(int32(u))
+		if len(succ) == 0 {
+			continue
+		}
+		w := 1 / float64(len(succ))
+		for _, v := range succ {
+			entries = append(entries, linalg.Entry{Row: u, Col: int(v), Val: w})
+		}
+	}
+	return linalg.NewCSR(n, n, entries)
+}
+
+// PageRank computes the PageRank vector π = αMᵀπ + (1-α)e over the page
+// graph (paper Eq. 1).
+func PageRank(g *graph.Graph, opt Options) (*Result, error) {
+	if g.NumNodes() == 0 {
+		return nil, ErrEmptyGraph
+	}
+	m, err := transition(g)
+	if err != nil {
+		return nil, err
+	}
+	return stationary(m, opt)
+}
+
+// Stationary computes the damped stationary distribution of an arbitrary
+// row-stochastic transition matrix. SourceRank variants call this with
+// the source transition matrix (uniform, consensus, or throttled).
+func Stationary(t *linalg.CSR, opt Options) (*Result, error) {
+	if t.Rows == 0 {
+		return nil, ErrEmptyGraph
+	}
+	return stationary(t, opt)
+}
+
+func stationary(t *linalg.CSR, opt Options) (*Result, error) {
+	tele := opt.Teleport
+	if tele == nil {
+		tele = linalg.NewUniformVector(t.Rows)
+	}
+	if len(tele) != t.Rows {
+		return nil, linalg.ErrDimension
+	}
+	scores, stats, err := linalg.PowerMethod(t, opt.alpha(), tele, nil, opt.solver())
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Scores: scores, Stats: stats}, nil
+}
+
+// PageRankLinear solves the linear formulation π = αMᵀπ + (1-α)e by
+// Jacobi iteration (paper's Eq. 3 analogue / Gleich et al. linear-system
+// view) and L1-normalizes the result. It matches PageRank up to
+// normalization on graphs without dangling mass and serves as a
+// cross-check of the two solver paths.
+func PageRankLinear(g *graph.Graph, opt Options) (*Result, error) {
+	if g.NumNodes() == 0 {
+		return nil, ErrEmptyGraph
+	}
+	m, err := transition(g)
+	if err != nil {
+		return nil, err
+	}
+	tele := opt.Teleport
+	if tele == nil {
+		tele = linalg.NewUniformVector(g.NumNodes())
+	}
+	if len(tele) != g.NumNodes() {
+		return nil, linalg.ErrDimension
+	}
+	b := tele.Clone()
+	b.Scale(1 - opt.alpha())
+	scores, stats, err := linalg.JacobiAffine(m, opt.alpha(), b, opt.solver())
+	if err != nil {
+		return nil, err
+	}
+	scores.Normalize1()
+	return &Result{Scores: scores, Stats: stats}, nil
+}
+
+// TrustRank computes a PageRank personalized on a seed set of trusted
+// nodes (Gyöngyi et al., cited as the paper's [22]): teleportation jumps
+// only to trusted seeds, so trust decays with link distance from them.
+func TrustRank(g *graph.Graph, trusted []int32, opt Options) (*Result, error) {
+	n := g.NumNodes()
+	if n == 0 {
+		return nil, ErrEmptyGraph
+	}
+	if len(trusted) == 0 {
+		return nil, errors.New("rank: empty trusted seed set")
+	}
+	tele := linalg.NewVector(n)
+	for _, s := range trusted {
+		if s < 0 || int(s) >= n {
+			return nil, errors.New("rank: trusted seed out of range")
+		}
+		tele[s] = 1
+	}
+	tele.Normalize1()
+	opt.Teleport = tele
+	return PageRank(g, opt)
+}

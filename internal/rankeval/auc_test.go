@@ -1,0 +1,180 @@
+package rankeval
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"sourcerank/internal/linalg"
+)
+
+func TestAUCPerfect(t *testing.T) {
+	scores := linalg.Vector{0.9, 0.8, 0.1, 0.2}
+	auc, err := AUC(scores, []int32{0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if auc != 1 {
+		t.Errorf("AUC = %v, want 1", auc)
+	}
+	// Inverted detector.
+	auc, _ = AUC(scores, []int32{2, 3})
+	if auc != 0 {
+		t.Errorf("inverted AUC = %v, want 0", auc)
+	}
+}
+
+func TestAUCChance(t *testing.T) {
+	// All scores tied: AUC must be exactly 0.5 (midranks).
+	scores := linalg.Vector{0.5, 0.5, 0.5, 0.5}
+	auc, err := AUC(scores, []int32{0, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(auc-0.5) > 1e-12 {
+		t.Errorf("tied AUC = %v, want 0.5", auc)
+	}
+}
+
+func TestAUCKnownValue(t *testing.T) {
+	// scores: pos {3, 1}, neg {2, 0}. Pairs: (3>2),(3>0),(1<2),(1>0)
+	// -> 3 of 4 concordant -> AUC 0.75.
+	scores := linalg.Vector{3, 1, 2, 0}
+	auc, err := AUC(scores, []int32{0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(auc-0.75) > 1e-12 {
+		t.Errorf("AUC = %v, want 0.75", auc)
+	}
+}
+
+func TestAUCErrors(t *testing.T) {
+	scores := linalg.Vector{1, 2}
+	if _, err := AUC(scores, nil); err == nil {
+		t.Error("no positives accepted")
+	}
+	if _, err := AUC(scores, []int32{0, 1}); err == nil {
+		t.Error("no negatives accepted")
+	}
+	if _, err := AUC(scores, []int32{5}); err == nil {
+		t.Error("out-of-range positive accepted")
+	}
+}
+
+func TestAUCDuplicatePositives(t *testing.T) {
+	scores := linalg.Vector{3, 1, 2}
+	a1, err := AUC(scores, []int32{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2, err := AUC(scores, []int32{0, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a1 != a2 {
+		t.Errorf("duplicates changed AUC: %v vs %v", a1, a2)
+	}
+}
+
+func TestPrecisionRecallAtK(t *testing.T) {
+	scores := linalg.Vector{0.9, 0.8, 0.7, 0.1}
+	p, err := PrecisionAtK(scores, []int32{0, 3}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p != 0.5 {
+		t.Errorf("P@2 = %v, want 0.5", p)
+	}
+	r, err := RecallAtK(scores, []int32{0, 3}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r != 0.5 {
+		t.Errorf("R@2 = %v, want 0.5", r)
+	}
+	if _, err := PrecisionAtK(scores, nil, 0); err == nil {
+		t.Error("k=0 accepted")
+	}
+	if _, err := RecallAtK(scores, nil, 1); err == nil {
+		t.Error("empty positives accepted")
+	}
+}
+
+// Property: AUC(scores, P) + AUC(scores, complement(P)) == 1 for
+// tie-free scores.
+func TestQuickAUCComplement(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 3 + rng.Intn(40)
+		scores := make(linalg.Vector, n)
+		perm := rng.Perm(n)
+		for i, p := range perm {
+			scores[i] = float64(p) // distinct values
+		}
+		nPos := 1 + rng.Intn(n-2)
+		var pos, neg []int32
+		for i := 0; i < n; i++ {
+			if i < nPos {
+				pos = append(pos, int32(i))
+			} else {
+				neg = append(neg, int32(i))
+			}
+		}
+		a1, err1 := AUC(scores, pos)
+		a2, err2 := AUC(scores, neg)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return math.Abs(a1+a2-1) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: AUC via rank-sum matches the O(n²) pairwise definition.
+func TestQuickAUCMatchesPairwise(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 3 + rng.Intn(25)
+		scores := make(linalg.Vector, n)
+		for i := range scores {
+			scores[i] = float64(rng.Intn(6)) // force ties
+		}
+		nPos := 1 + rng.Intn(n-2)
+		var pos []int32
+		isPos := make([]bool, n)
+		for i := 0; i < nPos; i++ {
+			pos = append(pos, int32(i))
+			isPos[i] = true
+		}
+		fast, err := AUC(scores, pos)
+		if err != nil {
+			return false
+		}
+		var num, den float64
+		for i := 0; i < n; i++ {
+			if !isPos[i] {
+				continue
+			}
+			for j := 0; j < n; j++ {
+				if isPos[j] {
+					continue
+				}
+				den++
+				switch {
+				case scores[i] > scores[j]:
+					num++
+				case scores[i] == scores[j]:
+					num += 0.5
+				}
+			}
+		}
+		return math.Abs(fast-num/den) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

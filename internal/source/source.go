@@ -1,0 +1,197 @@
+// Package source derives the source-level view of the Web from the page
+// graph (paper §3.1–3.2): pages grouped into sources, source edges
+// weighted either uniformly (the straw-man "SourceRank" baseline) or by
+// source consensus — the number of unique pages in the originating source
+// that link into the target source — which is the first spam-resilience
+// layer of the paper's model.
+package source
+
+import (
+	"errors"
+	"fmt"
+
+	"sourcerank/internal/graph"
+	"sourcerank/internal/linalg"
+	"sourcerank/internal/pagegraph"
+)
+
+// Weighting selects how source-edge strengths are derived from page links.
+type Weighting int
+
+const (
+	// Consensus weights an edge (s_i, s_j) by the number of unique pages
+	// in s_i linking into s_j (paper §3.2), then row-normalizes.
+	Consensus Weighting = iota
+	// Uniform gives every distinct out-edge of s_i the weight 1/o(s_i)
+	// (paper §3.1), the PageRank-style baseline over the source graph.
+	Uniform
+)
+
+// String implements fmt.Stringer.
+func (w Weighting) String() string {
+	switch w {
+	case Consensus:
+		return "consensus"
+	case Uniform:
+		return "uniform"
+	default:
+		return fmt.Sprintf("Weighting(%d)", int(w))
+	}
+}
+
+// Options configures source-graph construction. The zero value matches
+// the paper's Spam-Resilient SourceRank setup: consensus weighting with
+// mandatory self-edges.
+type Options struct {
+	Weighting Weighting
+	// OmitSelfEdges drops the mandatory self-edge augmentation of §3.3.
+	// The baseline SourceRank comparison uses this; the spam-resilient
+	// model requires self-edges so influence throttling has a diagonal
+	// to act on.
+	OmitSelfEdges bool
+}
+
+// Graph is the derived source-level graph.
+type Graph struct {
+	// Labels holds each source's label, aligned with the page graph's
+	// source IDs.
+	Labels []string
+	// Counts holds the raw consensus counts w(s_i, s_j): unique pages of
+	// s_i linking into s_j, including the intra-source diagonal. It is
+	// populated for both weightings (Uniform only uses its sparsity).
+	Counts *linalg.CSR
+	// T is the row-stochastic transition matrix (the paper's T or T'
+	// depending on Options.Weighting). Every row sums to 1: sources with
+	// no out-edges become pure self-loops regardless of OmitSelfEdges,
+	// since a stochastic matrix needs the mass to go somewhere.
+	T *linalg.CSR
+	// NumEdges counts the distinct source edges derived from page links
+	// (including intra-source self-edges that arise from real page
+	// links, excluding artificially added ones). This matches the edge
+	// accounting of the paper's Table 1.
+	NumEdges int64
+	// PageCount holds the number of pages per source.
+	PageCount []int
+}
+
+// ErrEmpty reports an attempt to build a source graph from a page graph
+// with no sources.
+var ErrEmpty = errors.New("source: page graph has no sources")
+
+// Build derives the source graph from pg under the given options.
+func Build(pg *pagegraph.Graph, opt Options) (*Graph, error) {
+	n := pg.NumSources()
+	if n == 0 {
+		return nil, ErrEmpty
+	}
+	// counts[si][sj] = number of unique pages in si linking into sj.
+	counts := make([]map[pagegraph.SourceID]int64, n)
+	for i := range counts {
+		counts[i] = make(map[pagegraph.SourceID]int64)
+	}
+	targetSources := map[pagegraph.SourceID]bool{}
+	for p := 0; p < pg.NumPages(); p++ {
+		out := pg.OutLinks(pagegraph.PageID(p))
+		if len(out) == 0 {
+			continue
+		}
+		for k := range targetSources {
+			delete(targetSources, k)
+		}
+		for _, q := range out {
+			targetSources[pg.SourceOf(q)] = true
+		}
+		si := pg.SourceOf(pagegraph.PageID(p))
+		for sj := range targetSources {
+			counts[si][sj]++
+		}
+	}
+
+	sg := &Graph{
+		Labels:    make([]string, n),
+		PageCount: pg.PageCounts(),
+	}
+	for s := 0; s < n; s++ {
+		sg.Labels[s] = pg.SourceLabel(pagegraph.SourceID(s))
+		sg.NumEdges += int64(len(counts[s]))
+	}
+
+	countEntries := make([]linalg.Entry, 0, sg.NumEdges)
+	transEntries := make([]linalg.Entry, 0, sg.NumEdges+int64(n))
+	for si := 0; si < n; si++ {
+		row := counts[si]
+		var total int64
+		for _, c := range row {
+			total += c
+		}
+		for sj, c := range row {
+			countEntries = append(countEntries, linalg.Entry{Row: si, Col: int(sj), Val: float64(c)})
+		}
+		hasSelf := row[pagegraph.SourceID(si)] > 0
+		switch {
+		case total == 0:
+			// Dangling source: all mass stays on the self-edge.
+			transEntries = append(transEntries, linalg.Entry{Row: si, Col: si, Val: 1})
+		case opt.Weighting == Uniform:
+			deg := len(row)
+			w := 1 / float64(deg)
+			for sj := range row {
+				transEntries = append(transEntries, linalg.Entry{Row: si, Col: int(sj), Val: w})
+			}
+			if !hasSelf && !opt.OmitSelfEdges {
+				transEntries = append(transEntries, linalg.Entry{Row: si, Col: si, Val: 0})
+			}
+		default: // Consensus
+			for sj, c := range row {
+				transEntries = append(transEntries, linalg.Entry{Row: si, Col: int(sj), Val: float64(c) / float64(total)})
+			}
+			if !hasSelf && !opt.OmitSelfEdges {
+				transEntries = append(transEntries, linalg.Entry{Row: si, Col: si, Val: 0})
+			}
+		}
+	}
+	var err error
+	sg.Counts, err = linalg.NewCSR(n, n, countEntries)
+	if err != nil {
+		return nil, fmt.Errorf("source: building counts: %w", err)
+	}
+	sg.T, err = linalg.NewCSR(n, n, transEntries)
+	if err != nil {
+		return nil, fmt.Errorf("source: building transition: %w", err)
+	}
+	return sg, nil
+}
+
+// NumSources returns the number of sources.
+func (sg *Graph) NumSources() int { return len(sg.Labels) }
+
+// Structure returns the unweighted source graph (distinct derived edges
+// only, no artificial self-edges), used by the spam-proximity walk which
+// runs on the reversed source topology.
+func (sg *Graph) Structure() *graph.Graph {
+	b := graph.NewBuilder(sg.NumSources())
+	for i := 0; i < sg.Counts.Rows; i++ {
+		cols, _ := sg.Counts.Row(i)
+		for _, j := range cols {
+			b.AddEdge(int32(i), j)
+		}
+	}
+	return b.Build()
+}
+
+// Validate checks that T is row-stochastic and structurally sound.
+func (sg *Graph) Validate() error {
+	if err := sg.T.Validate(); err != nil {
+		return err
+	}
+	if err := sg.Counts.Validate(); err != nil {
+		return err
+	}
+	for i := 0; i < sg.T.Rows; i++ {
+		s := sg.T.RowSum(i)
+		if s < 1-1e-9 || s > 1+1e-9 {
+			return fmt.Errorf("source: row %d sums to %v, want 1", i, s)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,102 @@
+package source
+
+import (
+	"testing"
+	"testing/quick"
+
+	"sourcerank/internal/gen"
+)
+
+// corpusConfig builds a small random generator config from a seed.
+func corpusConfig(seed uint64) gen.Config {
+	return gen.Config{
+		Seed:               seed,
+		NumSources:         50 + int(seed%100),
+		PagesPerSourceMin:  2,
+		PagesPerSourceExp:  2.0,
+		PagesPerSourceMax:  40,
+		OutLinksPerPage:    5,
+		IntraSourceProb:    0.7,
+		PrefAttach:         0.5,
+		PartnersPerSource:  8,
+		SpamSources:        5,
+		SpamCommunitySize:  5,
+		SpamPagesPerSource: 6,
+		HijackPerSpam:      3,
+		SpamCrossLinks:     0.3,
+	}
+}
+
+// Property: on any generated corpus, the source transition matrix is
+// row-stochastic, every diagonal entry exists structurally, and every
+// consensus count is bounded by the origin source's page count.
+func TestQuickCorpusSourceGraphInvariants(t *testing.T) {
+	f := func(seed uint64) bool {
+		ds, err := gen.Generate(corpusConfig(seed % 1000))
+		if err != nil {
+			return false
+		}
+		sg, err := Build(ds.Pages, Options{})
+		if err != nil {
+			return false
+		}
+		if sg.Validate() != nil {
+			return false
+		}
+		counts := ds.Pages.PageCounts()
+		for i := 0; i < sg.Counts.Rows; i++ {
+			_, vals := sg.Counts.Row(i)
+			for _, v := range vals {
+				if v > float64(counts[i]) {
+					return false // more voters than pages
+				}
+			}
+		}
+		// The structural graph and the count matrix agree on edge count.
+		if sg.Structure().NumEdges() != int64(sg.Counts.NNZ()) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: uniform and consensus weightings share the same sparsity
+// pattern (identical source edges, different weights).
+func TestQuickWeightingsShareSparsity(t *testing.T) {
+	f := func(seed uint64) bool {
+		ds, err := gen.Generate(corpusConfig(seed % 500))
+		if err != nil {
+			return false
+		}
+		cg, err := Build(ds.Pages, Options{})
+		if err != nil {
+			return false
+		}
+		ug, err := Build(ds.Pages, Options{Weighting: Uniform})
+		if err != nil {
+			return false
+		}
+		if cg.T.NNZ() != ug.T.NNZ() {
+			return false
+		}
+		for i := 0; i < cg.T.Rows; i++ {
+			cc, _ := cg.T.Row(i)
+			uc, _ := ug.T.Row(i)
+			if len(cc) != len(uc) {
+				return false
+			}
+			for k := range cc {
+				if cc[k] != uc[k] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,195 @@
+// Package spam implements the link-manipulation attacks of the paper's
+// §2 and §6 against a page graph: hijacking, honeypots, link farms, link
+// exchanges, and the intra-/inter-source page-injection scenarios (cases
+// A–D) of the experimental evaluation. All injectors mutate the page
+// graph in place; callers clone the base corpus per scenario.
+package spam
+
+import (
+	"errors"
+	"fmt"
+
+	"sourcerank/internal/gen"
+	"sourcerank/internal/pagegraph"
+)
+
+// ErrBadTarget reports an invalid attack target.
+var ErrBadTarget = errors.New("spam: invalid attack target")
+
+// Cases lists the paper's §6 manipulation sizes: case A = 1 page,
+// B = 10, C = 100, D = 1000.
+var Cases = []struct {
+	Label string
+	Pages int
+}{
+	{"A", 1}, {"B", 10}, {"C", 100}, {"D", 1000},
+}
+
+// InjectIntraSource adds tau new spam pages to the target page's own
+// source, each carrying a single link to the target page — the §6.3
+// "Link Manipulation Within a Source" setup (a link farm inside the
+// source). It returns the new page IDs.
+func InjectIntraSource(g *pagegraph.Graph, target pagegraph.PageID, tau int) ([]pagegraph.PageID, error) {
+	if target < 0 || int(target) >= g.NumPages() {
+		return nil, fmt.Errorf("%w: page %d", ErrBadTarget, target)
+	}
+	if tau < 0 {
+		return nil, fmt.Errorf("%w: tau = %d", ErrBadTarget, tau)
+	}
+	src := g.SourceOf(target)
+	pages := make([]pagegraph.PageID, tau)
+	for i := range pages {
+		p := g.AddPage(src)
+		g.AddLink(p, target)
+		pages[i] = p
+	}
+	return pages, nil
+}
+
+// InjectInterSource adds tau new spam pages to the colluding source, each
+// with a single link to the target page in a different source — the §6.3
+// "Link Manipulation Across Sources" setup.
+func InjectInterSource(g *pagegraph.Graph, target pagegraph.PageID, colluding pagegraph.SourceID, tau int) ([]pagegraph.PageID, error) {
+	if target < 0 || int(target) >= g.NumPages() {
+		return nil, fmt.Errorf("%w: page %d", ErrBadTarget, target)
+	}
+	if colluding < 0 || int(colluding) >= g.NumSources() {
+		return nil, fmt.Errorf("%w: source %d", ErrBadTarget, colluding)
+	}
+	if colluding == g.SourceOf(target) {
+		return nil, fmt.Errorf("%w: colluding source %d owns the target page", ErrBadTarget, colluding)
+	}
+	if tau < 0 {
+		return nil, fmt.Errorf("%w: tau = %d", ErrBadTarget, tau)
+	}
+	pages := make([]pagegraph.PageID, tau)
+	for i := range pages {
+		p := g.AddPage(colluding)
+		g.AddLink(p, target)
+		pages[i] = p
+	}
+	return pages, nil
+}
+
+// InjectCollusionNetwork creates x brand-new colluding sources, each with
+// one page linking to the target page — §4.3's Scenario 3 (one colluding
+// source per page). It returns the new source IDs.
+func InjectCollusionNetwork(g *pagegraph.Graph, target pagegraph.PageID, x int) ([]pagegraph.SourceID, error) {
+	if target < 0 || int(target) >= g.NumPages() {
+		return nil, fmt.Errorf("%w: page %d", ErrBadTarget, target)
+	}
+	if x < 0 {
+		return nil, fmt.Errorf("%w: x = %d", ErrBadTarget, x)
+	}
+	sources := make([]pagegraph.SourceID, x)
+	for i := range sources {
+		s := g.AddSource(fmt.Sprintf("colluder%05d.example", g.NumSources()))
+		p := g.AddPage(s)
+		g.AddLink(p, target)
+		sources[i] = s
+	}
+	return sources, nil
+}
+
+// Hijack inserts a spam link from each victim page to the target page,
+// modeling the insertion of links into message boards, wikis, and blogs
+// (§2, vulnerability 1).
+func Hijack(g *pagegraph.Graph, victims []pagegraph.PageID, target pagegraph.PageID) error {
+	if target < 0 || int(target) >= g.NumPages() {
+		return fmt.Errorf("%w: page %d", ErrBadTarget, target)
+	}
+	for _, v := range victims {
+		if v < 0 || int(v) >= g.NumPages() {
+			return fmt.Errorf("%w: victim page %d", ErrBadTarget, v)
+		}
+		g.AddLink(v, target)
+	}
+	return nil
+}
+
+// Honeypot creates a new honeypot source with numPages quality pages that
+// attract organic links from the given admirer pages, then funnels the
+// accumulated authority to the target page (§2, vulnerability 2). It
+// returns the honeypot source ID.
+func Honeypot(g *pagegraph.Graph, admirers []pagegraph.PageID, target pagegraph.PageID, numPages int) (pagegraph.SourceID, error) {
+	if target < 0 || int(target) >= g.NumPages() {
+		return 0, fmt.Errorf("%w: page %d", ErrBadTarget, target)
+	}
+	if numPages < 1 {
+		return 0, fmt.Errorf("%w: honeypot needs at least one page", ErrBadTarget)
+	}
+	s := g.AddSource(fmt.Sprintf("honeypot%05d.example", g.NumSources()))
+	pages := make([]pagegraph.PageID, numPages)
+	for i := range pages {
+		pages[i] = g.AddPage(s)
+	}
+	for i, a := range admirers {
+		if a < 0 || int(a) >= g.NumPages() {
+			return 0, fmt.Errorf("%w: admirer page %d", ErrBadTarget, a)
+		}
+		g.AddLink(a, pages[i%numPages])
+	}
+	// Every honeypot page passes its authority to the spam target.
+	for _, p := range pages {
+		g.AddLink(p, target)
+	}
+	return s, nil
+}
+
+// LinkFarm adds farm new pages to the given source that all point at
+// every page in targets (§2, collusion). Used to amplify a page set
+// inside one source.
+func LinkFarm(g *pagegraph.Graph, src pagegraph.SourceID, farm int, targets []pagegraph.PageID) ([]pagegraph.PageID, error) {
+	if src < 0 || int(src) >= g.NumSources() {
+		return nil, fmt.Errorf("%w: source %d", ErrBadTarget, src)
+	}
+	if farm < 0 {
+		return nil, fmt.Errorf("%w: farm = %d", ErrBadTarget, farm)
+	}
+	for _, tgt := range targets {
+		if tgt < 0 || int(tgt) >= g.NumPages() {
+			return nil, fmt.Errorf("%w: target page %d", ErrBadTarget, tgt)
+		}
+	}
+	pages := make([]pagegraph.PageID, farm)
+	for i := range pages {
+		p := g.AddPage(src)
+		for _, tgt := range targets {
+			g.AddLink(p, tgt)
+		}
+		pages[i] = p
+	}
+	return pages, nil
+}
+
+// LinkExchange wires the given sources into a trading ring: one page of
+// each source links to one page of every other participating source (§2,
+// collusion). Sources must be distinct and nonempty.
+func LinkExchange(g *pagegraph.Graph, participants []pagegraph.SourceID, rng *gen.RNG) error {
+	pagesOf := make([][]pagegraph.PageID, len(participants))
+	seen := map[pagegraph.SourceID]bool{}
+	for i, s := range participants {
+		if s < 0 || int(s) >= g.NumSources() {
+			return fmt.Errorf("%w: source %d", ErrBadTarget, s)
+		}
+		if seen[s] {
+			return fmt.Errorf("%w: duplicate participant %d", ErrBadTarget, s)
+		}
+		seen[s] = true
+		pagesOf[i] = g.PagesOf(s)
+		if len(pagesOf[i]) == 0 {
+			return fmt.Errorf("%w: source %d has no pages", ErrBadTarget, s)
+		}
+	}
+	for i := range participants {
+		for j := range participants {
+			if i == j {
+				continue
+			}
+			from := pagesOf[i][rng.Intn(len(pagesOf[i]))]
+			to := pagesOf[j][rng.Intn(len(pagesOf[j]))]
+			g.AddLink(from, to)
+		}
+	}
+	return nil
+}

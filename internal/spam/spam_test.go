@@ -1,0 +1,241 @@
+package spam
+
+import (
+	"errors"
+	"testing"
+
+	"sourcerank/internal/gen"
+	"sourcerank/internal/pagegraph"
+)
+
+// base builds a small corpus: 3 sources × 2 pages, a few cross links.
+func base(t *testing.T) *pagegraph.Graph {
+	t.Helper()
+	g := pagegraph.New()
+	for s := 0; s < 3; s++ {
+		id := g.AddSource("site" + string(rune('0'+s)) + ".com")
+		g.AddPage(id)
+		g.AddPage(id)
+	}
+	g.AddLink(0, 2)
+	g.AddLink(2, 4)
+	g.AddLink(4, 0)
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestInjectIntraSource(t *testing.T) {
+	g := base(t)
+	target := pagegraph.PageID(1)
+	pages, err := InjectIntraSource(g, target, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pages) != 5 {
+		t.Fatalf("pages = %d", len(pages))
+	}
+	for _, p := range pages {
+		if g.SourceOf(p) != g.SourceOf(target) {
+			t.Error("spam page in wrong source")
+		}
+		out := g.OutLinks(p)
+		if len(out) != 1 || out[0] != target {
+			t.Errorf("spam page links %v, want [%d]", out, target)
+		}
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInjectIntraSourceErrors(t *testing.T) {
+	g := base(t)
+	if _, err := InjectIntraSource(g, 99, 1); !errors.Is(err, ErrBadTarget) {
+		t.Error("bad target accepted")
+	}
+	if _, err := InjectIntraSource(g, 0, -1); !errors.Is(err, ErrBadTarget) {
+		t.Error("negative tau accepted")
+	}
+	if pages, err := InjectIntraSource(g, 0, 0); err != nil || len(pages) != 0 {
+		t.Error("tau=0 should be a no-op")
+	}
+}
+
+func TestInjectInterSource(t *testing.T) {
+	g := base(t)
+	target := pagegraph.PageID(0) // source 0
+	colluding := pagegraph.SourceID(1)
+	pages, err := InjectInterSource(g, target, colluding, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range pages {
+		if g.SourceOf(p) != colluding {
+			t.Error("spam page not in colluding source")
+		}
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInjectInterSourceRejectsSameSource(t *testing.T) {
+	g := base(t)
+	if _, err := InjectInterSource(g, 0, 0, 1); !errors.Is(err, ErrBadTarget) {
+		t.Error("colluding == target source accepted")
+	}
+	if _, err := InjectInterSource(g, 0, 99, 1); !errors.Is(err, ErrBadTarget) {
+		t.Error("unknown colluding source accepted")
+	}
+}
+
+func TestInjectCollusionNetwork(t *testing.T) {
+	g := base(t)
+	before := g.NumSources()
+	sources, err := InjectCollusionNetwork(g, 0, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumSources() != before+4 {
+		t.Errorf("sources = %d, want %d", g.NumSources(), before+4)
+	}
+	for _, s := range sources {
+		pages := g.PagesOf(s)
+		if len(pages) != 1 {
+			t.Fatalf("colluding source has %d pages", len(pages))
+		}
+		out := g.OutLinks(pages[0])
+		if len(out) != 1 || out[0] != 0 {
+			t.Errorf("colluder links %v", out)
+		}
+	}
+}
+
+func TestHijack(t *testing.T) {
+	g := base(t)
+	if err := Hijack(g, []pagegraph.PageID{2, 4}, 1); err != nil {
+		t.Fatal(err)
+	}
+	found := 0
+	for _, v := range []pagegraph.PageID{2, 4} {
+		for _, q := range g.OutLinks(v) {
+			if q == 1 {
+				found++
+			}
+		}
+	}
+	if found != 2 {
+		t.Errorf("hijacked links = %d, want 2", found)
+	}
+	if err := Hijack(g, []pagegraph.PageID{99}, 1); !errors.Is(err, ErrBadTarget) {
+		t.Error("bad victim accepted")
+	}
+	if err := Hijack(g, nil, 99); !errors.Is(err, ErrBadTarget) {
+		t.Error("bad target accepted")
+	}
+}
+
+func TestHoneypot(t *testing.T) {
+	g := base(t)
+	hp, err := Honeypot(g, []pagegraph.PageID{0, 2, 4}, 1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pages := g.PagesOf(hp)
+	if len(pages) != 2 {
+		t.Fatalf("honeypot pages = %d", len(pages))
+	}
+	// Every honeypot page must link to the target.
+	for _, p := range pages {
+		linked := false
+		for _, q := range g.OutLinks(p) {
+			if q == 1 {
+				linked = true
+			}
+		}
+		if !linked {
+			t.Errorf("honeypot page %d does not funnel to target", p)
+		}
+	}
+	// Admirers link into the honeypot.
+	admLinks := 0
+	for _, a := range []pagegraph.PageID{0, 2, 4} {
+		for _, q := range g.OutLinks(a) {
+			if g.SourceOf(q) == hp {
+				admLinks++
+			}
+		}
+	}
+	if admLinks != 3 {
+		t.Errorf("admirer links = %d, want 3", admLinks)
+	}
+	if _, err := Honeypot(g, nil, 1, 0); !errors.Is(err, ErrBadTarget) {
+		t.Error("zero-page honeypot accepted")
+	}
+}
+
+func TestLinkFarm(t *testing.T) {
+	g := base(t)
+	pages, err := LinkFarm(g, 1, 10, []pagegraph.PageID{0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pages) != 10 {
+		t.Fatalf("farm pages = %d", len(pages))
+	}
+	for _, p := range pages {
+		if len(g.OutLinks(p)) != 2 {
+			t.Errorf("farm page %d has %d links, want 2", p, len(g.OutLinks(p)))
+		}
+	}
+	if _, err := LinkFarm(g, 99, 1, nil); !errors.Is(err, ErrBadTarget) {
+		t.Error("unknown source accepted")
+	}
+	if _, err := LinkFarm(g, 0, 1, []pagegraph.PageID{99}); !errors.Is(err, ErrBadTarget) {
+		t.Error("unknown target accepted")
+	}
+}
+
+func TestLinkExchange(t *testing.T) {
+	g := base(t)
+	rng := gen.NewRNG(1)
+	before := g.NumLinks()
+	if err := LinkExchange(g, []pagegraph.SourceID{0, 1, 2}, rng); err != nil {
+		t.Fatal(err)
+	}
+	// 3 participants -> 3*2 = 6 new links.
+	if g.NumLinks() != before+6 {
+		t.Errorf("links = %d, want %d", g.NumLinks(), before+6)
+	}
+	if err := LinkExchange(g, []pagegraph.SourceID{0, 0}, rng); !errors.Is(err, ErrBadTarget) {
+		t.Error("duplicate participant accepted")
+	}
+	if err := LinkExchange(g, []pagegraph.SourceID{99}, rng); !errors.Is(err, ErrBadTarget) {
+		t.Error("unknown participant accepted")
+	}
+}
+
+func TestCasesTable(t *testing.T) {
+	if len(Cases) != 4 {
+		t.Fatalf("cases = %d, want 4", len(Cases))
+	}
+	want := []int{1, 10, 100, 1000}
+	for i, c := range Cases {
+		if c.Pages != want[i] {
+			t.Errorf("case %s = %d pages, want %d", c.Label, c.Pages, want[i])
+		}
+	}
+}
+
+func TestInjectionsAreCloneSafe(t *testing.T) {
+	g := base(t)
+	clone := g.Clone()
+	if _, err := InjectIntraSource(clone, 0, 50); err != nil {
+		t.Fatal(err)
+	}
+	if g.NumPages() != 6 {
+		t.Error("injection into clone mutated the base corpus")
+	}
+}

@@ -1,0 +1,217 @@
+// Package throttle implements influence throttling, the paper's third and
+// decisive spam-resilience component (§3.3), plus the spam-proximity
+// mechanism (§5) for choosing each source's throttling factor κ.
+//
+// Given the row-stochastic source transition matrix T′ (with mandatory
+// self-edges) and a throttling vector κ, the transformed matrix T″ forces
+// every source to keep at least κ_i of its influence on itself:
+//
+//	T″_ii = κ_i                          if T′_ii < κ_i
+//	T″_ij = T′_ij/Σ_{k≠i}T′_ik · (1-κ_i) if T′_ii < κ_i and j ≠ i
+//	T″_ij = T′_ij                        otherwise
+package throttle
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"sourcerank/internal/graph"
+	"sourcerank/internal/linalg"
+)
+
+// ErrKappa reports an invalid throttling vector.
+var ErrKappa = errors.New("throttle: invalid throttling vector")
+
+// Validate checks that kappa has length n with all entries in [0,1].
+func Validate(kappa []float64, n int) error {
+	if len(kappa) != n {
+		return fmt.Errorf("%w: length %d, want %d", ErrKappa, len(kappa), n)
+	}
+	for i, k := range kappa {
+		if k < 0 || k > 1 || k != k {
+			return fmt.Errorf("%w: kappa[%d] = %v outside [0,1]", ErrKappa, i, k)
+		}
+	}
+	return nil
+}
+
+// Apply transforms the row-stochastic transition matrix t into the
+// influence-throttled matrix T″. Rows whose self-weight already meets
+// κ_i are copied unchanged. For a fully-throttled source (κ_i = 1) all
+// out-edges are dropped and the row becomes a pure self-loop — "all edges
+// to other sources are completely ignored".
+//
+// A row whose off-diagonal mass is zero (a pure self-loop, e.g. a dangling
+// source) keeps its full self-weight of 1 regardless of κ_i.
+func Apply(t *linalg.CSR, kappa []float64) (*linalg.CSR, error) {
+	if t.Rows != t.ColsN {
+		return nil, linalg.ErrDimension
+	}
+	if err := Validate(kappa, t.Rows); err != nil {
+		return nil, err
+	}
+	entries := make([]linalg.Entry, 0, t.NNZ()+t.Rows)
+	for i := 0; i < t.Rows; i++ {
+		cols, vals := t.Row(i)
+		var self, off float64
+		for k, c := range cols {
+			if int(c) == i {
+				self = vals[k]
+			} else {
+				off += vals[k]
+			}
+		}
+		ki := kappa[i]
+		switch {
+		case len(cols) == 0:
+			// Structurally empty row: treat as pure self-loop.
+			entries = append(entries, linalg.Entry{Row: i, Col: i, Val: 1})
+		case self >= ki:
+			// Already meets the throttling minimum: copy unchanged.
+			for k, c := range cols {
+				entries = append(entries, linalg.Entry{Row: i, Col: int(c), Val: vals[k]})
+			}
+		case off == 0:
+			// Self-weight below κ but nowhere else to send mass; the row
+			// must stay stochastic, so it becomes a pure self-loop.
+			entries = append(entries, linalg.Entry{Row: i, Col: i, Val: 1})
+		default:
+			scale := (1 - ki) / off
+			entries = append(entries, linalg.Entry{Row: i, Col: i, Val: ki})
+			if ki < 1 {
+				for k, c := range cols {
+					if int(c) == i {
+						continue
+					}
+					entries = append(entries, linalg.Entry{Row: i, Col: int(c), Val: vals[k] * scale})
+				}
+			}
+		}
+	}
+	return linalg.NewCSR(t.Rows, t.ColsN, entries)
+}
+
+// ProximityOptions configures the spam-proximity walk of §5.
+type ProximityOptions struct {
+	// Beta is the mixing factor β of the inverse walk; 0 defaults to 0.85.
+	Beta float64
+	// Tol and MaxIter bound the solver; zero values use the defaults of
+	// linalg.SolverOptions (1e-9, 1000).
+	Tol     float64
+	MaxIter int
+	Workers int
+}
+
+// SpamProximity computes the spam-proximity score of every source by an
+// inverse-PageRank walk: the source graph is reversed, transitions are
+// uniform over reversed edges, and teleportation jumps to the seed set of
+// pre-labeled spam sources (paper Eq. 6, BadRank-style). The returned
+// vector is a probability distribution biased toward spam and toward
+// sources "close" to spam in the forward-link sense.
+func SpamProximity(structure *graph.Graph, seeds []int32, opt ProximityOptions) (linalg.Vector, linalg.IterStats, error) {
+	n := structure.NumNodes()
+	if n == 0 {
+		return nil, linalg.IterStats{}, errors.New("throttle: empty source graph")
+	}
+	if len(seeds) == 0 {
+		return nil, linalg.IterStats{}, errors.New("throttle: empty spam seed set")
+	}
+	d := linalg.NewVector(n)
+	for _, s := range seeds {
+		if s < 0 || int(s) >= n {
+			return nil, linalg.IterStats{}, fmt.Errorf("throttle: seed %d out of range [0,%d)", s, n)
+		}
+		d[s] = 1
+	}
+	d.Normalize1()
+
+	inv := structure.Transpose()
+	entries := make([]linalg.Entry, 0, inv.NumEdges())
+	for u := 0; u < n; u++ {
+		succ := inv.Successors(int32(u))
+		if len(succ) == 0 {
+			continue
+		}
+		w := 1 / float64(len(succ))
+		for _, v := range succ {
+			entries = append(entries, linalg.Entry{Row: u, Col: int(v), Val: w})
+		}
+	}
+	um, err := linalg.NewCSR(n, n, entries)
+	if err != nil {
+		return nil, linalg.IterStats{}, err
+	}
+	beta := opt.Beta
+	if beta == 0 {
+		beta = 0.85
+	}
+	return linalg.PowerMethod(um, beta, d, nil, linalg.SolverOptions{
+		Tol: opt.Tol, MaxIter: opt.MaxIter, Workers: opt.Workers,
+	})
+}
+
+// TopK assigns the paper's simple throttling heuristic: the k sources
+// with the highest spam-proximity score get κ = 1 (fully throttled), all
+// others κ = 0. Ties at the boundary resolve by smaller index. k is
+// clamped to [0, len(proximity)].
+func TopK(proximity linalg.Vector, k int) []float64 {
+	n := len(proximity)
+	if k < 0 {
+		k = 0
+	}
+	if k > n {
+		k = n
+	}
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool {
+		if proximity[idx[a]] != proximity[idx[b]] {
+			return proximity[idx[a]] > proximity[idx[b]]
+		}
+		return idx[a] < idx[b]
+	})
+	kappa := make([]float64, n)
+	for _, i := range idx[:k] {
+		kappa[i] = 1
+	}
+	return kappa
+}
+
+// Graded assigns a graded throttling value: sources in the top-k receive
+// κ = 1; the remainder receive κ proportional to their proximity score
+// relative to the k-th score, capped at maxBelow. This is the "number of
+// possible ways to assign these throttling values" extension the paper
+// leaves open (§5); the ablation benches compare it to TopK.
+func Graded(proximity linalg.Vector, k int, maxBelow float64) []float64 {
+	n := len(proximity)
+	kappa := TopK(proximity, k)
+	if k <= 0 || k >= n || maxBelow <= 0 {
+		return kappa
+	}
+	// Threshold is the smallest score inside the top-k.
+	thresh := 0.0
+	first := true
+	for i, in := range kappa {
+		if in == 1 && (first || proximity[i] < thresh) {
+			thresh = proximity[i]
+			first = false
+		}
+	}
+	if thresh <= 0 {
+		return kappa
+	}
+	for i := range kappa {
+		if kappa[i] == 1 {
+			continue
+		}
+		g := proximity[i] / thresh * maxBelow
+		if g > maxBelow {
+			g = maxBelow
+		}
+		kappa[i] = g
+	}
+	return kappa
+}

@@ -1,0 +1,75 @@
+package urlutil
+
+import (
+	"fmt"
+	"net/url"
+	"strings"
+)
+
+// Normalize canonicalizes a page URL so that syntactic variants of the
+// same page compare equal before corpus construction: scheme and host
+// lowercased, default ports stripped, fragments removed, empty paths
+// normalized to "/", and dot-segments resolved. Crawlers dedupe fetched
+// URLs with exactly this kind of canonicalization.
+func Normalize(raw string) (string, error) {
+	raw = strings.TrimSpace(raw)
+	if raw == "" {
+		return "", fmt.Errorf("%w: empty URL", ErrBadURL)
+	}
+	if !strings.Contains(raw, "://") {
+		raw = "http://" + raw
+	}
+	u, err := url.Parse(raw)
+	if err != nil {
+		return "", fmt.Errorf("%w: %v", ErrBadURL, err)
+	}
+	if u.Hostname() == "" {
+		return "", fmt.Errorf("%w: %q has no host", ErrBadURL, raw)
+	}
+	u.Scheme = strings.ToLower(u.Scheme)
+	host := strings.ToLower(strings.TrimSuffix(u.Hostname(), "."))
+	port := u.Port()
+	switch {
+	case port == "":
+	case u.Scheme == "http" && port == "80", u.Scheme == "https" && port == "443":
+		port = ""
+	}
+	if port != "" {
+		u.Host = host + ":" + port
+	} else {
+		u.Host = host
+	}
+	u.Fragment = ""
+	if u.Path == "" {
+		u.Path = "/"
+	} else {
+		u.Path = resolveDotSegments(u.Path)
+	}
+	return u.String(), nil
+}
+
+// resolveDotSegments removes "." and ".." path segments per RFC 3986 §5.2.4.
+func resolveDotSegments(p string) string {
+	segs := strings.Split(p, "/")
+	out := make([]string, 0, len(segs))
+	for _, s := range segs {
+		switch s {
+		case ".":
+			// skip
+		case "..":
+			if len(out) > 1 {
+				out = out[:len(out)-1]
+			}
+		default:
+			out = append(out, s)
+		}
+	}
+	res := strings.Join(out, "/")
+	if res == "" {
+		return "/"
+	}
+	if !strings.HasPrefix(res, "/") {
+		res = "/" + res
+	}
+	return res
+}

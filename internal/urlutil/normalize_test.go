@@ -1,0 +1,78 @@
+package urlutil
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestNormalize(t *testing.T) {
+	cases := []struct {
+		in, want string
+	}{
+		{"HTTP://WWW.Example.COM/Path", "http://www.example.com/Path"},
+		{"http://example.com:80/a", "http://example.com/a"},
+		{"https://example.com:443/a", "https://example.com/a"},
+		{"https://example.com:8443/a", "https://example.com:8443/a"},
+		{"http://example.com/a#frag", "http://example.com/a"},
+		{"http://example.com", "http://example.com/"},
+		{"http://example.com/a/./b", "http://example.com/a/b"},
+		{"http://example.com/a/../b", "http://example.com/b"},
+		{"http://example.com/a/b/../../c", "http://example.com/c"},
+		{"example.com/x", "http://example.com/x"},
+		{"http://example.com./x", "http://example.com/x"},
+	}
+	for _, c := range cases {
+		got, err := Normalize(c.in)
+		if err != nil {
+			t.Errorf("Normalize(%q): %v", c.in, err)
+			continue
+		}
+		if got != c.want {
+			t.Errorf("Normalize(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestNormalizeErrors(t *testing.T) {
+	for _, in := range []string{"", "   ", "http://"} {
+		if _, err := Normalize(in); !errors.Is(err, ErrBadURL) {
+			t.Errorf("Normalize(%q) err = %v, want ErrBadURL", in, err)
+		}
+	}
+}
+
+func TestNormalizeIdempotent(t *testing.T) {
+	inputs := []string{
+		"HTTP://A.B.C:80/x/../y#z",
+		"https://example.co.uk:443/./a",
+		"example.com",
+	}
+	for _, in := range inputs {
+		once, err := Normalize(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		twice, err := Normalize(once)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if once != twice {
+			t.Errorf("not idempotent: %q -> %q -> %q", in, once, twice)
+		}
+	}
+}
+
+func TestResolveDotSegmentsEdges(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"/", "/"},
+		{"/..", "/"},
+		{"/../..", "/"},
+		{"/a/.", "/a"},
+		{"", "/"},
+	}
+	for _, c := range cases {
+		if got := resolveDotSegments(c.in); got != c.want {
+			t.Errorf("resolveDotSegments(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,102 @@
+package urlutil
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestHost(t *testing.T) {
+	cases := []struct {
+		in   string
+		want string
+	}{
+		{"http://www.Example.com/page.html", "www.example.com"},
+		{"https://example.com:8080/x", "example.com"},
+		{"example.com/foo", "example.com"},
+		{"http://example.com.", "example.com"},
+		{"  http://spaced.example.com  ", "spaced.example.com"},
+		{"ftp://files.example.org/a/b", "files.example.org"},
+		{"http://192.168.1.1/admin", "192.168.1.1"},
+	}
+	for _, c := range cases {
+		got, err := Host(c.in)
+		if err != nil {
+			t.Errorf("Host(%q): %v", c.in, err)
+			continue
+		}
+		if got != c.want {
+			t.Errorf("Host(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestHostErrors(t *testing.T) {
+	for _, in := range []string{"", "   ", "http://", "://nope"} {
+		if _, err := Host(in); !errors.Is(err, ErrBadURL) {
+			t.Errorf("Host(%q) err = %v, want ErrBadURL", in, err)
+		}
+	}
+}
+
+func TestRegisteredDomain(t *testing.T) {
+	cases := []struct {
+		in   string
+		want string
+	}{
+		{"www.example.com", "example.com"},
+		{"example.com", "example.com"},
+		{"a.b.example.co.uk", "example.co.uk"},
+		{"example.co.uk", "example.co.uk"},
+		{"deep.sub.host.example.it", "example.it"},
+		{"single", "single"},
+		{"192.168.1.1", "192.168.1.1"},
+		{"", ""},
+		{"WWW.EXAMPLE.COM", "example.com"},
+	}
+	for _, c := range cases {
+		if got := RegisteredDomain(c.in); got != c.want {
+			t.Errorf("RegisteredDomain(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestSourceKey(t *testing.T) {
+	byHost, err := SourceKey("http://blog.example.com/post", ByHost)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if byHost != "blog.example.com" {
+		t.Errorf("ByHost = %q", byHost)
+	}
+	byDom, err := SourceKey("http://blog.example.com/post", ByDomain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if byDom != "example.com" {
+		t.Errorf("ByDomain = %q", byDom)
+	}
+	if _, err := SourceKey("", ByHost); err == nil {
+		t.Error("empty URL accepted")
+	}
+}
+
+func TestGranularityString(t *testing.T) {
+	if ByHost.String() != "host" || ByDomain.String() != "domain" {
+		t.Errorf("strings: %q %q", ByHost, ByDomain)
+	}
+	if Granularity(9).String() == "" {
+		t.Error("unknown granularity produced empty string")
+	}
+}
+
+func TestIsIPLiteral(t *testing.T) {
+	if !isIPLiteral("10.0.0.1") {
+		t.Error("10.0.0.1 not detected")
+	}
+	if isIPLiteral("example.com") {
+		t.Error("example.com misdetected")
+	}
+	if isIPLiteral("1.2.3") {
+		t.Error("1.2.3 (three labels) misdetected as IP")
+	}
+}

@@ -1,0 +1,108 @@
+// Package webgraph implements a compressed on-disk / in-memory encoding of
+// large web graphs, standing in for the Boldi–Vigna WebGraph framework the
+// paper used to hold its 118M-page crawls in memory. Adjacency lists are
+// stored gap-encoded (successive successor IDs differ by small deltas in a
+// sorted list) with zig-zag varint byte codes, which compresses power-law
+// web graphs to a few bits per edge in practice.
+package webgraph
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrCodec reports malformed varint or gap-coded data.
+var ErrCodec = errors.New("webgraph: malformed encoding")
+
+// appendUvarint appends x in base-128 varint form.
+func appendUvarint(dst []byte, x uint64) []byte {
+	for x >= 0x80 {
+		dst = append(dst, byte(x)|0x80)
+		x >>= 7
+	}
+	return append(dst, byte(x))
+}
+
+// uvarint decodes a varint from b, returning the value and bytes consumed.
+// It returns n == 0 on truncated input and n < 0 on overflow.
+func uvarint(b []byte) (uint64, int) {
+	var x uint64
+	var s uint
+	for i, c := range b {
+		if i == 10 {
+			return 0, -(i + 1) // overflow
+		}
+		if c < 0x80 {
+			if i == 9 && c > 1 {
+				return 0, -(i + 1)
+			}
+			return x | uint64(c)<<s, i + 1
+		}
+		x |= uint64(c&0x7f) << s
+		s += 7
+	}
+	return 0, 0
+}
+
+// zigzag maps signed to unsigned so small negatives stay small.
+func zigzag(x int64) uint64 { return uint64((x << 1) ^ (x >> 63)) }
+
+// unzigzag inverts zigzag.
+func unzigzag(u uint64) int64 { return int64(u>>1) ^ -int64(u&1) }
+
+// EncodeAdjacency appends the gap-encoded form of a sorted, duplicate-free
+// successor list to dst. The first entry is encoded as a zig-zag delta
+// from the owning node ID (successor lists cluster near their source in
+// web graphs, so this keeps the first gap small); subsequent entries are
+// encoded as gaps-minus-one from their predecessor.
+func EncodeAdjacency(dst []byte, node int32, succ []int32) ([]byte, error) {
+	dst = appendUvarint(dst, uint64(len(succ)))
+	prev := int64(node)
+	for i, v := range succ {
+		if i == 0 {
+			dst = appendUvarint(dst, zigzag(int64(v)-prev))
+		} else {
+			gap := int64(v) - prev
+			if gap <= 0 {
+				return nil, fmt.Errorf("%w: successors not strictly increasing at %d", ErrCodec, i)
+			}
+			dst = appendUvarint(dst, uint64(gap-1))
+		}
+		prev = int64(v)
+	}
+	return dst, nil
+}
+
+// DecodeAdjacency decodes one adjacency list produced by EncodeAdjacency,
+// appending the successors to succ and returning the extended slice plus
+// the number of input bytes consumed. numNodes bounds valid IDs.
+func DecodeAdjacency(src []byte, node int32, numNodes int, succ []int32) ([]int32, int, error) {
+	deg, n := uvarint(src)
+	if n <= 0 {
+		return succ, 0, fmt.Errorf("%w: truncated degree", ErrCodec)
+	}
+	pos := n
+	if deg > uint64(numNodes) {
+		return succ, 0, fmt.Errorf("%w: degree %d exceeds node count %d", ErrCodec, deg, numNodes)
+	}
+	prev := int64(node)
+	for i := uint64(0); i < deg; i++ {
+		u, n := uvarint(src[pos:])
+		if n <= 0 {
+			return succ, 0, fmt.Errorf("%w: truncated gap at entry %d", ErrCodec, i)
+		}
+		pos += n
+		var v int64
+		if i == 0 {
+			v = prev + unzigzag(u)
+		} else {
+			v = prev + int64(u) + 1
+		}
+		if v < 0 || v >= int64(numNodes) {
+			return succ, 0, fmt.Errorf("%w: successor %d out of range [0,%d)", ErrCodec, v, numNodes)
+		}
+		succ = append(succ, int32(v))
+		prev = v
+	}
+	return succ, pos, nil
+}

@@ -1,0 +1,164 @@
+package webgraph
+
+import (
+	"errors"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestUvarintRoundTrip(t *testing.T) {
+	values := []uint64{0, 1, 127, 128, 300, 1 << 20, 1 << 40, 1<<64 - 1}
+	for _, v := range values {
+		buf := appendUvarint(nil, v)
+		got, n := uvarint(buf)
+		if n != len(buf) {
+			t.Errorf("uvarint(%d) consumed %d of %d bytes", v, n, len(buf))
+		}
+		if got != v {
+			t.Errorf("uvarint round trip %d -> %d", v, got)
+		}
+	}
+}
+
+func TestUvarintTruncated(t *testing.T) {
+	buf := appendUvarint(nil, 1<<40)
+	for cut := 0; cut < len(buf); cut++ {
+		if _, n := uvarint(buf[:cut]); n > 0 {
+			t.Errorf("truncated varint (len %d) accepted", cut)
+		}
+	}
+}
+
+func TestUvarintOverflow(t *testing.T) {
+	// 11 continuation bytes overflow uint64.
+	buf := make([]byte, 11)
+	for i := range buf {
+		buf[i] = 0xFF
+	}
+	if _, n := uvarint(buf); n >= 0 {
+		t.Error("overflowing varint accepted")
+	}
+}
+
+func TestZigzag(t *testing.T) {
+	for _, x := range []int64{0, 1, -1, 2, -2, 1 << 40, -(1 << 40)} {
+		if got := unzigzag(zigzag(x)); got != x {
+			t.Errorf("zigzag round trip %d -> %d", x, got)
+		}
+	}
+	// Small magnitudes must encode small.
+	if zigzag(-1) != 1 || zigzag(1) != 2 {
+		t.Errorf("zigzag mapping unexpected: -1->%d, 1->%d", zigzag(-1), zigzag(1))
+	}
+}
+
+func TestEncodeAdjacencyRejectsUnsorted(t *testing.T) {
+	if _, err := EncodeAdjacency(nil, 0, []int32{3, 2}); !errors.Is(err, ErrCodec) {
+		t.Errorf("unsorted list: err = %v, want ErrCodec", err)
+	}
+	if _, err := EncodeAdjacency(nil, 0, []int32{2, 2}); !errors.Is(err, ErrCodec) {
+		t.Errorf("duplicate entries: err = %v, want ErrCodec", err)
+	}
+}
+
+func TestAdjacencyRoundTrip(t *testing.T) {
+	cases := [][]int32{
+		{},
+		{0},
+		{5},
+		{0, 1, 2, 3},
+		{100, 200, 300},
+		{0, 999},
+	}
+	for _, succ := range cases {
+		buf, err := EncodeAdjacency(nil, 50, succ)
+		if err != nil {
+			t.Fatalf("encode %v: %v", succ, err)
+		}
+		got, n, err := DecodeAdjacency(buf, 50, 1000, nil)
+		if err != nil {
+			t.Fatalf("decode %v: %v", succ, err)
+		}
+		if n != len(buf) {
+			t.Errorf("decode %v consumed %d of %d", succ, n, len(buf))
+		}
+		if len(got) != len(succ) {
+			t.Fatalf("decode %v -> %v", succ, got)
+		}
+		for i := range succ {
+			if got[i] != succ[i] {
+				t.Fatalf("decode %v -> %v", succ, got)
+			}
+		}
+	}
+}
+
+func TestDecodeAdjacencyRejectsOutOfRange(t *testing.T) {
+	buf, err := EncodeAdjacency(nil, 0, []int32{500})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := DecodeAdjacency(buf, 0, 100, nil); !errors.Is(err, ErrCodec) {
+		t.Errorf("out-of-range successor: err = %v, want ErrCodec", err)
+	}
+}
+
+func TestDecodeAdjacencyRejectsHugeDegree(t *testing.T) {
+	buf := appendUvarint(nil, 1<<40) // absurd degree
+	if _, _, err := DecodeAdjacency(buf, 0, 100, nil); !errors.Is(err, ErrCodec) {
+		t.Errorf("huge degree: err = %v, want ErrCodec", err)
+	}
+}
+
+func TestDecodeAdjacencyTruncated(t *testing.T) {
+	buf, err := EncodeAdjacency(nil, 0, []int32{1, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for cut := 0; cut < len(buf); cut++ {
+		if _, _, err := DecodeAdjacency(buf[:cut], 0, 10, nil); err == nil {
+			t.Errorf("truncation at %d accepted", cut)
+		}
+	}
+}
+
+// Property: encode/decode round-trips arbitrary sorted unique lists.
+func TestQuickAdjacencyRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		numNodes := 1 + rng.Intn(10000)
+		node := int32(rng.Intn(numNodes))
+		deg := rng.Intn(50)
+		if deg > numNodes {
+			deg = numNodes
+		}
+		set := map[int32]bool{}
+		for len(set) < deg {
+			set[int32(rng.Intn(numNodes))] = true
+		}
+		succ := make([]int32, 0, deg)
+		for v := range set {
+			succ = append(succ, v)
+		}
+		sort.Slice(succ, func(i, j int) bool { return succ[i] < succ[j] })
+		buf, err := EncodeAdjacency(nil, node, succ)
+		if err != nil {
+			return false
+		}
+		got, n, err := DecodeAdjacency(buf, node, numNodes, nil)
+		if err != nil || n != len(buf) || len(got) != len(succ) {
+			return false
+		}
+		for i := range succ {
+			if got[i] != succ[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

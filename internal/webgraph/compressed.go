@@ -1,0 +1,195 @@
+package webgraph
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"sourcerank/internal/graph"
+)
+
+// Compressed is an immutable graph whose adjacency lists are held
+// gap/varint-encoded in a single byte slab. Random access uses a per-node
+// offset index; sequential iteration decodes the slab front to back.
+type Compressed struct {
+	numNodes int
+	numEdges int64
+	offsets  []int64 // offsets[u] is the slab position of node u's list
+	slab     []byte
+}
+
+// Compress encodes g into the compressed representation.
+func Compress(g *graph.Graph) (*Compressed, error) {
+	c := &Compressed{
+		numNodes: g.NumNodes(),
+		numEdges: g.NumEdges(),
+		offsets:  make([]int64, g.NumNodes()+1),
+	}
+	for u := 0; u < g.NumNodes(); u++ {
+		c.offsets[u] = int64(len(c.slab))
+		var err error
+		c.slab, err = EncodeAdjacency(c.slab, int32(u), g.Successors(int32(u)))
+		if err != nil {
+			return nil, fmt.Errorf("webgraph: node %d: %w", u, err)
+		}
+	}
+	c.offsets[g.NumNodes()] = int64(len(c.slab))
+	return c, nil
+}
+
+// NumNodes returns the node count.
+func (c *Compressed) NumNodes() int { return c.numNodes }
+
+// NumEdges returns the edge count.
+func (c *Compressed) NumEdges() int64 { return c.numEdges }
+
+// SizeBytes returns the in-memory size of the encoded adjacency slab,
+// excluding the offset index.
+func (c *Compressed) SizeBytes() int { return len(c.slab) }
+
+// BitsPerEdge returns the average encoded size per edge in bits, the
+// standard WebGraph compression metric. Returns 0 for an edgeless graph.
+func (c *Compressed) BitsPerEdge() float64 {
+	if c.numEdges == 0 {
+		return 0
+	}
+	return float64(len(c.slab)*8) / float64(c.numEdges)
+}
+
+// Successors decodes node u's successor list into a fresh slice.
+func (c *Compressed) Successors(u int32) ([]int32, error) {
+	if u < 0 || int(u) >= c.numNodes {
+		return nil, fmt.Errorf("webgraph: node %d out of range [0,%d)", u, c.numNodes)
+	}
+	lo, hi := c.offsets[u], c.offsets[u+1]
+	succ, n, err := DecodeAdjacency(c.slab[lo:hi], u, c.numNodes, nil)
+	if err != nil {
+		return nil, fmt.Errorf("webgraph: node %d: %w", u, err)
+	}
+	if int64(n) != hi-lo {
+		return nil, fmt.Errorf("%w: node %d trailing bytes", ErrCodec, u)
+	}
+	return succ, nil
+}
+
+// Decompress reconstructs the plain CSR graph.
+func (c *Compressed) Decompress() (*graph.Graph, error) {
+	b := graph.NewBuilder(c.numNodes)
+	var scratch []int32
+	for u := 0; u < c.numNodes; u++ {
+		lo, hi := c.offsets[u], c.offsets[u+1]
+		var err error
+		scratch, _, err = DecodeAdjacency(c.slab[lo:hi], int32(u), c.numNodes, scratch[:0])
+		if err != nil {
+			return nil, fmt.Errorf("webgraph: node %d: %w", u, err)
+		}
+		for _, v := range scratch {
+			b.AddEdge(int32(u), v)
+		}
+	}
+	g := b.Build()
+	if g.NumEdges() != c.numEdges {
+		return nil, fmt.Errorf("%w: edge count mismatch %d != %d", ErrCodec, g.NumEdges(), c.numEdges)
+	}
+	return g, nil
+}
+
+const (
+	fileMagic   = 0x53524B43 // "SRKC"
+	fileVersion = 1
+)
+
+// Write serializes the compressed graph.
+func (c *Compressed) Write(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	write := func(data any) error {
+		return binary.Write(bw, binary.LittleEndian, data)
+	}
+	if err := write(uint32(fileMagic)); err != nil {
+		return err
+	}
+	if err := write(uint32(fileVersion)); err != nil {
+		return err
+	}
+	if err := write(uint64(c.numNodes)); err != nil {
+		return err
+	}
+	if err := write(uint64(c.numEdges)); err != nil {
+		return err
+	}
+	if err := write(uint64(len(c.slab))); err != nil {
+		return err
+	}
+	if err := write(c.offsets); err != nil {
+		return err
+	}
+	if _, err := bw.Write(c.slab); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// ReadCompressed deserializes a compressed graph written by Write and
+// verifies its structure by decoding every adjacency list once.
+func ReadCompressed(r io.Reader) (*Compressed, error) {
+	br := bufio.NewReader(r)
+	var magic, ver uint32
+	if err := binary.Read(br, binary.LittleEndian, &magic); err != nil {
+		return nil, fmt.Errorf("webgraph: reading magic: %w", err)
+	}
+	if magic != fileMagic {
+		return nil, fmt.Errorf("%w: bad magic %#x", ErrCodec, magic)
+	}
+	if err := binary.Read(br, binary.LittleEndian, &ver); err != nil {
+		return nil, err
+	}
+	if ver != fileVersion {
+		return nil, fmt.Errorf("%w: unsupported version %d", ErrCodec, ver)
+	}
+	var nodes, edges, slabLen uint64
+	if err := binary.Read(br, binary.LittleEndian, &nodes); err != nil {
+		return nil, err
+	}
+	if err := binary.Read(br, binary.LittleEndian, &edges); err != nil {
+		return nil, err
+	}
+	if err := binary.Read(br, binary.LittleEndian, &slabLen); err != nil {
+		return nil, err
+	}
+	if nodes > 1<<31 || slabLen > 1<<40 {
+		return nil, fmt.Errorf("%w: implausible sizes", ErrCodec)
+	}
+	c := &Compressed{
+		numNodes: int(nodes),
+		numEdges: int64(edges),
+		offsets:  make([]int64, nodes+1),
+		slab:     make([]byte, slabLen),
+	}
+	if err := binary.Read(br, binary.LittleEndian, c.offsets); err != nil {
+		return nil, fmt.Errorf("webgraph: reading offsets: %w", err)
+	}
+	if _, err := io.ReadFull(br, c.slab); err != nil {
+		return nil, fmt.Errorf("webgraph: reading slab: %w", err)
+	}
+	// Verify offsets and decode every list once to surface corruption now
+	// rather than at query time.
+	var edgeCount int64
+	var scratch []int32
+	for u := 0; u < c.numNodes; u++ {
+		lo, hi := c.offsets[u], c.offsets[u+1]
+		if lo < 0 || hi < lo || hi > int64(len(c.slab)) {
+			return nil, fmt.Errorf("%w: offsets of node %d out of bounds", ErrCodec, u)
+		}
+		var err error
+		scratch, _, err = DecodeAdjacency(c.slab[lo:hi], int32(u), c.numNodes, scratch[:0])
+		if err != nil {
+			return nil, fmt.Errorf("webgraph: node %d: %w", u, err)
+		}
+		edgeCount += int64(len(scratch))
+	}
+	if edgeCount != c.numEdges {
+		return nil, fmt.Errorf("%w: declared %d edges, decoded %d", ErrCodec, c.numEdges, edgeCount)
+	}
+	return c, nil
+}

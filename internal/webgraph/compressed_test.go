@@ -1,0 +1,209 @@
+package webgraph
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"sourcerank/internal/graph"
+)
+
+func randomGraph(rng *rand.Rand, n, edges int) *graph.Graph {
+	b := graph.NewBuilder(n)
+	for k := 0; k < edges; k++ {
+		b.AddEdge(int32(rng.Intn(n)), int32(rng.Intn(n)))
+	}
+	return b.Build()
+}
+
+func graphsEqual(a, b *graph.Graph) bool {
+	if a.NumNodes() != b.NumNodes() || a.NumEdges() != b.NumEdges() {
+		return false
+	}
+	for u := 0; u < a.NumNodes(); u++ {
+		sa, sb := a.Successors(int32(u)), b.Successors(int32(u))
+		if len(sa) != len(sb) {
+			return false
+		}
+		for i := range sa {
+			if sa[i] != sb[i] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func TestCompressDecompress(t *testing.T) {
+	g := graph.FromAdjacency([][]int32{{1, 2}, {0, 2}, {}})
+	c, err := Compress(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.NumNodes() != 3 || c.NumEdges() != 4 {
+		t.Fatalf("shape %d/%d", c.NumNodes(), c.NumEdges())
+	}
+	back, err := c.Decompress()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !graphsEqual(g, back) {
+		t.Error("decompress differs from original")
+	}
+}
+
+func TestCompressedSuccessors(t *testing.T) {
+	g := graph.FromAdjacency([][]int32{{1, 2}, {}, {0}})
+	c, err := Compress(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := c.Successors(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s) != 2 || s[0] != 1 || s[1] != 2 {
+		t.Errorf("Successors(0) = %v", s)
+	}
+	if _, err := c.Successors(5); err == nil {
+		t.Error("out-of-range node accepted")
+	}
+	if _, err := c.Successors(-1); err == nil {
+		t.Error("negative node accepted")
+	}
+}
+
+func TestCompressionShrinksLocalGraphs(t *testing.T) {
+	// A graph with strong locality (edges to nearby IDs) should compress
+	// well below 4 bytes/edge of the raw representation.
+	b := graph.NewBuilder(10000)
+	rng := rand.New(rand.NewSource(3))
+	for u := 0; u < 10000; u++ {
+		for k := 0; k < 10; k++ {
+			v := u + rng.Intn(100) - 50
+			if v < 0 || v >= 10000 || v == u {
+				continue
+			}
+			b.AddEdge(int32(u), int32(v))
+		}
+	}
+	g := b.Build()
+	c, err := Compress(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bpe := c.BitsPerEdge(); bpe >= 16 {
+		t.Errorf("bits/edge = %.1f, want < 16 for a local graph", bpe)
+	}
+}
+
+func TestCompressedFileRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	g := randomGraph(rng, 200, 2000)
+	c, err := Compress(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := c.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	c2, err := ReadCompressed(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := c2.Decompress()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !graphsEqual(g, back) {
+		t.Error("file round trip altered graph")
+	}
+}
+
+func TestReadCompressedRejectsCorruption(t *testing.T) {
+	g := graph.FromAdjacency([][]int32{{1}, {0}})
+	c, err := Compress(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := c.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+
+	t.Run("bad magic", func(t *testing.T) {
+		bad := append([]byte{}, raw...)
+		bad[0] ^= 0xFF
+		if _, err := ReadCompressed(bytes.NewReader(bad)); !errors.Is(err, ErrCodec) {
+			t.Errorf("err = %v", err)
+		}
+	})
+	t.Run("truncated", func(t *testing.T) {
+		for _, cut := range []int{3, 10, 20, len(raw) - 1} {
+			if cut >= len(raw) {
+				continue
+			}
+			if _, err := ReadCompressed(bytes.NewReader(raw[:cut])); err == nil {
+				t.Errorf("truncation at %d accepted", cut)
+			}
+		}
+	})
+	t.Run("slab corrupted", func(t *testing.T) {
+		bad := append([]byte{}, raw...)
+		bad[len(bad)-1] ^= 0xFF
+		if _, err := ReadCompressed(bytes.NewReader(bad)); err == nil {
+			t.Error("corrupt slab accepted")
+		}
+	})
+}
+
+func TestEmptyGraphCompress(t *testing.T) {
+	g := graph.NewBuilder(0).Build()
+	c, err := Compress(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.BitsPerEdge() != 0 {
+		t.Errorf("BitsPerEdge = %v for empty graph", c.BitsPerEdge())
+	}
+	var buf bytes.Buffer
+	if err := c.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadCompressed(&buf); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: compress→write→read→decompress is the identity.
+func TestQuickCompressedPipeline(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(100)
+		g := randomGraph(rng, n, rng.Intn(500))
+		c, err := Compress(g)
+		if err != nil {
+			return false
+		}
+		var buf bytes.Buffer
+		if err := c.Write(&buf); err != nil {
+			return false
+		}
+		c2, err := ReadCompressed(&buf)
+		if err != nil {
+			return false
+		}
+		back, err := c2.Decompress()
+		if err != nil {
+			return false
+		}
+		return graphsEqual(g, back)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,113 @@
+package webgraph
+
+import (
+	"fmt"
+
+	"sourcerank/internal/graph"
+)
+
+// CompressedRef stores a graph with reference + interval compression.
+// Node u is encoded against node u-1's list, except at key frames (every
+// keyFrameInterval nodes), which are encoded standalone so random access
+// never has to chase references past the previous key frame.
+type CompressedRef struct {
+	numNodes int
+	numEdges int64
+	offsets  []int64
+	slab     []byte
+}
+
+// keyFrameInterval bounds the reference chain length for random access.
+const keyFrameInterval = 32
+
+// CompressRef encodes g with reference compression.
+func CompressRef(g *graph.Graph) (*CompressedRef, error) {
+	c := &CompressedRef{
+		numNodes: g.NumNodes(),
+		numEdges: g.NumEdges(),
+		offsets:  make([]int64, g.NumNodes()+1),
+	}
+	var err error
+	var empty []int32
+	for u := 0; u < g.NumNodes(); u++ {
+		c.offsets[u] = int64(len(c.slab))
+		ref := empty
+		if u%keyFrameInterval != 0 {
+			ref = g.Successors(int32(u - 1))
+		}
+		c.slab, err = EncodeAdjacencyRef(c.slab, int32(u), g.Successors(int32(u)), ref)
+		if err != nil {
+			return nil, fmt.Errorf("webgraph: node %d: %w", u, err)
+		}
+	}
+	c.offsets[g.NumNodes()] = int64(len(c.slab))
+	return c, nil
+}
+
+// NumNodes returns the node count.
+func (c *CompressedRef) NumNodes() int { return c.numNodes }
+
+// NumEdges returns the edge count.
+func (c *CompressedRef) NumEdges() int64 { return c.numEdges }
+
+// SizeBytes returns the encoded slab size.
+func (c *CompressedRef) SizeBytes() int { return len(c.slab) }
+
+// BitsPerEdge returns the average encoded bits per edge (0 if edgeless).
+func (c *CompressedRef) BitsPerEdge() float64 {
+	if c.numEdges == 0 {
+		return 0
+	}
+	return float64(len(c.slab)*8) / float64(c.numEdges)
+}
+
+// decodeAt decodes node u's list, resolving the reference chain back to
+// the nearest key frame. scratch slices are reused across the chain.
+func (c *CompressedRef) decodeAt(u int32) ([]int32, error) {
+	start := int(u) - int(u)%keyFrameInterval
+	var ref []int32
+	var cur []int32
+	for v := start; v <= int(u); v++ {
+		lo, hi := c.offsets[v], c.offsets[v+1]
+		var err error
+		cur, _, err = DecodeAdjacencyRef(c.slab[lo:hi], int32(v), c.numNodes, ref, nil)
+		if err != nil {
+			return nil, fmt.Errorf("webgraph: node %d: %w", v, err)
+		}
+		ref = cur
+	}
+	return cur, nil
+}
+
+// Successors decodes node u's successor list.
+func (c *CompressedRef) Successors(u int32) ([]int32, error) {
+	if u < 0 || int(u) >= c.numNodes {
+		return nil, fmt.Errorf("webgraph: node %d out of range [0,%d)", u, c.numNodes)
+	}
+	return c.decodeAt(u)
+}
+
+// Decompress reconstructs the plain CSR graph by one sequential pass.
+func (c *CompressedRef) Decompress() (*graph.Graph, error) {
+	b := graph.NewBuilder(c.numNodes)
+	var ref []int32
+	for u := 0; u < c.numNodes; u++ {
+		if u%keyFrameInterval == 0 {
+			ref = nil
+		}
+		lo, hi := c.offsets[u], c.offsets[u+1]
+		cur, _, err := DecodeAdjacencyRef(c.slab[lo:hi], int32(u), c.numNodes, ref, nil)
+		if err != nil {
+			return nil, fmt.Errorf("webgraph: node %d: %w", u, err)
+		}
+		for _, v := range cur {
+			b.AddEdge(int32(u), v)
+		}
+		ref = cur
+	}
+	g := b.Build()
+	if g.NumEdges() != c.numEdges {
+		return nil, fmt.Errorf("%w: edge count mismatch %d != %d", ErrCodec, g.NumEdges(), c.numEdges)
+	}
+	return g, nil
+}

@@ -1,0 +1,217 @@
+package webgraph
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"sourcerank/internal/graph"
+)
+
+func refRoundTrip(t *testing.T, node int32, numNodes int, succ, ref []int32) {
+	t.Helper()
+	buf, err := EncodeAdjacencyRef(nil, node, succ, ref)
+	if err != nil {
+		t.Fatalf("encode %v against %v: %v", succ, ref, err)
+	}
+	got, n, err := DecodeAdjacencyRef(buf, node, numNodes, ref, nil)
+	if err != nil {
+		t.Fatalf("decode %v against %v: %v", succ, ref, err)
+	}
+	if n != len(buf) {
+		t.Errorf("consumed %d of %d bytes", n, len(buf))
+	}
+	if len(got) != len(succ) {
+		t.Fatalf("round trip %v -> %v", succ, got)
+	}
+	for i := range succ {
+		if got[i] != succ[i] {
+			t.Fatalf("round trip %v -> %v", succ, got)
+		}
+	}
+}
+
+func TestRefCodecBasic(t *testing.T) {
+	cases := []struct {
+		succ, ref []int32
+	}{
+		{nil, nil},
+		{[]int32{5}, nil},
+		{[]int32{1, 2, 3}, nil},                               // pure interval
+		{[]int32{1, 2, 3, 10}, nil},                           // interval + residual
+		{[]int32{1, 5, 9}, []int32{1, 5, 9}},                  // full copy
+		{[]int32{1, 9}, []int32{1, 5, 9}},                     // copy with skip
+		{[]int32{1, 5, 9, 20, 21, 22}, []int32{1, 5, 9}},      // copy + interval
+		{[]int32{2, 6}, []int32{1, 5, 9}},                     // no overlap
+		{[]int32{0, 1, 2, 3, 4, 5, 6, 7}, []int32{3, 4, 5}},   // interval across copy
+		{[]int32{100, 200, 300}, []int32{100, 150, 300, 400}}, // partial
+	}
+	for _, c := range cases {
+		refRoundTrip(t, 50, 1000, c.succ, c.ref)
+	}
+}
+
+func TestRefCodecRejectsUnsorted(t *testing.T) {
+	if _, err := EncodeAdjacencyRef(nil, 0, []int32{3, 2}, nil); err == nil {
+		t.Error("unsorted successors accepted")
+	}
+}
+
+func TestRefCodecTruncated(t *testing.T) {
+	ref := []int32{1, 5, 9}
+	buf, err := EncodeAdjacencyRef(nil, 0, []int32{1, 9, 20, 21, 22, 40}, ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for cut := 0; cut < len(buf); cut++ {
+		if _, _, err := DecodeAdjacencyRef(buf[:cut], 0, 100, ref, nil); err == nil {
+			t.Errorf("truncation at %d accepted", cut)
+		}
+	}
+}
+
+func TestRefCompressionBeatsPlainOnNavGraphs(t *testing.T) {
+	// Consecutive pages of a "site" share most successors (navigation),
+	// the case reference compression exists for.
+	b := graph.NewBuilder(2000)
+	for u := 0; u < 2000; u++ {
+		base := (u / 50) * 50
+		for k := 0; k < 20; k++ {
+			v := base + k
+			if v != u {
+				b.AddEdge(int32(u), int32(v))
+			}
+		}
+	}
+	g := b.Build()
+	plain, err := Compress(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refc, err := CompressRef(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if refc.BitsPerEdge() >= plain.BitsPerEdge() {
+		t.Errorf("reference compression (%.2f bits/edge) not better than plain (%.2f)",
+			refc.BitsPerEdge(), plain.BitsPerEdge())
+	}
+	back, err := refc.Decompress()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !graphsEqual(g, back) {
+		t.Error("ref decompress differs")
+	}
+}
+
+func TestCompressRefRandomAccess(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	g := randomGraph(rng, 300, 3000)
+	c, err := CompressRef(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, u := range []int32{0, 1, 31, 32, 33, 150, 299} {
+		got, err := c.Successors(u)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := g.Successors(u)
+		if len(got) != len(want) {
+			t.Fatalf("node %d: %v != %v", u, got, want)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("node %d: %v != %v", u, got, want)
+			}
+		}
+	}
+	if _, err := c.Successors(-1); err == nil {
+		t.Error("negative node accepted")
+	}
+	if _, err := c.Successors(300); err == nil {
+		t.Error("out-of-range node accepted")
+	}
+}
+
+func TestCompressRefEmpty(t *testing.T) {
+	g := graph.NewBuilder(0).Build()
+	c, err := CompressRef(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.BitsPerEdge() != 0 || c.NumNodes() != 0 || c.NumEdges() != 0 {
+		t.Error("empty graph stats wrong")
+	}
+	if _, err := c.Decompress(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: ref codec round-trips arbitrary sorted lists against
+// arbitrary sorted references.
+func TestQuickRefCodecRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		numNodes := 10 + rng.Intn(2000)
+		node := int32(rng.Intn(numNodes))
+		mk := func(maxLen int) []int32 {
+			l := rng.Intn(maxLen)
+			if l > numNodes {
+				l = numNodes
+			}
+			set := map[int32]bool{}
+			for len(set) < l {
+				set[int32(rng.Intn(numNodes))] = true
+			}
+			var out []int32
+			for v := range set {
+				out = append(out, v)
+			}
+			sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+			return out
+		}
+		succ := mk(40)
+		ref := mk(40)
+		buf, err := EncodeAdjacencyRef(nil, node, succ, ref)
+		if err != nil {
+			return false
+		}
+		got, n, err := DecodeAdjacencyRef(buf, node, numNodes, ref, nil)
+		if err != nil || n != len(buf) || len(got) != len(succ) {
+			return false
+		}
+		for i := range succ {
+			if got[i] != succ[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: CompressRef→Decompress is the identity on random graphs.
+func TestQuickCompressRefPipeline(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(150)
+		g := randomGraph(rng, n, rng.Intn(800))
+		c, err := CompressRef(g)
+		if err != nil {
+			return false
+		}
+		back, err := c.Decompress()
+		if err != nil {
+			return false
+		}
+		return graphsEqual(g, back)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

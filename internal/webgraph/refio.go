@@ -1,0 +1,111 @@
+package webgraph
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+const (
+	refFileMagic   = 0x53524B52 // "SRKR"
+	refFileVersion = 1
+)
+
+// Write serializes the reference-compressed graph.
+func (c *CompressedRef) Write(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	le := binary.LittleEndian
+	write := func(data any) error { return binary.Write(bw, le, data) }
+	if err := write(uint32(refFileMagic)); err != nil {
+		return err
+	}
+	if err := write(uint32(refFileVersion)); err != nil {
+		return err
+	}
+	if err := write(uint64(c.numNodes)); err != nil {
+		return err
+	}
+	if err := write(uint64(c.numEdges)); err != nil {
+		return err
+	}
+	if err := write(uint64(len(c.slab))); err != nil {
+		return err
+	}
+	if err := write(c.offsets); err != nil {
+		return err
+	}
+	if _, err := bw.Write(c.slab); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// ReadCompressedRef deserializes a graph written by CompressedRef.Write,
+// verifying the structure by one full sequential decode.
+func ReadCompressedRef(r io.Reader) (*CompressedRef, error) {
+	br := bufio.NewReader(r)
+	le := binary.LittleEndian
+	var magic, ver uint32
+	if err := binary.Read(br, le, &magic); err != nil {
+		return nil, fmt.Errorf("webgraph: reading magic: %w", err)
+	}
+	if magic != refFileMagic {
+		return nil, fmt.Errorf("%w: bad magic %#x", ErrCodec, magic)
+	}
+	if err := binary.Read(br, le, &ver); err != nil {
+		return nil, err
+	}
+	if ver != refFileVersion {
+		return nil, fmt.Errorf("%w: unsupported version %d", ErrCodec, ver)
+	}
+	var nodes, edges, slabLen uint64
+	if err := binary.Read(br, le, &nodes); err != nil {
+		return nil, err
+	}
+	if err := binary.Read(br, le, &edges); err != nil {
+		return nil, err
+	}
+	if err := binary.Read(br, le, &slabLen); err != nil {
+		return nil, err
+	}
+	if nodes > 1<<31 || slabLen > 1<<40 {
+		return nil, fmt.Errorf("%w: implausible sizes", ErrCodec)
+	}
+	c := &CompressedRef{
+		numNodes: int(nodes),
+		numEdges: int64(edges),
+		offsets:  make([]int64, nodes+1),
+		slab:     make([]byte, slabLen),
+	}
+	if err := binary.Read(br, le, c.offsets); err != nil {
+		return nil, fmt.Errorf("webgraph: reading offsets: %w", err)
+	}
+	if _, err := io.ReadFull(br, c.slab); err != nil {
+		return nil, fmt.Errorf("webgraph: reading slab: %w", err)
+	}
+	// Offsets sanity plus a full decode to surface corruption eagerly.
+	for u := 0; u < c.numNodes; u++ {
+		if c.offsets[u] < 0 || c.offsets[u+1] < c.offsets[u] || c.offsets[u+1] > int64(len(c.slab)) {
+			return nil, fmt.Errorf("%w: offsets of node %d out of bounds", ErrCodec, u)
+		}
+	}
+	var edgeCount int64
+	var ref []int32
+	for u := 0; u < c.numNodes; u++ {
+		if u%keyFrameInterval == 0 {
+			ref = nil
+		}
+		lo, hi := c.offsets[u], c.offsets[u+1]
+		cur, _, err := DecodeAdjacencyRef(c.slab[lo:hi], int32(u), c.numNodes, ref, nil)
+		if err != nil {
+			return nil, fmt.Errorf("webgraph: node %d: %w", u, err)
+		}
+		edgeCount += int64(len(cur))
+		ref = cur
+	}
+	if edgeCount != c.numEdges {
+		return nil, fmt.Errorf("%w: declared %d edges, decoded %d", ErrCodec, c.numEdges, edgeCount)
+	}
+	return c, nil
+}

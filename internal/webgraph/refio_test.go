@@ -1,0 +1,95 @@
+package webgraph
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestCompressedRefFileRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	g := randomGraph(rng, 250, 2500)
+	c, err := CompressRef(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := c.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	c2, err := ReadCompressedRef(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := c2.Decompress()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !graphsEqual(g, back) {
+		t.Error("ref file round trip altered graph")
+	}
+}
+
+func TestReadCompressedRefRejectsCorruption(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	g := randomGraph(rng, 50, 300)
+	c, err := CompressRef(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := c.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+
+	bad := append([]byte{}, raw...)
+	bad[1] ^= 0xFF
+	if _, err := ReadCompressedRef(bytes.NewReader(bad)); !errors.Is(err, ErrCodec) {
+		t.Errorf("bad magic: err = %v", err)
+	}
+	for _, cut := range []int{4, 16, 30, len(raw) - 1} {
+		if cut >= len(raw) {
+			continue
+		}
+		if _, err := ReadCompressedRef(bytes.NewReader(raw[:cut])); err == nil {
+			t.Errorf("truncation at %d accepted", cut)
+		}
+	}
+	bad = append([]byte{}, raw...)
+	bad[len(bad)-1] ^= 0xFF
+	if _, err := ReadCompressedRef(bytes.NewReader(bad)); err == nil {
+		t.Error("corrupt slab accepted")
+	}
+}
+
+// Property: CompressRef → Write → Read → Decompress is the identity.
+func TestQuickCompressedRefFilePipeline(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(120)
+		g := randomGraph(rng, n, rng.Intn(600))
+		c, err := CompressRef(g)
+		if err != nil {
+			return false
+		}
+		var buf bytes.Buffer
+		if err := c.Write(&buf); err != nil {
+			return false
+		}
+		c2, err := ReadCompressedRef(&buf)
+		if err != nil {
+			return false
+		}
+		back, err := c2.Decompress()
+		if err != nil {
+			return false
+		}
+		return graphsEqual(g, back)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
