@@ -87,7 +87,7 @@ func main() {
 		}
 		printTopSources(sg, scores, *top)
 		if *savePath != "" {
-			if err := saveScores(*savePath, scores); err != nil {
+			if err := linalg.WriteVectorFile(*savePath, scores); err != nil {
 				fatal(err)
 			}
 			fmt.Printf("wrote %d scores to %s\n", len(scores), *savePath)
@@ -263,19 +263,6 @@ func printTopSources(sg *source.Graph, scores linalg.Vector, top int) {
 		fmt.Printf("%3d. %-28s (%d pages)  %.3e\n", i+1, sg.Labels[e.id],
 			sg.PageCount[e.id], e.score)
 	}
-}
-
-// saveScores writes a score vector snapshot to path.
-func saveScores(path string, scores linalg.Vector) error {
-	f, err := os.Create(path)
-	if err != nil {
-		return err
-	}
-	if err := linalg.WriteVector(f, scores); err != nil {
-		f.Close()
-		return err
-	}
-	return f.Close()
 }
 
 func fatal(err error) {

@@ -1,0 +1,226 @@
+// Command srserve is the online serving layer: it loads a corpus,
+// computes SRSR / source-level PageRank / TrustRank score snapshots
+// offline, and answers ranking queries over HTTP from an immutable
+// in-memory snapshot. A background refresher periodically re-reads the
+// spam-label file, recomputes, and hot-swaps the snapshot without
+// blocking readers.
+//
+// Usage:
+//
+//	srserve -preset UK2002 -scale 0.01 -addr :8080
+//	srserve -pages corpus.pages -spam corpus.spam -refresh 5m
+//	srserve -preset UK2002 -scale 0.01 -scores mymodel=scores.bin
+//
+// Endpoints:
+//
+//	GET /v1/rank/{source}      standing of one source (ID or label)
+//	GET /v1/topk?n=10&algo=    top-k ranked sources
+//	GET /v1/compare?a=&b=      head-to-head comparison
+//	GET /v1/snapshot           snapshot metadata
+//	GET /healthz               liveness + snapshot version
+//	GET /metrics               Prometheus text-format metrics
+package main
+
+import (
+	"bufio"
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"sourcerank/internal/gen"
+	"sourcerank/internal/linalg"
+	"sourcerank/internal/pagegraph"
+	"sourcerank/internal/server"
+)
+
+func main() {
+	var (
+		addr      = flag.String("addr", ":8080", "listen address")
+		pagesPath = flag.String("pages", "", "binary corpus produced by graphgen (overrides -preset)")
+		spamPath  = flag.String("spam", "", "spam-label file (one source ID per line); re-read on refresh")
+		preset    = flag.String("preset", "UK2002", "generate this preset when -pages is not given")
+		scale     = flag.Float64("scale", 0.01, "generator scale")
+		seed      = flag.Uint64("seed", 1, "generator seed")
+		alpha     = flag.Float64("alpha", 0.85, "mixing parameter α")
+		topK      = flag.Int("throttle-topk", 0, "sources to throttle fully (0 = 2.7% of sources)")
+		workers   = flag.Int("workers", 0, "solver goroutines (0 = GOMAXPROCS)")
+		refresh   = flag.Duration("refresh", 0, "recompute+republish interval (0 disables)")
+		reqTO     = flag.Duration("request-timeout", 5*time.Second, "per-request timeout")
+		scores    = flag.String("scores", "", "extra score vectors to serve, as name=path[,name=path...]")
+		dumpDir   = flag.String("dump-scores", "", "write each computed score vector into this directory")
+	)
+	flag.Parse()
+
+	pg, spam, name, err := loadCorpus(*pagesPath, *spamPath, *preset, *scale, *seed)
+	if err != nil {
+		log.Fatalf("srserve: %v", err)
+	}
+	log.Printf("corpus %s: %d pages, %d links, %d sources, %d labeled spam",
+		name, pg.NumPages(), pg.NumLinks(), pg.NumSources(), len(spam))
+
+	extra, err := loadExtraScores(*scores)
+	if err != nil {
+		log.Fatalf("srserve: %v", err)
+	}
+	cfg := server.BuildConfig{
+		Alpha:   *alpha,
+		TopK:    *topK,
+		Workers: *workers,
+		Name:    name,
+		Extra:   extra,
+	}
+
+	build := func(ctx context.Context) (*server.Snapshot, error) {
+		labels := spam
+		if *spamPath != "" {
+			// Refresh semantics: the label file is the mutable input;
+			// operators append newly-caught spam sources between cycles.
+			fresh, err := readSpamLabels(*spamPath, pg.NumSources())
+			if err != nil {
+				return nil, err
+			}
+			labels = fresh
+		}
+		return server.BuildSnapshot(pg, labels, cfg)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	start := time.Now()
+	snap, err := build(ctx)
+	if err != nil {
+		log.Fatalf("srserve: initial snapshot: %v", err)
+	}
+	if *dumpDir != "" {
+		if err := dumpScores(*dumpDir, snap); err != nil {
+			log.Fatalf("srserve: dumping scores: %v", err)
+		}
+	}
+	store := server.NewStore(snap)
+	log.Printf("snapshot v%d ready in %v (algos: %v, throttled top-%d)",
+		snap.Version(), time.Since(start).Round(time.Millisecond), snap.Algos(), snap.KappaTopK())
+
+	if *refresh > 0 {
+		ref := &server.Refresher{
+			Store:    store,
+			Build:    build,
+			Interval: *refresh,
+			OnPublish: func(v uint64, s *server.Snapshot) {
+				log.Printf("published snapshot v%d (%d spam labels)", v, s.Corpus().SpamLabeled)
+			},
+			OnError: func(err error) { log.Printf("refresh failed (still serving old snapshot): %v", err) },
+		}
+		go ref.Run(ctx)
+		log.Printf("background refresh every %v", *refresh)
+	}
+
+	srv := server.New(store, server.Config{Addr: *addr, RequestTimeout: *reqTO})
+	log.Printf("serving on %s", *addr)
+	if err := srv.Run(ctx); err != nil {
+		log.Fatalf("srserve: %v", err)
+	}
+	log.Printf("shut down cleanly")
+}
+
+// loadCorpus mirrors cmd/srank: a binary corpus file or a generated
+// preset.
+func loadCorpus(pagesPath, spamPath, preset string, scale float64, seed uint64) (*pagegraph.Graph, []int32, string, error) {
+	if pagesPath == "" {
+		p := gen.Preset(preset)
+		if _, ok := gen.TableOneSources[p]; !ok {
+			return nil, nil, "", fmt.Errorf("unknown preset %q", preset)
+		}
+		ds, err := gen.GeneratePreset(p, scale, seed)
+		if err != nil {
+			return nil, nil, "", err
+		}
+		return ds.Pages, ds.SpamSources, ds.Name, nil
+	}
+	f, err := os.Open(pagesPath)
+	if err != nil {
+		return nil, nil, "", err
+	}
+	defer f.Close()
+	pg, err := pagegraph.ReadFrom(f)
+	if err != nil {
+		return nil, nil, "", err
+	}
+	var spam []int32
+	if spamPath != "" {
+		spam, err = readSpamLabels(spamPath, pg.NumSources())
+		if err != nil {
+			return nil, nil, "", err
+		}
+	}
+	return pg, spam, pagesPath, nil
+}
+
+// readSpamLabels parses one source ID per line, rejecting out-of-range
+// entries.
+func readSpamLabels(path string, numSources int) ([]int32, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var spam []int32
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		id, err := strconv.Atoi(line)
+		if err != nil || id < 0 || id >= numSources {
+			return nil, fmt.Errorf("bad spam label %q", line)
+		}
+		spam = append(spam, int32(id))
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return spam, nil
+}
+
+// loadExtraScores parses -scores name=path pairs via the linalg binary
+// vector format.
+func loadExtraScores(spec string) (map[server.Algo]linalg.Vector, error) {
+	if spec == "" {
+		return nil, nil
+	}
+	out := map[server.Algo]linalg.Vector{}
+	for _, part := range strings.Split(spec, ",") {
+		name, path, ok := strings.Cut(part, "=")
+		if !ok || name == "" || path == "" {
+			return nil, fmt.Errorf("bad -scores entry %q, want name=path", part)
+		}
+		v, err := linalg.ReadVectorFile(path)
+		if err != nil {
+			return nil, fmt.Errorf("loading %q: %w", path, err)
+		}
+		out[server.Algo(name)] = v
+	}
+	return out, nil
+}
+
+// dumpScores writes each algorithm's vector as dir/<algo>.vec.
+func dumpScores(dir string, snap *server.Snapshot) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	for _, algo := range snap.Algos() {
+		vec := snap.Set(algo).Scores()
+		if err := linalg.WriteVectorFile(fmt.Sprintf("%s/%s.vec", dir, algo), vec); err != nil {
+			return err
+		}
+	}
+	return nil
+}

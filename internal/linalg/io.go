@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"os"
 )
 
 // Binary score-vector format: magic, version, length, IEEE-754 values.
@@ -20,6 +21,31 @@ const (
 
 // ErrVectorCorrupt reports a malformed serialized vector.
 var ErrVectorCorrupt = errors.New("linalg: corrupt vector encoding")
+
+// WriteVectorFile writes v to path in the binary format, creating or
+// truncating the file. cmd/srank snapshots rankings with it and
+// cmd/srserve re-serves them without recomputation.
+func WriteVectorFile(path string, v Vector) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := WriteVector(f, v); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// ReadVectorFile reads a vector written by WriteVectorFile.
+func ReadVectorFile(path string) (Vector, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadVector(f)
+}
 
 // WriteVector serializes v.
 func WriteVector(w io.Writer, v Vector) error {

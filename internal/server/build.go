@@ -1,0 +1,148 @@
+package server
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"sourcerank/internal/core"
+	"sourcerank/internal/linalg"
+	"sourcerank/internal/pagegraph"
+	"sourcerank/internal/rank"
+	"sourcerank/internal/source"
+)
+
+// BuildConfig configures the offline snapshot computation.
+type BuildConfig struct {
+	// Algos selects which score sets to compute; nil means DefaultAlgos.
+	// AlgoSRSR is skipped (not an error) when no spam labels are given,
+	// since the proximity walk needs a seed set.
+	Algos []Algo
+	// Alpha is the mixing parameter for all walks; 0 defaults to 0.85.
+	Alpha float64
+	// TopK is the number of highest-proximity sources throttled fully;
+	// 0 defaults to 2.7% of sources, the paper's WB2001 ratio.
+	TopK int
+	// TrustedSeeds is the TrustRank seed count; 0 defaults to 10. Seeds
+	// are the non-spam sources with the most pages, as in cmd/srank.
+	TrustedSeeds int
+	// Tol, MaxIter, Workers bound the solvers (zero values use the
+	// linalg defaults).
+	Tol     float64
+	MaxIter int
+	Workers int
+	// Name labels the corpus in CorpusInfo.
+	Name string
+	// Extra injects precomputed score vectors (e.g. loaded with
+	// linalg.ReadVectorFile) to serve alongside the computed sets. Each
+	// vector must have one score per source.
+	Extra map[Algo]linalg.Vector
+}
+
+func (c BuildConfig) coreConfig() core.Config {
+	return core.Config{Alpha: c.Alpha, Tol: c.Tol, MaxIter: c.MaxIter, Workers: c.Workers}
+}
+
+func (c BuildConfig) rankOptions() rank.Options {
+	return rank.Options{Alpha: c.Alpha, Tol: c.Tol, MaxIter: c.MaxIter, Workers: c.Workers}
+}
+
+// BuildSnapshot runs the offline stage: derive the source graph once,
+// compute every requested algorithm's score vector over it, and index
+// the results into an immutable Snapshot ready for Store.Publish.
+func BuildSnapshot(pg *pagegraph.Graph, spam []int32, cfg BuildConfig) (*Snapshot, error) {
+	sg, err := source.Build(pg, source.Options{})
+	if err != nil {
+		return nil, fmt.Errorf("server: building source graph: %w", err)
+	}
+	return BuildSnapshotFromSourceGraph(pg, sg, spam, cfg)
+}
+
+// BuildSnapshotFromSourceGraph is BuildSnapshot for callers that already
+// hold the derived source graph (refreshers reuse it across publishes
+// when only κ or the spam labels change).
+func BuildSnapshotFromSourceGraph(pg *pagegraph.Graph, sg *source.Graph, spam []int32, cfg BuildConfig) (*Snapshot, error) {
+	algos := cfg.Algos
+	if len(algos) == 0 {
+		algos = DefaultAlgos
+	}
+	topK := cfg.TopK
+	if topK <= 0 {
+		topK = int(0.027*float64(sg.NumSources()) + 0.5)
+	}
+	sets := make(map[Algo]*ScoreSet, len(algos))
+	for _, algo := range algos {
+		switch algo {
+		case AlgoSRSR:
+			if len(spam) == 0 {
+				continue
+			}
+			res, err := core.PipelineFromSourceGraph(sg, core.PipelineConfig{
+				Config:    cfg.coreConfig(),
+				SpamSeeds: spam,
+				TopK:      topK,
+			})
+			if err != nil {
+				return nil, fmt.Errorf("server: srsr: %w", err)
+			}
+			sets[algo] = NewScoreSet(res.Scores, res.Stats)
+		case AlgoPageRank:
+			res, err := rank.PageRank(sg.Structure(), cfg.rankOptions())
+			if err != nil {
+				return nil, fmt.Errorf("server: pagerank: %w", err)
+			}
+			sets[algo] = NewScoreSet(res.Scores, res.Stats)
+		case AlgoTrustRank:
+			trusted := trustedSeeds(sg, cfg.TrustedSeeds, spam)
+			res, err := rank.TrustRank(sg.Structure(), trusted, cfg.rankOptions())
+			if err != nil {
+				return nil, fmt.Errorf("server: trustrank: %w", err)
+			}
+			sets[algo] = NewScoreSet(res.Scores, res.Stats)
+		default:
+			return nil, fmt.Errorf("server: unknown algorithm %q", algo)
+		}
+	}
+	for algo, vec := range cfg.Extra {
+		sets[algo] = NewScoreSet(vec, linalg.IterStats{Converged: true})
+	}
+	if len(sets) == 0 {
+		return nil, fmt.Errorf("server: no score sets computed (srsr needs spam labels)")
+	}
+	info := CorpusInfo{
+		Name:        cfg.Name,
+		Pages:       pg.NumPages(),
+		Links:       pg.NumLinks(),
+		SpamLabeled: len(spam),
+	}
+	return NewSnapshot(info, sg.Labels, sg.PageCount, topK, sets, time.Now())
+}
+
+// trustedSeeds picks the k non-spam sources with the most pages, the
+// stand-in for a hand-curated trust seed set.
+func trustedSeeds(sg *source.Graph, k int, spam []int32) []int32 {
+	if k <= 0 {
+		k = 10
+	}
+	ex := make(map[int32]bool, len(spam))
+	for _, s := range spam {
+		ex[s] = true
+	}
+	ids := make([]int32, 0, sg.NumSources())
+	for i := range sg.PageCount {
+		if !ex[int32(i)] {
+			ids = append(ids, int32(i))
+		}
+	}
+	sort.Slice(ids, func(a, b int) bool {
+		ca, cb := sg.PageCount[ids[a]], sg.PageCount[ids[b]]
+		if ca != cb {
+			return ca > cb
+		}
+		return ids[a] < ids[b]
+	})
+	if k > len(ids) {
+		k = len(ids)
+	}
+	return ids[:k]
+}

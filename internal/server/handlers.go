@@ -1,0 +1,271 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+	"strconv"
+	"time"
+)
+
+// Endpoint names used for metrics labels.
+const (
+	epRank     = "rank"
+	epTopK     = "topk"
+	epCompare  = "compare"
+	epSnapshot = "snapshot"
+	epHealthz  = "healthz"
+	epMetrics  = "metrics"
+)
+
+var allEndpoints = []string{epRank, epTopK, epCompare, epSnapshot, epHealthz, epMetrics}
+
+// apiError is the JSON error envelope.
+type apiError struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, msg string) {
+	writeJSON(w, code, apiError{Error: msg})
+}
+
+// statusRecorder captures the response code for metrics.
+type statusRecorder struct {
+	http.ResponseWriter
+	code int
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	r.code = code
+	r.ResponseWriter.WriteHeader(code)
+}
+
+// instrument wraps a handler with latency/status accounting and the
+// per-request timeout.
+func (s *Server) instrument(endpoint string, h http.HandlerFunc) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		ctx, cancel := contextWithTimeout(r, s.cfg.RequestTimeout)
+		defer cancel()
+		rec := &statusRecorder{ResponseWriter: w, code: http.StatusOK}
+		start := time.Now()
+		h(rec, r.WithContext(ctx))
+		s.metrics.Observe(endpoint, rec.code, time.Since(start))
+	})
+}
+
+// snapshotOr503 fetches the served snapshot, answering 503 when the
+// store is still empty (startup before the first publish).
+func (s *Server) snapshotOr503(w http.ResponseWriter) (*Snapshot, bool) {
+	snap := s.store.Current()
+	if snap == nil {
+		writeError(w, http.StatusServiceUnavailable, "no snapshot published yet")
+		return nil, false
+	}
+	return snap, true
+}
+
+// algoParam resolves ?algo=, defaulting to srsr when served, otherwise
+// the snapshot's first algorithm.
+func algoParam(r *http.Request, snap *Snapshot) (Algo, error) {
+	raw := r.URL.Query().Get("algo")
+	if raw == "" {
+		if snap.Set(AlgoSRSR) != nil {
+			return AlgoSRSR, nil
+		}
+		return snap.Algos()[0], nil
+	}
+	algo := Algo(raw)
+	if snap.Set(algo) == nil {
+		return "", errors.New("unknown algorithm " + strconv.Quote(raw))
+	}
+	return algo, nil
+}
+
+// rankResponse is the /v1/rank/{source} payload.
+type rankResponse struct {
+	Version uint64 `json:"version"`
+	Algo    Algo   `json:"algo"`
+	Entry
+	Sources int `json:"sources"`
+	Pages   int `json:"pages,omitempty"`
+}
+
+func (s *Server) handleRank(w http.ResponseWriter, r *http.Request) {
+	snap, ok := s.snapshotOr503(w)
+	if !ok {
+		return
+	}
+	algo, err := algoParam(r, snap)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	ident := r.PathValue("source")
+	id, ok := snap.Resolve(ident)
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown source "+strconv.Quote(ident))
+		return
+	}
+	entry, err := snap.Entry(algo, id)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	resp := rankResponse{Version: snap.Version(), Algo: algo, Entry: entry, Sources: snap.NumSources()}
+	if pc := snap.pageCount; int(id) < len(pc) {
+		resp.Pages = pc[id]
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// topKResponse is the /v1/topk payload.
+type topKResponse struct {
+	Version uint64  `json:"version"`
+	Algo    Algo    `json:"algo"`
+	N       int     `json:"n"`
+	Results []Entry `json:"results"`
+}
+
+func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) {
+	snap, ok := s.snapshotOr503(w)
+	if !ok {
+		return
+	}
+	algo, err := algoParam(r, snap)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	n := 10
+	if raw := r.URL.Query().Get("n"); raw != "" {
+		n, err = strconv.Atoi(raw)
+		if err != nil || n < 0 {
+			writeError(w, http.StatusBadRequest, "n must be a non-negative integer")
+			return
+		}
+	}
+	const maxTopK = 10000
+	if n > maxTopK {
+		n = maxTopK
+	}
+	results, err := snap.TopK(algo, n)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, topKResponse{
+		Version: snap.Version(), Algo: algo, N: len(results), Results: results,
+	})
+}
+
+// compareResponse is the /v1/compare payload.
+type compareResponse struct {
+	Version uint64 `json:"version"`
+	Algo    Algo   `json:"algo"`
+	Comparison
+}
+
+func (s *Server) handleCompare(w http.ResponseWriter, r *http.Request) {
+	snap, ok := s.snapshotOr503(w)
+	if !ok {
+		return
+	}
+	algo, err := algoParam(r, snap)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	q := r.URL.Query()
+	rawA, rawB := q.Get("a"), q.Get("b")
+	if rawA == "" || rawB == "" {
+		writeError(w, http.StatusBadRequest, "compare needs both a= and b=")
+		return
+	}
+	a, okA := snap.Resolve(rawA)
+	if !okA {
+		writeError(w, http.StatusNotFound, "unknown source "+strconv.Quote(rawA))
+		return
+	}
+	b, okB := snap.Resolve(rawB)
+	if !okB {
+		writeError(w, http.StatusNotFound, "unknown source "+strconv.Quote(rawB))
+		return
+	}
+	cmp, err := snap.Compare(algo, a, b)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, compareResponse{Version: snap.Version(), Algo: algo, Comparison: cmp})
+}
+
+// snapshotResponse is the /v1/snapshot metadata payload.
+type snapshotResponse struct {
+	Version   uint64     `json:"version"`
+	BuiltAt   time.Time  `json:"built_at"`
+	Corpus    CorpusInfo `json:"corpus"`
+	Algos     []Algo     `json:"algos"`
+	KappaTopK int        `json:"kappa_topk"`
+	Publishes uint64     `json:"publishes"`
+}
+
+func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
+	snap, ok := s.snapshotOr503(w)
+	if !ok {
+		return
+	}
+	writeJSON(w, http.StatusOK, snapshotResponse{
+		Version:   snap.Version(),
+		BuiltAt:   snap.BuiltAt(),
+		Corpus:    snap.Corpus(),
+		Algos:     snap.Algos(),
+		KappaTopK: snap.KappaTopK(),
+		Publishes: s.store.Publishes(),
+	})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	snap := s.store.Current()
+	status := map[string]any{
+		"status":         "ok",
+		"uptime_seconds": time.Since(s.start).Seconds(),
+	}
+	if snap == nil {
+		status["status"] = "starting"
+		writeJSON(w, http.StatusServiceUnavailable, status)
+		return
+	}
+	status["snapshot_version"] = snap.Version()
+	writeJSON(w, http.StatusOK, status)
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	var version uint64
+	sources := 0
+	if snap := s.store.Current(); snap != nil {
+		version = snap.Version()
+		sources = snap.NumSources()
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.metrics.WriteText(w, version, s.store.Publishes(), sources)
+}
+
+// routes wires the instrumented mux.
+func (s *Server) routes() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.Handle("GET /v1/rank/{source}", s.instrument(epRank, s.handleRank))
+	mux.Handle("GET /v1/topk", s.instrument(epTopK, s.handleTopK))
+	mux.Handle("GET /v1/compare", s.instrument(epCompare, s.handleCompare))
+	mux.Handle("GET /v1/snapshot", s.instrument(epSnapshot, s.handleSnapshot))
+	mux.Handle("GET /healthz", s.instrument(epHealthz, s.handleHealthz))
+	mux.Handle("GET /metrics", s.instrument(epMetrics, s.handleMetrics))
+	return mux
+}

@@ -1,0 +1,180 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func newTestServer(t *testing.T, snap *Snapshot) *Server {
+	t.Helper()
+	var store *Store
+	if snap != nil {
+		store = NewStore(snap)
+	} else {
+		store = NewStore(nil)
+	}
+	return New(store, Config{})
+}
+
+func get(t *testing.T, h http.Handler, path string) (*httptest.ResponseRecorder, map[string]any) {
+	t.Helper()
+	req := httptest.NewRequest(http.MethodGet, path, nil)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	body := map[string]any{}
+	if strings.HasPrefix(rec.Header().Get("Content-Type"), "application/json") {
+		if err := json.Unmarshal(rec.Body.Bytes(), &body); err != nil {
+			t.Fatalf("bad JSON from %s: %v\n%s", path, err, rec.Body.String())
+		}
+	}
+	return rec, body
+}
+
+func TestHandleRank(t *testing.T) {
+	snap := testSnapshot(t, AlgoSRSR, []float64{0.1, 0.5, 0.3, 0.08, 0.02})
+	h := newTestServer(t, snap).Handler()
+
+	rec, body := get(t, h, "/v1/rank/1")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", rec.Code, rec.Body)
+	}
+	if body["rank"].(float64) != 1 || body["score"].(float64) != 0.5 {
+		t.Fatalf("body %v", body)
+	}
+	if body["version"].(float64) != 1 {
+		t.Fatalf("version %v, want 1", body["version"])
+	}
+
+	// Label lookup resolves to the same source.
+	rec2, body2 := get(t, h, "/v1/rank/"+snap.labels[1])
+	if rec2.Code != http.StatusOK || body2["source"].(float64) != 1 {
+		t.Fatalf("label lookup: %d %v", rec2.Code, body2)
+	}
+
+	if rec, _ := get(t, h, "/v1/rank/999"); rec.Code != http.StatusNotFound {
+		t.Fatalf("unknown source: %d", rec.Code)
+	}
+	if rec, _ := get(t, h, "/v1/rank/1?algo=bogus"); rec.Code != http.StatusBadRequest {
+		t.Fatalf("bogus algo: %d", rec.Code)
+	}
+}
+
+func TestHandleTopK(t *testing.T) {
+	snap := testSnapshot(t, AlgoSRSR, []float64{0.1, 0.5, 0.3, 0.08, 0.02})
+	h := newTestServer(t, snap).Handler()
+
+	rec, body := get(t, h, "/v1/topk?n=2")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d", rec.Code)
+	}
+	results := body["results"].([]any)
+	if len(results) != 2 {
+		t.Fatalf("%d results", len(results))
+	}
+	first := results[0].(map[string]any)
+	if first["source"].(float64) != 1 {
+		t.Fatalf("top source %v", first)
+	}
+	if rec, _ := get(t, h, "/v1/topk?n=-3"); rec.Code != http.StatusBadRequest {
+		t.Fatalf("negative n: %d", rec.Code)
+	}
+	if rec, _ := get(t, h, "/v1/topk?n=x"); rec.Code != http.StatusBadRequest {
+		t.Fatalf("non-numeric n: %d", rec.Code)
+	}
+	// Default n.
+	if _, body := get(t, h, "/v1/topk"); len(body["results"].([]any)) != 5 {
+		t.Fatalf("default n gave %v", body["n"])
+	}
+}
+
+func TestHandleCompare(t *testing.T) {
+	snap := testSnapshot(t, AlgoSRSR, []float64{0.1, 0.5, 0.3})
+	h := newTestServer(t, snap).Handler()
+
+	rec, body := get(t, h, "/v1/compare?a=1&b=2")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", rec.Code, rec.Body)
+	}
+	if body["rank_delta"].(float64) != 1 {
+		t.Fatalf("rank_delta %v", body["rank_delta"])
+	}
+	if rec, _ := get(t, h, "/v1/compare?a=1"); rec.Code != http.StatusBadRequest {
+		t.Fatalf("missing b: %d", rec.Code)
+	}
+	if rec, _ := get(t, h, "/v1/compare?a=1&b=zzz"); rec.Code != http.StatusNotFound {
+		t.Fatalf("unknown b: %d", rec.Code)
+	}
+}
+
+func TestHandleHealthzAndEmptyStore(t *testing.T) {
+	empty := newTestServer(t, nil)
+	h := empty.Handler()
+	if rec, _ := get(t, h, "/healthz"); rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("empty healthz: %d", rec.Code)
+	}
+	if rec, _ := get(t, h, "/v1/topk"); rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("empty topk: %d", rec.Code)
+	}
+
+	snap := testSnapshot(t, AlgoSRSR, []float64{1})
+	empty.Store().Publish(snap)
+	rec, body := get(t, h, "/healthz")
+	if rec.Code != http.StatusOK || body["status"] != "ok" {
+		t.Fatalf("healthz after publish: %d %v", rec.Code, body)
+	}
+}
+
+func TestHandleSnapshotMeta(t *testing.T) {
+	snap := testSnapshot(t, AlgoSRSR, []float64{0.6, 0.4})
+	h := newTestServer(t, snap).Handler()
+	rec, body := get(t, h, "/v1/snapshot")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d", rec.Code)
+	}
+	if body["publishes"].(float64) != 1 {
+		t.Fatalf("publishes %v", body["publishes"])
+	}
+	algos := body["algos"].([]any)
+	if len(algos) != 1 || algos[0] != "srsr" {
+		t.Fatalf("algos %v", algos)
+	}
+}
+
+func TestMetricsEndpoint(t *testing.T) {
+	snap := testSnapshot(t, AlgoSRSR, []float64{0.6, 0.4})
+	srv := newTestServer(t, snap)
+	h := srv.Handler()
+
+	for i := 0; i < 3; i++ {
+		get(t, h, "/v1/topk?n=1")
+	}
+	get(t, h, "/v1/rank/0")
+	get(t, h, "/v1/rank/notfound")
+
+	req := httptest.NewRequest(http.MethodGet, "/metrics", nil)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("metrics status %d", rec.Code)
+	}
+	text := rec.Body.String()
+	for _, want := range []string{
+		`srserve_requests_total{endpoint="topk",class="2xx"} 3`,
+		`srserve_requests_total{endpoint="rank",class="2xx"} 1`,
+		`srserve_requests_total{endpoint="rank",class="4xx"} 1`,
+		"srserve_snapshot_version 1",
+		"srserve_snapshot_publishes_total 1",
+		"srserve_request_seconds_bucket",
+		`srserve_request_seconds_count{endpoint="topk"} 3`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("metrics output missing %q:\n%s", want, text)
+		}
+	}
+	if srv.Metrics().Requests(epTopK) != 3 {
+		t.Fatalf("Requests(topk) = %d", srv.Metrics().Requests(epTopK))
+	}
+}

@@ -1,0 +1,136 @@
+package server
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync/atomic"
+	"time"
+)
+
+// latencyBounds are the histogram bucket upper bounds in seconds,
+// spanning sub-millisecond index lookups to slow multi-second rebuilds.
+var latencyBounds = []float64{
+	0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005,
+	0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5,
+}
+
+// statusClasses partitions response codes for the request counters.
+var statusClasses = []string{"2xx", "3xx", "4xx", "5xx"}
+
+// endpointStats accumulates one endpoint's counters and latency
+// histogram with plain atomics — no locks on the request path.
+type endpointStats struct {
+	byClass [4]atomic.Uint64
+	buckets []atomic.Uint64 // len(latencyBounds)+1; last is +Inf
+	count   atomic.Uint64
+	sumNS   atomic.Uint64
+}
+
+// Metrics is a fixed-shape, stdlib-only metrics registry exposed in
+// Prometheus text format at /metrics. Endpoints are registered up front
+// so Observe never allocates.
+type Metrics struct {
+	start     time.Time
+	names     []string
+	endpoints map[string]*endpointStats
+}
+
+// NewMetrics registers the given endpoint names.
+func NewMetrics(endpoints ...string) *Metrics {
+	m := &Metrics{
+		start:     time.Now(),
+		names:     append([]string(nil), endpoints...),
+		endpoints: make(map[string]*endpointStats, len(endpoints)),
+	}
+	sort.Strings(m.names)
+	for _, name := range m.names {
+		m.endpoints[name] = &endpointStats{buckets: make([]atomic.Uint64, len(latencyBounds)+1)}
+	}
+	return m
+}
+
+// Observe records one completed request. Unknown endpoints are dropped
+// silently (they cannot occur when handlers are wired via instrument).
+func (m *Metrics) Observe(endpoint string, code int, d time.Duration) {
+	es, ok := m.endpoints[endpoint]
+	if !ok {
+		return
+	}
+	class := code/100 - 2
+	if class < 0 || class > 3 {
+		class = 3
+	}
+	es.byClass[class].Add(1)
+	es.count.Add(1)
+	es.sumNS.Add(uint64(d.Nanoseconds()))
+	sec := d.Seconds()
+	idx := len(latencyBounds)
+	for i, b := range latencyBounds {
+		if sec <= b {
+			idx = i
+			break
+		}
+	}
+	es.buckets[idx].Add(1)
+}
+
+// WriteText renders the registry in Prometheus text exposition format,
+// including snapshot gauges supplied by the caller.
+func (m *Metrics) WriteText(w io.Writer, snapVersion, publishes uint64, sources int) {
+	fmt.Fprintf(w, "# HELP srserve_uptime_seconds Seconds since the server started.\n")
+	fmt.Fprintf(w, "# TYPE srserve_uptime_seconds gauge\n")
+	fmt.Fprintf(w, "srserve_uptime_seconds %.3f\n", time.Since(m.start).Seconds())
+
+	fmt.Fprintf(w, "# HELP srserve_snapshot_version Version of the snapshot being served.\n")
+	fmt.Fprintf(w, "# TYPE srserve_snapshot_version gauge\n")
+	fmt.Fprintf(w, "srserve_snapshot_version %d\n", snapVersion)
+
+	fmt.Fprintf(w, "# HELP srserve_snapshot_publishes_total Snapshots published since start.\n")
+	fmt.Fprintf(w, "# TYPE srserve_snapshot_publishes_total counter\n")
+	fmt.Fprintf(w, "srserve_snapshot_publishes_total %d\n", publishes)
+
+	fmt.Fprintf(w, "# HELP srserve_snapshot_sources Sources in the served snapshot.\n")
+	fmt.Fprintf(w, "# TYPE srserve_snapshot_sources gauge\n")
+	fmt.Fprintf(w, "srserve_snapshot_sources %d\n", sources)
+
+	fmt.Fprintf(w, "# HELP srserve_requests_total Requests served, by endpoint and status class.\n")
+	fmt.Fprintf(w, "# TYPE srserve_requests_total counter\n")
+	for _, name := range m.names {
+		es := m.endpoints[name]
+		for i, class := range statusClasses {
+			if v := es.byClass[i].Load(); v > 0 {
+				fmt.Fprintf(w, "srserve_requests_total{endpoint=%q,class=%q} %d\n", name, class, v)
+			}
+		}
+	}
+
+	fmt.Fprintf(w, "# HELP srserve_request_seconds Request latency histogram, by endpoint.\n")
+	fmt.Fprintf(w, "# TYPE srserve_request_seconds histogram\n")
+	for _, name := range m.names {
+		es := m.endpoints[name]
+		if es.count.Load() == 0 {
+			continue
+		}
+		var cum uint64
+		for i, b := range latencyBounds {
+			cum += es.buckets[i].Load()
+			fmt.Fprintf(w, "srserve_request_seconds_bucket{endpoint=%q,le=\"%g\"} %d\n", name, b, cum)
+		}
+		cum += es.buckets[len(latencyBounds)].Load()
+		fmt.Fprintf(w, "srserve_request_seconds_bucket{endpoint=%q,le=\"+Inf\"} %d\n", name, cum)
+		fmt.Fprintf(w, "srserve_request_seconds_sum{endpoint=%q} %.6f\n", name, float64(es.sumNS.Load())/1e9)
+		fmt.Fprintf(w, "srserve_request_seconds_count{endpoint=%q} %d\n", name, es.count.Load())
+	}
+}
+
+// Requests returns the total request count for one endpoint (all status
+// classes); tests use it to assert instrumentation without parsing the
+// text format.
+func (m *Metrics) Requests(endpoint string) uint64 {
+	es, ok := m.endpoints[endpoint]
+	if !ok {
+		return 0
+	}
+	return es.count.Load()
+}

@@ -1,0 +1,57 @@
+package server
+
+import (
+	"context"
+	"time"
+)
+
+// BuildFunc produces the next snapshot during a refresh. It runs on the
+// refresher's goroutine; readers keep serving the old snapshot while it
+// computes. Implementations typically re-read spam labels or recompute
+// κ and call BuildSnapshot.
+type BuildFunc func(ctx context.Context) (*Snapshot, error)
+
+// Refresher periodically rebuilds and publishes snapshots.
+type Refresher struct {
+	Store    *Store
+	Build    BuildFunc
+	Interval time.Duration
+	// OnPublish, if set, observes each successful publish.
+	OnPublish func(version uint64, snap *Snapshot)
+	// OnError, if set, observes build failures; the old snapshot stays
+	// published and the loop continues.
+	OnError func(error)
+}
+
+// Run rebuilds every Interval until ctx is canceled. A failed build
+// never unpublishes the serving snapshot.
+func (r *Refresher) Run(ctx context.Context) {
+	if r.Interval <= 0 || r.Build == nil {
+		return
+	}
+	t := time.NewTicker(r.Interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+			r.RefreshNow(ctx)
+		}
+	}
+}
+
+// RefreshNow runs one build+publish cycle synchronously.
+func (r *Refresher) RefreshNow(ctx context.Context) {
+	snap, err := r.Build(ctx)
+	if err != nil {
+		if r.OnError != nil {
+			r.OnError(err)
+		}
+		return
+	}
+	v := r.Store.Publish(snap)
+	if r.OnPublish != nil {
+		r.OnPublish(v, snap)
+	}
+}

@@ -1,0 +1,116 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"net"
+	"net/http"
+	"time"
+)
+
+// Config tunes the HTTP server. The zero value is serviceable.
+type Config struct {
+	// Addr is the listen address; "" defaults to ":8080".
+	Addr string
+	// RequestTimeout bounds each request's context; 0 defaults to 5s.
+	RequestTimeout time.Duration
+	// ShutdownGrace bounds graceful shutdown; 0 defaults to 10s.
+	ShutdownGrace time.Duration
+}
+
+func (c Config) addr() string {
+	if c.Addr == "" {
+		return ":8080"
+	}
+	return c.Addr
+}
+
+func (c Config) requestTimeout() time.Duration {
+	if c.RequestTimeout <= 0 {
+		return 5 * time.Second
+	}
+	return c.RequestTimeout
+}
+
+func (c Config) shutdownGrace() time.Duration {
+	if c.ShutdownGrace <= 0 {
+		return 10 * time.Second
+	}
+	return c.ShutdownGrace
+}
+
+// Server serves ranking queries from a Store's current snapshot.
+type Server struct {
+	cfg     Config
+	store   *Store
+	metrics *Metrics
+	start   time.Time
+}
+
+// New assembles a server around store.
+func New(store *Store, cfg Config) *Server {
+	return &Server{
+		cfg:     cfg,
+		store:   store,
+		metrics: NewMetrics(allEndpoints...),
+		start:   time.Now(),
+	}
+}
+
+// Store exposes the underlying snapshot store (for refreshers).
+func (s *Server) Store() *Store { return s.store }
+
+// Metrics exposes the registry (for tests and embedding).
+func (s *Server) Metrics() *Metrics { return s.metrics }
+
+// Handler returns the fully-wired HTTP handler.
+func (s *Server) Handler() http.Handler { return s.routes() }
+
+// contextWithTimeout derives the per-request deadline.
+func contextWithTimeout(r *http.Request, d time.Duration) (context.Context, context.CancelFunc) {
+	if d <= 0 {
+		return r.Context(), func() {}
+	}
+	return context.WithTimeout(r.Context(), d)
+}
+
+// Run listens on cfg.Addr and serves until ctx is canceled, then shuts
+// down gracefully within cfg.ShutdownGrace. It returns nil on a clean
+// shutdown.
+func (s *Server) Run(ctx context.Context) error {
+	l, err := net.Listen("tcp", s.cfg.addr())
+	if err != nil {
+		return err
+	}
+	return s.RunListener(ctx, l)
+}
+
+// RunListener is Run on an existing listener; tests use it with an
+// ephemeral port. The listener is closed on return.
+func (s *Server) RunListener(ctx context.Context, l net.Listener) error {
+	srv := &http.Server{
+		Handler:           s.Handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+		// The per-request context timeout (instrument) governs handler
+		// work; WriteTimeout is a backstop above it.
+		WriteTimeout: s.cfg.requestTimeout() + 5*time.Second,
+		BaseContext:  func(net.Listener) context.Context { return ctx },
+	}
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.Serve(l) }()
+	select {
+	case err := <-errCh:
+		return err
+	case <-ctx.Done():
+	}
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), s.cfg.shutdownGrace())
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil {
+		_ = srv.Close()
+		return err
+	}
+	if err := <-errCh; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	return nil
+}

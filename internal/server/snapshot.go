@@ -1,0 +1,238 @@
+// Package server implements the online serving layer for Spam-Resilient
+// SourceRank: score vectors are computed offline into an immutable
+// Snapshot, published atomically to a Store, and queried over HTTP by
+// cmd/srserve. Readers never block on recomputation — a background
+// goroutine builds the next snapshot (e.g. with fresh spam labels or a
+// new κ assignment) and hot-swaps it with a single atomic pointer store.
+package server
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"time"
+
+	"sourcerank/internal/linalg"
+)
+
+// Algo names a ranking algorithm served from a snapshot.
+type Algo string
+
+// The algorithms a snapshot can carry. SRSR is the paper's throttled
+// model; PageRank and TrustRank are the source-level baselines it is
+// compared against.
+const (
+	AlgoSRSR      Algo = "srsr"
+	AlgoPageRank  Algo = "pagerank"
+	AlgoTrustRank Algo = "trustrank"
+)
+
+// DefaultAlgos is the set BuildSnapshot computes when none is given.
+var DefaultAlgos = []Algo{AlgoSRSR, AlgoPageRank, AlgoTrustRank}
+
+// Entry is one source's standing under one algorithm.
+type Entry struct {
+	Source int32   `json:"source"`
+	Label  string  `json:"label"`
+	Score  float64 `json:"score"`
+	// Rank is 1-based: the highest-scoring source has Rank 1.
+	Rank int `json:"rank"`
+}
+
+// ScoreSet holds one algorithm's scores plus the precomputed rank index,
+// so top-k queries slice a sorted array instead of sorting per request.
+type ScoreSet struct {
+	scores linalg.Vector
+	order  []int32 // source IDs in descending score order, ties by ID
+	rank   []int32 // rank[source] = position of source in order
+	stats  linalg.IterStats
+}
+
+// NewScoreSet indexes a score vector for serving. The vector is retained
+// (not copied); callers must not mutate it afterwards.
+func NewScoreSet(scores linalg.Vector, stats linalg.IterStats) *ScoreSet {
+	n := len(scores)
+	order := make([]int32, n)
+	for i := range order {
+		order[i] = int32(i)
+	}
+	sort.Slice(order, func(a, b int) bool {
+		sa, sb := scores[order[a]], scores[order[b]]
+		if sa != sb {
+			return sa > sb
+		}
+		return order[a] < order[b]
+	})
+	rank := make([]int32, n)
+	for pos, id := range order {
+		rank[id] = int32(pos)
+	}
+	return &ScoreSet{scores: scores, order: order, rank: rank, stats: stats}
+}
+
+// Stats reports the solver convergence of this score set.
+func (ss *ScoreSet) Stats() linalg.IterStats { return ss.stats }
+
+// Scores returns a copy of the underlying score vector, indexed by
+// source ID.
+func (ss *ScoreSet) Scores() linalg.Vector {
+	return append(linalg.Vector(nil), ss.scores...)
+}
+
+// CorpusInfo summarizes the corpus behind a snapshot.
+type CorpusInfo struct {
+	Name        string `json:"name"`
+	Pages       int    `json:"pages"`
+	Links       int64  `json:"links"`
+	Sources     int    `json:"sources"`
+	SpamLabeled int    `json:"spam_labeled"`
+}
+
+// Snapshot is an immutable, fully-indexed serving state. All fields are
+// fixed before the snapshot is published; concurrent readers therefore
+// need no locks. Version is assigned by Store.Publish.
+type Snapshot struct {
+	version   uint64
+	builtAt   time.Time
+	corpus    CorpusInfo
+	labels    []string
+	byLabel   map[string]int32
+	pageCount []int
+	kappaTopK int
+	sets      map[Algo]*ScoreSet
+}
+
+// NewSnapshot assembles a snapshot from prepared parts. labels and sets
+// are retained; callers must not mutate them afterwards.
+func NewSnapshot(corpus CorpusInfo, labels []string, pageCount []int, kappaTopK int, sets map[Algo]*ScoreSet, builtAt time.Time) (*Snapshot, error) {
+	if len(sets) == 0 {
+		return nil, fmt.Errorf("server: snapshot needs at least one score set")
+	}
+	for algo, ss := range sets {
+		if len(ss.scores) != len(labels) {
+			return nil, fmt.Errorf("server: %s has %d scores for %d sources", algo, len(ss.scores), len(labels))
+		}
+	}
+	byLabel := make(map[string]int32, len(labels))
+	for i, l := range labels {
+		if _, dup := byLabel[l]; !dup {
+			byLabel[l] = int32(i)
+		}
+	}
+	corpus.Sources = len(labels)
+	return &Snapshot{
+		builtAt:   builtAt,
+		corpus:    corpus,
+		labels:    labels,
+		byLabel:   byLabel,
+		pageCount: pageCount,
+		kappaTopK: kappaTopK,
+		sets:      sets,
+	}, nil
+}
+
+// Version is the store-assigned publish sequence number (0 until
+// published).
+func (s *Snapshot) Version() uint64 { return s.version }
+
+// BuiltAt reports when the offline computation finished.
+func (s *Snapshot) BuiltAt() time.Time { return s.builtAt }
+
+// Corpus describes the corpus the snapshot was computed from.
+func (s *Snapshot) Corpus() CorpusInfo { return s.corpus }
+
+// KappaTopK is the number of fully-throttled sources used for SRSR.
+func (s *Snapshot) KappaTopK() int { return s.kappaTopK }
+
+// NumSources is the number of sources served.
+func (s *Snapshot) NumSources() int { return len(s.labels) }
+
+// Algos lists the available algorithms in stable order.
+func (s *Snapshot) Algos() []Algo {
+	out := make([]Algo, 0, len(s.sets))
+	for a := range s.sets {
+		out = append(out, a)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Set returns the score set for algo, or nil.
+func (s *Snapshot) Set(algo Algo) *ScoreSet { return s.sets[algo] }
+
+// Resolve maps a path identifier — a numeric source ID or a source
+// label — to a source ID.
+func (s *Snapshot) Resolve(ident string) (int32, bool) {
+	if id, err := strconv.Atoi(ident); err == nil {
+		if id < 0 || id >= len(s.labels) {
+			return 0, false
+		}
+		return int32(id), true
+	}
+	id, ok := s.byLabel[ident]
+	return id, ok
+}
+
+// Entry returns source id's standing under algo.
+func (s *Snapshot) Entry(algo Algo, id int32) (Entry, error) {
+	ss, ok := s.sets[algo]
+	if !ok {
+		return Entry{}, fmt.Errorf("server: unknown algorithm %q", algo)
+	}
+	if id < 0 || int(id) >= len(s.labels) {
+		return Entry{}, fmt.Errorf("server: source %d out of range [0,%d)", id, len(s.labels))
+	}
+	return Entry{
+		Source: id,
+		Label:  s.labels[id],
+		Score:  ss.scores[id],
+		Rank:   int(ss.rank[id]) + 1,
+	}, nil
+}
+
+// TopK returns the n highest-ranked entries under algo (fewer if the
+// corpus is smaller). It reads the precomputed index; no per-request
+// sort happens.
+func (s *Snapshot) TopK(algo Algo, n int) ([]Entry, error) {
+	ss, ok := s.sets[algo]
+	if !ok {
+		return nil, fmt.Errorf("server: unknown algorithm %q", algo)
+	}
+	if n < 0 {
+		n = 0
+	}
+	if n > len(ss.order) {
+		n = len(ss.order)
+	}
+	out := make([]Entry, n)
+	for i := 0; i < n; i++ {
+		id := ss.order[i]
+		out[i] = Entry{Source: id, Label: s.labels[id], Score: ss.scores[id], Rank: i + 1}
+	}
+	return out, nil
+}
+
+// Comparison is the result of comparing two sources under one algorithm.
+type Comparison struct {
+	A          Entry   `json:"a"`
+	B          Entry   `json:"b"`
+	ScoreRatio float64 `json:"score_ratio"` // A.Score / B.Score; 0 if B.Score == 0
+	RankDelta  int     `json:"rank_delta"`  // B.Rank - A.Rank; positive means A ranks higher
+}
+
+// Compare returns both sources' entries plus derived deltas.
+func (s *Snapshot) Compare(algo Algo, a, b int32) (Comparison, error) {
+	ea, err := s.Entry(algo, a)
+	if err != nil {
+		return Comparison{}, err
+	}
+	eb, err := s.Entry(algo, b)
+	if err != nil {
+		return Comparison{}, err
+	}
+	c := Comparison{A: ea, B: eb, RankDelta: eb.Rank - ea.Rank}
+	if eb.Score != 0 {
+		c.ScoreRatio = ea.Score / eb.Score
+	}
+	return c, nil
+}

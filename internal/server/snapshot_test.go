@@ -1,0 +1,212 @@
+package server
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"sourcerank/internal/gen"
+	"sourcerank/internal/linalg"
+)
+
+// testSnapshot builds a small synthetic snapshot with the given scores
+// for a single algorithm.
+func testSnapshot(t *testing.T, algo Algo, scores []float64) *Snapshot {
+	t.Helper()
+	labels := make([]string, len(scores))
+	pages := make([]int, len(scores))
+	for i := range labels {
+		labels[i] = "s" + string(rune('a'+i%26)) + string(rune('0'+i/26))
+		pages[i] = i + 1
+	}
+	snap, err := NewSnapshot(CorpusInfo{Name: "test"}, labels, pages, 0,
+		map[Algo]*ScoreSet{algo: NewScoreSet(linalg.Vector(scores), linalg.IterStats{Converged: true})},
+		time.Now())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return snap
+}
+
+func TestScoreSetIndex(t *testing.T) {
+	scores := []float64{0.1, 0.5, 0.3, 0.5, 0.0}
+	ss := NewScoreSet(linalg.Vector(scores), linalg.IterStats{})
+	// Descending score, ties broken by smaller ID: 1, 3, 2, 0, 4.
+	want := []int32{1, 3, 2, 0, 4}
+	for i, w := range want {
+		if ss.order[i] != w {
+			t.Fatalf("order[%d] = %d, want %d (order %v)", i, ss.order[i], w, ss.order)
+		}
+	}
+	for pos, id := range ss.order {
+		if int(ss.rank[id]) != pos {
+			t.Fatalf("rank[%d] = %d, want %d", id, ss.rank[id], pos)
+		}
+	}
+}
+
+func TestSnapshotTopKAndEntry(t *testing.T) {
+	snap := testSnapshot(t, AlgoSRSR, []float64{0.1, 0.5, 0.3, 0.08, 0.02})
+	top, err := snap.TopK(AlgoSRSR, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(top) != 3 {
+		t.Fatalf("got %d entries, want 3", len(top))
+	}
+	for i := 1; i < len(top); i++ {
+		if top[i].Score > top[i-1].Score {
+			t.Fatalf("topk not sorted: %v", top)
+		}
+		if top[i].Rank != i+1 {
+			t.Fatalf("rank %d at position %d", top[i].Rank, i)
+		}
+	}
+	if top[0].Source != 1 {
+		t.Fatalf("top source = %d, want 1", top[0].Source)
+	}
+	e, err := snap.Entry(AlgoSRSR, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Rank != 2 || e.Score != 0.3 {
+		t.Fatalf("entry = %+v, want rank 2 score 0.3", e)
+	}
+	// Oversized and negative n clamp rather than error.
+	if all, _ := snap.TopK(AlgoSRSR, 100); len(all) != 5 {
+		t.Fatalf("clamped topk returned %d", len(all))
+	}
+	if none, _ := snap.TopK(AlgoSRSR, -1); len(none) != 0 {
+		t.Fatalf("negative n returned %d entries", len(none))
+	}
+	if _, err := snap.TopK("nope", 1); err == nil {
+		t.Fatal("unknown algo must error")
+	}
+}
+
+func TestSnapshotResolve(t *testing.T) {
+	snap := testSnapshot(t, AlgoSRSR, []float64{0.4, 0.6})
+	if id, ok := snap.Resolve("1"); !ok || id != 1 {
+		t.Fatalf("numeric resolve failed: %d %v", id, ok)
+	}
+	if id, ok := snap.Resolve(snap.labels[0]); !ok || id != 0 {
+		t.Fatalf("label resolve failed: %d %v", id, ok)
+	}
+	if _, ok := snap.Resolve("99"); ok {
+		t.Fatal("out-of-range ID resolved")
+	}
+	if _, ok := snap.Resolve("no-such-label"); ok {
+		t.Fatal("unknown label resolved")
+	}
+}
+
+func TestSnapshotCompare(t *testing.T) {
+	snap := testSnapshot(t, AlgoSRSR, []float64{0.1, 0.4, 0.2})
+	c, err := snap.Compare(AlgoSRSR, 1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.A.Rank != 1 || c.B.Rank != 2 {
+		t.Fatalf("ranks %d vs %d", c.A.Rank, c.B.Rank)
+	}
+	if c.RankDelta != 1 {
+		t.Fatalf("rank delta %d, want 1", c.RankDelta)
+	}
+	if got, want := c.ScoreRatio, 0.4/0.2; got != want {
+		t.Fatalf("score ratio %g, want %g", got, want)
+	}
+}
+
+func TestBuildSnapshotFromPreset(t *testing.T) {
+	ds, err := gen.GeneratePreset(gen.UK2002, 0.002, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap, err := BuildSnapshot(ds.Pages, ds.SpamSources, BuildConfig{Name: ds.Name})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(snap.Algos()); got != 3 {
+		t.Fatalf("algos = %v, want 3", snap.Algos())
+	}
+	if snap.Corpus().Sources != ds.Pages.NumSources() {
+		t.Fatalf("corpus sources %d != %d", snap.Corpus().Sources, ds.Pages.NumSources())
+	}
+	for _, algo := range snap.Algos() {
+		top, err := snap.TopK(algo, snap.NumSources())
+		if err != nil {
+			t.Fatal(err)
+		}
+		var sum float64
+		for i, e := range top {
+			sum += e.Score
+			if i > 0 && e.Score > top[i-1].Score {
+				t.Fatalf("%s topk unsorted at %d", algo, i)
+			}
+		}
+		// Every served vector is a probability distribution.
+		if sum < 0.99 || sum > 1.01 {
+			t.Fatalf("%s scores sum to %g, want ~1", algo, sum)
+		}
+		if !snap.Set(algo).Stats().Converged {
+			t.Fatalf("%s solver did not converge", algo)
+		}
+	}
+	// Scores() returns a defensive copy.
+	v := snap.Set(AlgoSRSR).Scores()
+	v[0] = 42
+	if snap.Set(AlgoSRSR).Scores()[0] == 42 {
+		t.Fatal("Scores() exposed internal state")
+	}
+}
+
+func TestBuildSnapshotSkipsSRSRWithoutSpam(t *testing.T) {
+	ds, err := gen.GeneratePreset(gen.UK2002, 0.002, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap, err := BuildSnapshot(ds.Pages, nil, BuildConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Set(AlgoSRSR) != nil {
+		t.Fatal("srsr computed without spam labels")
+	}
+	if snap.Set(AlgoPageRank) == nil || snap.Set(AlgoTrustRank) == nil {
+		t.Fatal("baselines missing")
+	}
+}
+
+func TestBuildSnapshotExtraVector(t *testing.T) {
+	ds, err := gen.GeneratePreset(gen.UK2002, 0.002, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := ds.Pages.NumSources()
+	rng := rand.New(rand.NewSource(1))
+	vec := make(linalg.Vector, n)
+	for i := range vec {
+		vec[i] = rng.Float64()
+	}
+	snap, err := BuildSnapshot(ds.Pages, ds.SpamSources, BuildConfig{
+		Algos: []Algo{AlgoPageRank},
+		Extra: map[Algo]linalg.Vector{"external": vec},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Set("external") == nil {
+		t.Fatal("extra vector not served")
+	}
+	top, err := snap.TopK("external", 1)
+	if err != nil || len(top) != 1 {
+		t.Fatalf("topk on extra vector: %v %v", top, err)
+	}
+	// Mismatched length must be rejected at snapshot assembly.
+	if _, err := BuildSnapshot(ds.Pages, nil, BuildConfig{
+		Algos: []Algo{AlgoPageRank},
+		Extra: map[Algo]linalg.Vector{"bad": vec[:n-1]},
+	}); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+}

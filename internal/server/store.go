@@ -1,0 +1,40 @@
+package server
+
+import "sync/atomic"
+
+// Store holds the currently-served snapshot behind an atomic pointer.
+// Readers call Current and work against one immutable snapshot for the
+// whole request; publishers swap in a replacement without blocking any
+// reader. There is no lock anywhere on the read path.
+type Store struct {
+	cur       atomic.Pointer[Snapshot]
+	versions  atomic.Uint64
+	publishes atomic.Uint64
+}
+
+// NewStore creates a store serving initial (which may be nil; handlers
+// answer 503 until the first publish).
+func NewStore(initial *Snapshot) *Store {
+	s := &Store{}
+	if initial != nil {
+		s.Publish(initial)
+	}
+	return s
+}
+
+// Current returns the snapshot being served, or nil before the first
+// publish.
+func (s *Store) Current() *Snapshot { return s.cur.Load() }
+
+// Publish assigns snap the next version number and makes it the served
+// snapshot. The caller must hand over ownership: snap must not be
+// mutated after Publish. Returns the assigned version (starting at 1).
+func (s *Store) Publish(snap *Snapshot) uint64 {
+	snap.version = s.versions.Add(1)
+	s.cur.Store(snap)
+	s.publishes.Add(1)
+	return snap.version
+}
+
+// Publishes counts successful Publish calls since creation.
+func (s *Store) Publishes() uint64 { return s.publishes.Load() }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"net/url"
 	"strings"
+	"unicode"
 )
 
 // Normalize canonicalizes a page URL so that syntactic variants of the
@@ -16,23 +17,56 @@ func Normalize(raw string) (string, error) {
 	if raw == "" {
 		return "", fmt.Errorf("%w: empty URL", ErrBadURL)
 	}
-	if !strings.Contains(raw, "://") {
-		raw = "http://" + raw
-	}
 	u, err := url.Parse(raw)
+	// Inputs like "example.com/x" or "example.com:8080" carry no (or a
+	// bogus) scheme; retry them as http. Scheme-relative "//host/x"
+	// needs only "http:" prepended. Inputs that already spell out a
+	// scheme with "://" are taken at face value, so "file:///x" is
+	// rejected for its missing host rather than mangled into http.
+	if (err != nil || u.Scheme == "" || u.Host == "") && !strings.Contains(raw, "://") {
+		prefix := "http://"
+		if strings.HasPrefix(raw, "//") {
+			prefix = "http:"
+		}
+		if u2, err2 := url.Parse(prefix + raw); err2 == nil {
+			u, err = u2, nil
+		}
+	}
 	if err != nil {
 		return "", fmt.Errorf("%w: %v", ErrBadURL, err)
+	}
+	if u.Scheme == "" {
+		return "", fmt.Errorf("%w: %q has no scheme", ErrBadURL, raw)
 	}
 	if u.Hostname() == "" {
 		return "", fmt.Errorf("%w: %q has no host", ErrBadURL, raw)
 	}
 	u.Scheme = strings.ToLower(u.Scheme)
 	host := strings.ToLower(strings.TrimSuffix(u.Hostname(), "."))
+	// Validate after trimming the root-FQDN dot: hosts like "." or ".."
+	// survive the Hostname() check above but trim to nothing (or to a
+	// bare dot), which would emit a URL that fails re-normalization.
+	if host == "" || strings.HasSuffix(host, ".") {
+		return "", fmt.Errorf("%w: %q has no usable host", ErrBadURL, raw)
+	}
+	// Parse stores the host percent-decoded, so delimiter characters can
+	// sneak in (e.g. a stray "[" from a malformed IPv6 literal). A host
+	// containing URL structure would serialize into a different URL than
+	// it parsed from; reject it.
+	if strings.ContainsAny(host, "[]/\\?#@ \t\r\n") {
+		return "", fmt.Errorf("%w: %q has a malformed host", ErrBadURL, raw)
+	}
 	port := u.Port()
 	switch {
 	case port == "":
 	case u.Scheme == "http" && port == "80", u.Scheme == "https" && port == "443":
 		port = ""
+	}
+	// Hostname() strips the brackets of IPv6 literals; they must come
+	// back before the host rejoins the URL, or "http://[::1]/" would
+	// round-trip to the unparseable "http://::1/".
+	if strings.Contains(host, ":") {
+		host = "[" + host + "]"
 	}
 	if port != "" {
 		u.Host = host + ":" + port
@@ -45,7 +79,29 @@ func Normalize(raw string) (string, error) {
 	} else {
 		u.Path = resolveDotSegments(u.Path)
 	}
+	u.RawQuery = escapeQuerySpace(u.RawQuery)
 	return u.String(), nil
+}
+
+// escapeQuerySpace percent-encodes whitespace in a raw query. String()
+// emits RawQuery verbatim, so a query ending in a space would produce a
+// URL whose own normalization trims that space away — breaking the
+// fixed-point property that corpus dedup relies on.
+func escapeQuerySpace(q string) string {
+	if !strings.ContainsFunc(q, unicode.IsSpace) {
+		return q
+	}
+	var b strings.Builder
+	for _, r := range q {
+		if unicode.IsSpace(r) {
+			for _, c := range []byte(string(r)) {
+				fmt.Fprintf(&b, "%%%02X", c)
+			}
+		} else {
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
 }
 
 // resolveDotSegments removes "." and ".." path segments per RFC 3986 §5.2.4.

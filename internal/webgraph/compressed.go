@@ -160,18 +160,19 @@ func ReadCompressed(r io.Reader) (*Compressed, error) {
 	if nodes > 1<<31 || slabLen > 1<<40 {
 		return nil, fmt.Errorf("%w: implausible sizes", ErrCodec)
 	}
-	c := &Compressed{
-		numNodes: int(nodes),
-		numEdges: int64(edges),
-		offsets:  make([]int64, nodes+1),
-		slab:     make([]byte, slabLen),
-	}
-	if err := binary.Read(br, binary.LittleEndian, c.offsets); err != nil {
+	c := &Compressed{numNodes: int(nodes), numEdges: int64(edges)}
+	// Chunked reads: a forged header must not force a huge allocation
+	// before the stream runs dry (see safeio.go).
+	offsets, err := readInt64s(br, nodes+1)
+	if err != nil {
 		return nil, fmt.Errorf("webgraph: reading offsets: %w", err)
 	}
-	if _, err := io.ReadFull(br, c.slab); err != nil {
+	c.offsets = offsets
+	slab, err := readBytes(br, slabLen)
+	if err != nil {
 		return nil, fmt.Errorf("webgraph: reading slab: %w", err)
 	}
+	c.slab = slab
 	// Verify offsets and decode every list once to surface corruption now
 	// rather than at query time.
 	var edgeCount int64

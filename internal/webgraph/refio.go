@@ -72,18 +72,19 @@ func ReadCompressedRef(r io.Reader) (*CompressedRef, error) {
 	if nodes > 1<<31 || slabLen > 1<<40 {
 		return nil, fmt.Errorf("%w: implausible sizes", ErrCodec)
 	}
-	c := &CompressedRef{
-		numNodes: int(nodes),
-		numEdges: int64(edges),
-		offsets:  make([]int64, nodes+1),
-		slab:     make([]byte, slabLen),
-	}
-	if err := binary.Read(br, le, c.offsets); err != nil {
+	c := &CompressedRef{numNodes: int(nodes), numEdges: int64(edges)}
+	// Chunked reads: a forged header must not force a huge allocation
+	// before the stream runs dry (see safeio.go).
+	offsets, err := readInt64s(br, nodes+1)
+	if err != nil {
 		return nil, fmt.Errorf("webgraph: reading offsets: %w", err)
 	}
-	if _, err := io.ReadFull(br, c.slab); err != nil {
+	c.offsets = offsets
+	slab, err := readBytes(br, slabLen)
+	if err != nil {
 		return nil, fmt.Errorf("webgraph: reading slab: %w", err)
 	}
+	c.slab = slab
 	// Offsets sanity plus a full decode to surface corruption eagerly.
 	for u := 0; u < c.numNodes; u++ {
 		if c.offsets[u] < 0 || c.offsets[u+1] < c.offsets[u] || c.offsets[u+1] > int64(len(c.slab)) {

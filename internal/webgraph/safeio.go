@@ -1,0 +1,63 @@
+package webgraph
+
+import (
+	"encoding/binary"
+	"io"
+)
+
+// Deserialization helpers that never allocate more than a bounded chunk
+// ahead of the bytes actually received. A forged header can declare
+// billions of nodes or a terabyte slab; allocating that up front would
+// let a few dozen attacker-controlled bytes exhaust memory. Reading in
+// chunks keeps peak allocation proportional to the true input size —
+// a short stream fails with ErrUnexpectedEOF after at most one chunk.
+const (
+	// readChunkBytes bounds each slab read step.
+	readChunkBytes = 1 << 20
+	// readChunkInt64s bounds each offset-table read step.
+	readChunkInt64s = 1 << 17
+)
+
+// readInt64s reads n little-endian int64 values in bounded chunks.
+func readInt64s(r io.Reader, n uint64) ([]int64, error) {
+	cap0 := n
+	if cap0 > readChunkInt64s {
+		cap0 = readChunkInt64s
+	}
+	out := make([]int64, 0, cap0)
+	for read := uint64(0); read < n; {
+		c := n - read
+		if c > readChunkInt64s {
+			c = readChunkInt64s
+		}
+		chunk := make([]int64, c)
+		if err := binary.Read(r, binary.LittleEndian, chunk); err != nil {
+			return nil, err
+		}
+		out = append(out, chunk...)
+		read += c
+	}
+	return out, nil
+}
+
+// readBytes reads n bytes in bounded chunks.
+func readBytes(r io.Reader, n uint64) ([]byte, error) {
+	cap0 := n
+	if cap0 > readChunkBytes {
+		cap0 = readChunkBytes
+	}
+	out := make([]byte, 0, cap0)
+	for read := uint64(0); read < n; {
+		c := n - read
+		if c > readChunkBytes {
+			c = readChunkBytes
+		}
+		chunk := make([]byte, c)
+		if _, err := io.ReadFull(r, chunk); err != nil {
+			return nil, err
+		}
+		out = append(out, chunk...)
+		read += c
+	}
+	return out, nil
+}
