@@ -40,6 +40,8 @@ func main() {
 		topK      = flag.Int("throttle-topk", 0, "sources to throttle fully (0 = 2.7% of sources)")
 		workers   = flag.Int("workers", 0, "solver goroutines (0 = GOMAXPROCS)")
 		savePath  = flag.String("save", "", "write the score vector to this file (binary)")
+		ckptDir   = flag.String("checkpoint-dir", "", "persist solver iterates here and resume from the newest valid checkpoint (srsr only)")
+		ckptEvery = flag.Int("checkpoint-every", 10, "iterations between checkpoints")
 	)
 	flag.Parse()
 
@@ -81,7 +83,14 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		scores, err := sourceLevelScores(*algo, pg, sg, spamSources, *alpha, *topK, *workers)
+		var ck *core.CheckpointConfig
+		if *ckptDir != "" {
+			if err := os.MkdirAll(*ckptDir, 0o755); err != nil {
+				fatal(err)
+			}
+			ck = &core.CheckpointConfig{Dir: *ckptDir, Every: *ckptEvery}
+		}
+		scores, err := sourceLevelScores(*algo, pg, sg, spamSources, *alpha, *topK, *workers, ck)
 		if err != nil {
 			fatal(err)
 		}
@@ -97,7 +106,7 @@ func main() {
 	}
 }
 
-func sourceLevelScores(algo string, pg *pagegraph.Graph, sg *source.Graph, spamSources []int32, alpha float64, topK, workers int) (linalg.Vector, error) {
+func sourceLevelScores(algo string, pg *pagegraph.Graph, sg *source.Graph, spamSources []int32, alpha float64, topK, workers int, ck *core.CheckpointConfig) (linalg.Vector, error) {
 	switch algo {
 	case "sourcerank":
 		res, err := core.BaselineSourceRank(sg, core.Config{Alpha: alpha, Workers: workers})
@@ -134,14 +143,22 @@ func sourceLevelScores(algo string, pg *pagegraph.Graph, sg *source.Graph, spamS
 			topK = int(0.027*float64(sg.NumSources()) + 0.5)
 		}
 		res, err := core.PipelineFromSourceGraph(sg, core.PipelineConfig{
-			Config:    core.Config{Alpha: alpha, Workers: workers},
-			SpamSeeds: spamSources,
-			TopK:      topK,
+			Config:     core.Config{Alpha: alpha, Workers: workers},
+			SpamSeeds:  spamSources,
+			TopK:       topK,
+			Checkpoint: ck,
 		})
 		if err != nil {
 			return nil, err
 		}
 		printStats(res.Stats)
+		if ck != nil {
+			if res.Checkpoint.ResumedFrom > 0 {
+				fmt.Printf("resumed from checkpoint at iteration %d (%d stale checkpoints discarded)\n",
+					res.Checkpoint.ResumedFrom, res.Checkpoint.Discarded)
+			}
+			fmt.Printf("wrote %d checkpoints to %s\n", res.Checkpoint.Written, ck.Dir)
+		}
 		fmt.Printf("throttled top-%d sources by spam proximity\n", topK)
 		return res.Scores, nil
 	}

@@ -52,6 +52,9 @@ func main() {
 		topK      = flag.Int("throttle-topk", 0, "sources to throttle fully (0 = 2.7% of sources)")
 		workers   = flag.Int("workers", 0, "solver goroutines (0 = GOMAXPROCS)")
 		refresh   = flag.Duration("refresh", 0, "recompute+republish interval (0 disables)")
+		maxBO     = flag.Duration("max-backoff", 0, "cap on the retry delay after failed refreshes (0 = 16x refresh interval)")
+		staleTO   = flag.Duration("staleness-budget", 0, "snapshot age at which /healthz turns degraded (0 disables)")
+		maxInFl   = flag.Int("max-inflight", 0, "concurrent requests allowed per data endpoint before shedding (0 = unlimited)")
 		reqTO     = flag.Duration("request-timeout", 5*time.Second, "per-request timeout")
 		scores    = flag.String("scores", "", "extra score vectors to serve, as name=path[,name=path...]")
 		dumpDir   = flag.String("dump-scores", "", "write each computed score vector into this directory")
@@ -110,11 +113,13 @@ func main() {
 
 	if *refresh > 0 {
 		ref := &server.Refresher{
-			Store:    store,
-			Build:    build,
-			Interval: *refresh,
-			OnPublish: func(v uint64, s *server.Snapshot) {
-				log.Printf("published snapshot v%d (%d spam labels)", v, s.Corpus().SpamLabeled)
+			Store:      store,
+			Build:      build,
+			Interval:   *refresh,
+			MaxBackoff: *maxBO,
+			OnPublish: func(v uint64, s *server.Snapshot, took time.Duration) {
+				log.Printf("published snapshot v%d in %v (%d spam labels)",
+					v, took.Round(time.Millisecond), s.Corpus().SpamLabeled)
 			},
 			OnError: func(err error) { log.Printf("refresh failed (still serving old snapshot): %v", err) },
 		}
@@ -122,7 +127,12 @@ func main() {
 		log.Printf("background refresh every %v", *refresh)
 	}
 
-	srv := server.New(store, server.Config{Addr: *addr, RequestTimeout: *reqTO})
+	srv := server.New(store, server.Config{
+		Addr:            *addr,
+		RequestTimeout:  *reqTO,
+		StalenessBudget: *staleTO,
+		MaxInFlight:     *maxInFl,
+	})
 	log.Printf("serving on %s", *addr)
 	if err := srv.Run(ctx); err != nil {
 		log.Fatalf("srserve: %v", err)

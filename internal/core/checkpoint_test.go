@@ -1,0 +1,182 @@
+package core
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"sourcerank/internal/faultfs"
+)
+
+func testKappa(n int) []float64 {
+	kappa := make([]float64, n)
+	kappa[n-1] = 1
+	kappa[n-2] = 1
+	return kappa
+}
+
+func srckFiles(t *testing.T, dir string) []string {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var names []string
+	for _, e := range entries {
+		if strings.HasSuffix(e.Name(), ".srck") {
+			names = append(names, e.Name())
+		}
+	}
+	return names
+}
+
+// crashOnce runs RankCheckpointed against a write budget sized to die
+// partway through the solve, leaving committed checkpoints behind.
+func crashOnce(t *testing.T, dir string, kappa []float64) {
+	t.Helper()
+	sg := buildSG(t, corpus(t))
+	ffs := faultfs.New(nil)
+	ffs.SetWriteBudget(600)
+	_, _, err := RankCheckpointed(sg, kappa, Config{}, CheckpointConfig{Dir: dir, Every: 5, FS: ffs})
+	if !errors.Is(err, faultfs.ErrCrash) {
+		t.Fatalf("want simulated crash, got %v", err)
+	}
+	if len(srckFiles(t, dir)) == 0 {
+		t.Fatal("crash left no committed checkpoints; lower the budget granularity")
+	}
+}
+
+func TestRankCheckpointedMatchesRankBitwise(t *testing.T) {
+	sg := buildSG(t, corpus(t))
+	kappa := testKappa(sg.NumSources())
+	ref, err := Rank(sg, kappa, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	res, info, err := RankCheckpointed(sg, kappa, Config{}, CheckpointConfig{Dir: dir, Every: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.ResumedFrom != 0 {
+		t.Fatalf("cold start resumed from %d", info.ResumedFrom)
+	}
+	if info.Written == 0 {
+		t.Fatal("no checkpoints written")
+	}
+	for i := range ref.Scores {
+		if res.Scores[i] != ref.Scores[i] {
+			t.Fatalf("score %d: %v != %v", i, res.Scores[i], ref.Scores[i])
+		}
+	}
+	if got := srckFiles(t, dir); len(got) != 0 {
+		t.Fatalf("checkpoints not cleared after success: %v", got)
+	}
+}
+
+func TestRankCheckpointedResumesAfterCrash(t *testing.T) {
+	sg := buildSG(t, corpus(t))
+	kappa := testKappa(sg.NumSources())
+	ref, err := Rank(sg, kappa, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	crashOnce(t, dir, kappa)
+	res, info, err := RankCheckpointed(sg, kappa, Config{}, CheckpointConfig{Dir: dir, Every: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.ResumedFrom == 0 {
+		t.Fatal("restart did not resume from a checkpoint")
+	}
+	for i := range ref.Scores {
+		if res.Scores[i] != ref.Scores[i] {
+			t.Fatalf("resumed score %d: %v != %v", i, res.Scores[i], ref.Scores[i])
+		}
+	}
+}
+
+func TestRankCheckpointedDiscardsFingerprintMismatch(t *testing.T) {
+	sg := buildSG(t, corpus(t))
+	kappaA := testKappa(sg.NumSources())
+	dir := t.TempDir()
+	crashOnce(t, dir, kappaA)
+
+	// Same graph, different throttle vector: the old checkpoints answer
+	// a different fixed-point equation and must be discarded.
+	kappaB := make([]float64, sg.NumSources())
+	res, info, err := RankCheckpointed(sg, kappaB, Config{}, CheckpointConfig{Dir: dir, Every: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.ResumedFrom != 0 {
+		t.Fatalf("resumed from a mismatched checkpoint at iteration %d", info.ResumedFrom)
+	}
+	if info.Discarded == 0 {
+		t.Fatal("mismatched checkpoints not reported as discarded")
+	}
+	ref, err := Rank(sg, kappaB, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range ref.Scores {
+		if res.Scores[i] != ref.Scores[i] {
+			t.Fatalf("score %d: %v != %v", i, res.Scores[i], ref.Scores[i])
+		}
+	}
+}
+
+func TestRankCheckpointedSkipsCorruptCheckpoint(t *testing.T) {
+	sg := buildSG(t, corpus(t))
+	kappa := testKappa(sg.NumSources())
+	dir := t.TempDir()
+	crashOnce(t, dir, kappa)
+	names := srckFiles(t, dir)
+	// Flip one byte in the newest checkpoint: resume must reject it and
+	// fall back (to an older checkpoint or a cold start) without error.
+	newest := names[len(names)-1]
+	path := filepath.Join(dir, newest)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/2] ^= 0xff
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	res, info, err := RankCheckpointed(sg, kappa, Config{}, CheckpointConfig{Dir: dir, Every: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Discarded == 0 {
+		t.Fatal("corrupt checkpoint not reported as discarded")
+	}
+	ref, err := Rank(sg, kappa, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range ref.Scores {
+		if res.Scores[i] != ref.Scores[i] {
+			t.Fatalf("score %d: %v != %v", i, res.Scores[i], ref.Scores[i])
+		}
+	}
+}
+
+func TestRankCheckpointedPrunesOldCheckpoints(t *testing.T) {
+	sg := buildSG(t, corpus(t))
+	kappa := testKappa(sg.NumSources())
+	dir := t.TempDir()
+	ffs := faultfs.New(nil)
+	ffs.SetWriteBudget(2000) // enough for many checkpoints before dying
+	_, _, err := RankCheckpointed(sg, kappa, Config{}, CheckpointConfig{Dir: dir, Every: 2, Keep: 2, FS: ffs})
+	if !errors.Is(err, faultfs.ErrCrash) {
+		t.Fatalf("want simulated crash, got %v", err)
+	}
+	if got := srckFiles(t, dir); len(got) > 3 {
+		// Keep newest 2 plus at most the one written after the last prune.
+		t.Fatalf("pruning kept %d checkpoints: %v", len(got), got)
+	}
+}

@@ -140,6 +140,12 @@ type PipelineConfig struct {
 	// capped at GradedMax.
 	Graded    bool
 	GradedMax float64
+	// Checkpoint, if set, makes the final SRSR solve resumable: the
+	// iterate is persisted every Checkpoint.Every iterations and a crash
+	// resumes from the newest valid checkpoint (see RankCheckpointed).
+	// The spam-proximity solve is not checkpointed; it is cheap relative
+	// to the stationary solve. Requires the Power solver.
+	Checkpoint *CheckpointConfig
 }
 
 // PipelineResult extends Result with the intermediate artifacts of the
@@ -149,6 +155,9 @@ type PipelineResult struct {
 	SourceGraph    *source.Graph
 	Proximity      linalg.Vector
 	ProximityStats linalg.IterStats
+	// Checkpoint reports resume/persist activity when
+	// PipelineConfig.Checkpoint was set.
+	Checkpoint CheckpointInfo
 }
 
 // Pipeline runs the full Spam-Resilient SourceRank pipeline on a page
@@ -178,7 +187,13 @@ func PipelineFromSourceGraph(sg *source.Graph, cfg PipelineConfig) (*PipelineRes
 	} else {
 		kappa = throttle.TopK(prox, cfg.TopK)
 	}
-	res, err := Rank(sg, kappa, cfg.Config)
+	var res *Result
+	var ckInfo CheckpointInfo
+	if cfg.Checkpoint != nil {
+		res, ckInfo, err = RankCheckpointed(sg, kappa, cfg.Config, *cfg.Checkpoint)
+	} else {
+		res, err = Rank(sg, kappa, cfg.Config)
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -187,5 +202,6 @@ func PipelineFromSourceGraph(sg *source.Graph, cfg PipelineConfig) (*PipelineRes
 		SourceGraph:    sg,
 		Proximity:      prox,
 		ProximityStats: pstats,
+		Checkpoint:     ckInfo,
 	}, nil
 }

@@ -201,3 +201,88 @@ func TestCrawlThenRankPipeline(t *testing.T) {
 		t.Errorf("pipeline on crawl did not converge: %+v", pipe.Stats)
 	}
 }
+
+func TestCrawlDuplicateSeeds(t *testing.T) {
+	hidden := hiddenWeb(t)
+	dup, err := Crawl(hidden, Options{Seeds: []pagegraph.PageID{0, 0, 0, 1, 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := Crawl(hidden, Options{Seeds: []pagegraph.PageID{0, 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dup.Fetched != ref.Fetched {
+		t.Errorf("duplicate seeds fetched %d, deduped %d", dup.Fetched, ref.Fetched)
+	}
+	for p := range dup.PageMap {
+		if dup.PageMap[p] != ref.PageMap[p] {
+			t.Fatalf("duplicate seeds changed the crawl at page %d", p)
+		}
+	}
+}
+
+func TestCrawlNegativeSeedRejected(t *testing.T) {
+	if _, err := Crawl(hiddenWeb(t), Options{Seeds: []pagegraph.PageID{-1}}); err == nil {
+		t.Error("negative seed accepted")
+	}
+	// One bad seed poisons the whole call even when others are valid.
+	if _, err := Crawl(hiddenWeb(t), Options{Seeds: []pagegraph.PageID{0, -1}}); err == nil {
+		t.Error("mixed valid/invalid seeds accepted")
+	}
+}
+
+func TestCrawlPerSourceCapBelowSeedCount(t *testing.T) {
+	// Source a.com holds seeds {0,1,2}; with MaxPerSource 1 only one of
+	// them may be fetched, but the crawl must still escape to the other
+	// sources through the fetched page's links.
+	res, err := Crawl(hiddenWeb(t), Options{
+		Seeds:        []pagegraph.PageID{0, 1, 2},
+		MaxPerSource: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Page 0 is fetched (a.com's single slot); 1 and 2 are dropped at
+	// the cap. 0->1 re-discovers 1 but the cap still blocks it; 1 was
+	// nonetheless the page whose link 1->3 would open source b — and it
+	// was a seed, so b is reachable only if a capped seed still spreads
+	// its links. It does not: dropped pages are never expanded.
+	if res.Fetched != 1 {
+		t.Errorf("fetched = %d, want 1 (cap below seed count)", res.Fetched)
+	}
+	if got := res.Corpus.NumSources(); got != 1 {
+		t.Errorf("corpus sources = %d, want 1", got)
+	}
+	if res.PageMap[1] != -1 || res.PageMap[2] != -1 {
+		t.Error("capped seed pages appear fetched")
+	}
+}
+
+func TestCrawlFrontierLeftAtExactBudget(t *testing.T) {
+	hidden := hiddenWeb(t)
+	// 5 pages are reachable from seed 0. A budget of exactly 5 drains
+	// the frontier: nothing may be reported left over.
+	res, err := Crawl(hidden, Options{Seeds: []pagegraph.PageID{0}, MaxPages: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Fetched != 5 {
+		t.Fatalf("fetched = %d, want 5", res.Fetched)
+	}
+	if res.FrontierLeft != 0 {
+		t.Errorf("FrontierLeft = %d at exact budget, want 0", res.FrontierLeft)
+	}
+	// One page short of the reachable set: exactly one page must be
+	// reported as discovered-but-unfetched.
+	res, err = Crawl(hidden, Options{Seeds: []pagegraph.PageID{0}, MaxPages: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Fetched != 4 {
+		t.Fatalf("fetched = %d, want 4", res.Fetched)
+	}
+	if res.FrontierLeft != 1 {
+		t.Errorf("FrontierLeft = %d one under budget, want 1", res.FrontierLeft)
+	}
+}

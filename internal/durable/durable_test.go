@@ -1,0 +1,210 @@
+package durable_test
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"sourcerank/internal/durable"
+	"sourcerank/internal/faultfs"
+)
+
+func payloadWriter(p []byte) func(io.Writer) error {
+	return func(w io.Writer) error {
+		_, err := w.Write(p)
+		return err
+	}
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "a.bin")
+	want := []byte("the quick brown fox")
+	if err := durable.WriteFile(nil, path, payloadWriter(want)); err != nil {
+		t.Fatal(err)
+	}
+	got, err := durable.ReadFile(nil, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("payload mismatch: got %q want %q", got, want)
+	}
+	// The committed file is payload + trailer, nothing else.
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(raw) != len(want)+durable.TrailerSize {
+		t.Fatalf("file is %d bytes, want %d", len(raw), len(want)+durable.TrailerSize)
+	}
+}
+
+func TestEmptyPayload(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "empty.bin")
+	if err := durable.WriteFile(nil, path, func(io.Writer) error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+	got, err := durable.ReadFile(nil, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Fatalf("want empty payload, got %d bytes", len(got))
+	}
+}
+
+func TestFlippedByteAnywhereIsRejected(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "a.bin")
+	if err := durable.WriteFile(nil, path, payloadWriter([]byte("score vector payload"))); err != nil {
+		t.Fatal(err)
+	}
+	good, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range good {
+		bad := append([]byte(nil), good...)
+		bad[i] ^= 0xa5
+		if err := os.WriteFile(path, bad, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		_, err := durable.ReadFile(nil, path)
+		if !errors.Is(err, durable.ErrCorrupt) {
+			t.Fatalf("flip at %d: want ErrCorrupt, got %v", i, err)
+		}
+		var ce *durable.CorruptError
+		if !errors.As(err, &ce) || ce.Path != path {
+			t.Fatalf("flip at %d: want *CorruptError with path, got %#v", i, err)
+		}
+	}
+}
+
+func TestTruncationAtEveryOffsetIsRejected(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "a.bin")
+	if err := durable.WriteFile(nil, path, payloadWriter([]byte("0123456789"))); err != nil {
+		t.Fatal(err)
+	}
+	good, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for n := 0; n < len(good); n++ {
+		if err := os.WriteFile(path, good[:n], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := durable.ReadFile(nil, path); !errors.Is(err, durable.ErrCorrupt) {
+			t.Fatalf("truncate to %d: want ErrCorrupt, got %v", n, err)
+		}
+	}
+}
+
+func TestCrashMidWriteLeavesOldVersion(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "a.bin")
+	if err := durable.WriteFile(nil, path, payloadWriter([]byte("version one"))); err != nil {
+		t.Fatal(err)
+	}
+	ffs := faultfs.New(nil)
+	ffs.SetWriteBudget(5) // crash partway through the replacement payload
+	err := durable.WriteFile(ffs, path, payloadWriter(bytes.Repeat([]byte("x"), 1<<15)))
+	if !errors.Is(err, faultfs.ErrCrash) {
+		t.Fatalf("want ErrCrash, got %v", err)
+	}
+	got, err := durable.ReadFile(nil, path)
+	if err != nil {
+		t.Fatalf("old version unreadable after crashed commit: %v", err)
+	}
+	if string(got) != "version one" {
+		t.Fatalf("old version clobbered: %q", got)
+	}
+}
+
+func TestSyncFailureAbortsCommit(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "a.bin")
+	ffs := faultfs.New(nil)
+	ffs.FailNextSyncs(1)
+	err := durable.WriteFile(ffs, path, payloadWriter([]byte("hello")))
+	if !errors.Is(err, faultfs.ErrSync) {
+		t.Fatalf("want ErrSync, got %v", err)
+	}
+	if _, err := os.Stat(path); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("file committed despite fsync failure: %v", err)
+	}
+	if _, err := os.Stat(path + ".tmp"); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("temp file leaked after failed commit: %v", err)
+	}
+}
+
+func TestWriteCallbackErrorRemovesTemp(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "a.bin")
+	boom := errors.New("boom")
+	err := durable.WriteFile(nil, path, func(w io.Writer) error {
+		_, _ = w.Write([]byte("partial"))
+		return boom
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("want callback error, got %v", err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 0 {
+		t.Fatalf("directory not clean after failed write: %v", entries)
+	}
+}
+
+func TestReadCorruptionIsDetected(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "a.bin")
+	if err := durable.WriteFile(nil, path, payloadWriter([]byte("stable payload"))); err != nil {
+		t.Fatal(err)
+	}
+	ffs := faultfs.New(nil)
+	ffs.CorruptReads(func(name string, off int64, p []byte) {
+		if off == 0 && len(p) > 3 {
+			p[3] ^= 0x40
+		}
+	})
+	if _, err := durable.ReadFile(ffs, path); !errors.Is(err, durable.ErrCorrupt) {
+		t.Fatalf("want ErrCorrupt from corrupted read, got %v", err)
+	}
+	// The same file reads fine without the fault.
+	if _, err := durable.ReadFile(nil, path); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVerifyRejectsShortAndUnframed(t *testing.T) {
+	if _, err := durable.Verify([]byte("tiny")); !errors.Is(err, durable.ErrCorrupt) {
+		t.Fatalf("short data: want ErrCorrupt, got %v", err)
+	}
+	unframed := bytes.Repeat([]byte{7}, 64)
+	if _, err := durable.Verify(unframed); !errors.Is(err, durable.ErrCorrupt) {
+		t.Fatalf("unframed data: want ErrCorrupt, got %v", err)
+	}
+}
+
+func TestCrashedFSFailsEverythingUntilHeal(t *testing.T) {
+	dir := t.TempDir()
+	ffs := faultfs.New(nil)
+	ffs.SetWriteBudget(0)
+	err := durable.WriteFile(ffs, filepath.Join(dir, "a.bin"), payloadWriter([]byte("x")))
+	if !errors.Is(err, faultfs.ErrCrash) {
+		t.Fatalf("want ErrCrash, got %v", err)
+	}
+	if _, err := ffs.Open(filepath.Join(dir, "a.bin")); !errors.Is(err, faultfs.ErrCrash) {
+		t.Fatalf("open after crash: want ErrCrash, got %v", err)
+	}
+	ffs.Heal()
+	if err := durable.WriteFile(ffs, filepath.Join(dir, "a.bin"), payloadWriter([]byte("x"))); err != nil {
+		t.Fatalf("write after heal: %v", err)
+	}
+}

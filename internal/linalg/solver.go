@@ -17,6 +17,12 @@ type SolverOptions struct {
 	MaxIter int     // iteration cap; default 1000
 	Workers int     // goroutines for SpMV; <=0 means GOMAXPROCS
 	Dist    func(a, b Vector) float64
+	// Progress, if set, observes each completed iteration (1-based) with
+	// the current iterate. Returning a non-nil error aborts the solve and
+	// is surfaced by the error-returning solvers; the checkpointing layer
+	// uses this to persist iterates and to propagate write failures. The
+	// callback must not retain or mutate x.
+	Progress func(iter int, x Vector) error
 }
 
 func (o SolverOptions) withDefaults() SolverOptions {
@@ -39,8 +45,17 @@ var ErrDimension = errors.New("linalg: dimension mismatch")
 // between successive iterates drops below Tol or MaxIter is reached.
 // step must write its result into dst and may read but not modify src.
 // The returned vector is a fresh allocation-free alias of the final
-// internal buffer; callers must not retain x0.
+// internal buffer; callers must not retain x0. A Progress abort is not
+// observable here; use FixedPointChecked when Progress can fail.
 func FixedPoint(x0 Vector, step func(dst, src Vector), opt SolverOptions) (Vector, IterStats) {
+	x, st, _ := FixedPointChecked(x0, step, opt)
+	return x, st
+}
+
+// FixedPointChecked is FixedPoint with Progress-abort reporting: when
+// opt.Progress returns an error the iteration stops and that error is
+// returned alongside the last completed iterate and its stats.
+func FixedPointChecked(x0 Vector, step func(dst, src Vector), opt SolverOptions) (Vector, IterStats, error) {
 	opt = opt.withDefaults()
 	cur := x0.Clone()
 	next := NewVector(len(x0))
@@ -49,13 +64,18 @@ func FixedPoint(x0 Vector, step func(dst, src Vector), opt SolverOptions) (Vecto
 		step(next, cur)
 		st.Residual = opt.Dist(next, cur)
 		cur, next = next, cur
+		if opt.Progress != nil {
+			if err := opt.Progress(st.Iterations, cur); err != nil {
+				return cur, st, err
+			}
+		}
 		if st.Residual < opt.Tol {
 			st.Converged = true
-			return cur, st
+			return cur, st, nil
 		}
 	}
 	st.Iterations = opt.MaxIter
-	return cur, st
+	return cur, st, nil
 }
 
 // JacobiAffine solves x = c·Aᵀx + b by Jacobi iteration, the "convenient
@@ -73,12 +93,11 @@ func JacobiAffine(a *CSR, c float64, b Vector, opt SolverOptions) (Vector, IterS
 	opt = opt.withDefaults()
 	at := a.Transpose()
 	x0 := b.Clone()
-	x, st := FixedPoint(x0, func(dst, src Vector) {
+	return FixedPointChecked(x0, func(dst, src Vector) {
 		MulVecParallel(at, src, dst, opt.Workers)
 		dst.Scale(c)
 		dst.Axpy(1, b)
 	}, opt)
-	return x, st, nil
 }
 
 // PowerMethod computes the stationary distribution of the row-stochastic
@@ -102,7 +121,7 @@ func PowerMethod(p *CSR, c float64, t Vector, x0 Vector, opt SolverOptions) (Vec
 	if len(x0) != p.Rows {
 		return nil, IterStats{}, ErrDimension
 	}
-	x, st := FixedPoint(x0, func(dst, src Vector) {
+	return FixedPointChecked(x0, func(dst, src Vector) {
 		MulVecParallel(pt, src, dst, opt.Workers)
 		dst.Scale(c)
 		lost := 1 - dst.Sum()
@@ -111,5 +130,4 @@ func PowerMethod(p *CSR, c float64, t Vector, x0 Vector, opt SolverOptions) (Vec
 		}
 		dst.Axpy(lost, t)
 	}, opt)
-	return x, st, nil
 }

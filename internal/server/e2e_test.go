@@ -216,7 +216,7 @@ func TestRefresherPublishes(t *testing.T) {
 			}
 			return testSnapshot(t, AlgoSRSR, []float64{2, 1}), nil
 		},
-		OnPublish: func(v uint64, _ *Snapshot) {
+		OnPublish: func(v uint64, _ *Snapshot, _ time.Duration) {
 			mu.Lock()
 			published = append(published, v)
 			mu.Unlock()

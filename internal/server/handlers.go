@@ -49,25 +49,55 @@ func (r *statusRecorder) WriteHeader(code int) {
 }
 
 // instrument wraps a handler with latency/status accounting and the
-// per-request timeout.
-func (s *Server) instrument(endpoint string, h http.HandlerFunc) http.Handler {
+// per-request timeout. When capped, requests beyond cfg.MaxInFlight
+// concurrent on this endpoint are shed with 503 + Retry-After instead
+// of queueing behind a saturated handler.
+func (s *Server) instrument(endpoint string, capped bool, h http.HandlerFunc) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		if capped && s.cfg.MaxInFlight > 0 {
+			ctr := s.inflight[endpoint]
+			if ctr.Add(1) > int64(s.cfg.MaxInFlight) {
+				ctr.Add(-1)
+				w.Header().Set("Retry-After", "1")
+				writeError(w, http.StatusServiceUnavailable, "over capacity, retry shortly")
+				s.metrics.ObserveShed(endpoint)
+				s.metrics.Observe(endpoint, http.StatusServiceUnavailable, time.Since(start))
+				return
+			}
+			defer ctr.Add(-1)
+		}
 		ctx, cancel := contextWithTimeout(r, s.cfg.RequestTimeout)
 		defer cancel()
 		rec := &statusRecorder{ResponseWriter: w, code: http.StatusOK}
-		start := time.Now()
 		h(rec, r.WithContext(ctx))
 		s.metrics.Observe(endpoint, rec.code, time.Since(start))
 	})
 }
 
+// staleness reports the serving snapshot's age and whether it exceeds
+// the staleness budget. Always fresh when no budget is configured or
+// nothing is published yet.
+func (s *Server) staleness() (time.Duration, bool) {
+	if s.cfg.StalenessBudget <= 0 {
+		return 0, false
+	}
+	age := s.store.Staleness()
+	return age, age > s.cfg.StalenessBudget
+}
+
 // snapshotOr503 fetches the served snapshot, answering 503 when the
-// store is still empty (startup before the first publish).
+// store is still empty (startup before the first publish). A snapshot
+// past the staleness budget is still served — ranking queries prefer
+// stale answers over no answers — but flagged with X-Snapshot-Stale.
 func (s *Server) snapshotOr503(w http.ResponseWriter) (*Snapshot, bool) {
 	snap := s.store.Current()
 	if snap == nil {
 		writeError(w, http.StatusServiceUnavailable, "no snapshot published yet")
 		return nil, false
+	}
+	if age, stale := s.staleness(); stale {
+		w.Header().Set("X-Snapshot-Stale", age.Round(time.Second).String())
 	}
 	return snap, true
 }
@@ -244,6 +274,16 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	status["snapshot_version"] = snap.Version()
+	if age, stale := s.staleness(); stale {
+		// Degraded: data endpoints still answer (from the stale
+		// snapshot), but the refresh pipeline is not keeping up and
+		// orchestration should know.
+		status["status"] = "degraded"
+		status["stale_seconds"] = age.Seconds()
+		status["staleness_budget_seconds"] = s.cfg.StalenessBudget.Seconds()
+		writeJSON(w, http.StatusServiceUnavailable, status)
+		return
+	}
 	writeJSON(w, http.StatusOK, status)
 }
 
@@ -255,17 +295,19 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		sources = snap.NumSources()
 	}
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-	s.metrics.WriteText(w, version, s.store.Publishes(), sources)
+	s.metrics.WriteText(w, version, s.store.Publishes(), sources, s.store.Staleness().Seconds())
 }
 
 // routes wires the instrumented mux.
 func (s *Server) routes() *http.ServeMux {
 	mux := http.NewServeMux()
-	mux.Handle("GET /v1/rank/{source}", s.instrument(epRank, s.handleRank))
-	mux.Handle("GET /v1/topk", s.instrument(epTopK, s.handleTopK))
-	mux.Handle("GET /v1/compare", s.instrument(epCompare, s.handleCompare))
-	mux.Handle("GET /v1/snapshot", s.instrument(epSnapshot, s.handleSnapshot))
-	mux.Handle("GET /healthz", s.instrument(epHealthz, s.handleHealthz))
-	mux.Handle("GET /metrics", s.instrument(epMetrics, s.handleMetrics))
+	mux.Handle("GET /v1/rank/{source}", s.instrument(epRank, true, s.handleRank))
+	mux.Handle("GET /v1/topk", s.instrument(epTopK, true, s.handleTopK))
+	mux.Handle("GET /v1/compare", s.instrument(epCompare, true, s.handleCompare))
+	mux.Handle("GET /v1/snapshot", s.instrument(epSnapshot, true, s.handleSnapshot))
+	// Health and metrics stay uncapped: they are exactly what operators
+	// need when the data path is saturated.
+	mux.Handle("GET /healthz", s.instrument(epHealthz, false, s.handleHealthz))
+	mux.Handle("GET /metrics", s.instrument(epMetrics, false, s.handleMetrics))
 	return mux
 }

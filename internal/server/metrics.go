@@ -25,6 +25,7 @@ type endpointStats struct {
 	buckets []atomic.Uint64 // len(latencyBounds)+1; last is +Inf
 	count   atomic.Uint64
 	sumNS   atomic.Uint64
+	shed    atomic.Uint64
 }
 
 // Metrics is a fixed-shape, stdlib-only metrics registry exposed in
@@ -75,9 +76,26 @@ func (m *Metrics) Observe(endpoint string, code int, d time.Duration) {
 	es.buckets[idx].Add(1)
 }
 
+// ObserveShed records one request rejected by the in-flight cap.
+func (m *Metrics) ObserveShed(endpoint string) {
+	if es, ok := m.endpoints[endpoint]; ok {
+		es.shed.Add(1)
+	}
+}
+
+// Shed returns the shed count for one endpoint.
+func (m *Metrics) Shed(endpoint string) uint64 {
+	es, ok := m.endpoints[endpoint]
+	if !ok {
+		return 0
+	}
+	return es.shed.Load()
+}
+
 // WriteText renders the registry in Prometheus text exposition format,
-// including snapshot gauges supplied by the caller.
-func (m *Metrics) WriteText(w io.Writer, snapVersion, publishes uint64, sources int) {
+// including snapshot gauges supplied by the caller. staleSeconds is the
+// age of the serving snapshot (0 when staleness is not tracked).
+func (m *Metrics) WriteText(w io.Writer, snapVersion, publishes uint64, sources int, staleSeconds float64) {
 	fmt.Fprintf(w, "# HELP srserve_uptime_seconds Seconds since the server started.\n")
 	fmt.Fprintf(w, "# TYPE srserve_uptime_seconds gauge\n")
 	fmt.Fprintf(w, "srserve_uptime_seconds %.3f\n", time.Since(m.start).Seconds())
@@ -93,6 +111,18 @@ func (m *Metrics) WriteText(w io.Writer, snapVersion, publishes uint64, sources 
 	fmt.Fprintf(w, "# HELP srserve_snapshot_sources Sources in the served snapshot.\n")
 	fmt.Fprintf(w, "# TYPE srserve_snapshot_sources gauge\n")
 	fmt.Fprintf(w, "srserve_snapshot_sources %d\n", sources)
+
+	fmt.Fprintf(w, "# HELP srserve_snapshot_stale_seconds Age of the serving snapshot.\n")
+	fmt.Fprintf(w, "# TYPE srserve_snapshot_stale_seconds gauge\n")
+	fmt.Fprintf(w, "srserve_snapshot_stale_seconds %.3f\n", staleSeconds)
+
+	fmt.Fprintf(w, "# HELP srserve_requests_shed_total Requests rejected by the in-flight cap, by endpoint.\n")
+	fmt.Fprintf(w, "# TYPE srserve_requests_shed_total counter\n")
+	for _, name := range m.names {
+		if v := m.endpoints[name].shed.Load(); v > 0 {
+			fmt.Fprintf(w, "srserve_requests_shed_total{endpoint=%q} %d\n", name, v)
+		}
+	}
 
 	fmt.Fprintf(w, "# HELP srserve_requests_total Requests served, by endpoint and status class.\n")
 	fmt.Fprintf(w, "# TYPE srserve_requests_total counter\n")

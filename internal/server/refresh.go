@@ -2,6 +2,8 @@ package server
 
 import (
 	"context"
+	"math/rand"
+	"sync/atomic"
 	"time"
 )
 
@@ -11,47 +13,119 @@ import (
 // κ and call BuildSnapshot.
 type BuildFunc func(ctx context.Context) (*Snapshot, error)
 
-// Refresher periodically rebuilds and publishes snapshots.
+// Refresher periodically rebuilds and publishes snapshots. Failed
+// builds never unpublish the serving snapshot; instead the refresher
+// backs off exponentially (with jitter, so a fleet of replicas does not
+// rebuild in lockstep) until a build succeeds again.
 type Refresher struct {
 	Store    *Store
 	Build    BuildFunc
 	Interval time.Duration
-	// OnPublish, if set, observes each successful publish.
-	OnPublish func(version uint64, snap *Snapshot)
+	// MaxBackoff caps the delay between retries after consecutive build
+	// failures; 0 defaults to 16×Interval.
+	MaxBackoff time.Duration
+	// OnPublish, if set, observes each successful publish along with how
+	// long the build took.
+	OnPublish func(version uint64, snap *Snapshot, took time.Duration)
 	// OnError, if set, observes build failures; the old snapshot stays
 	// published and the loop continues.
 	OnError func(error)
+
+	failures    atomic.Uint64
+	lastBuildNS atomic.Int64
+
+	// rnd supplies the jitter fraction in [0,1); tests pin it for
+	// deterministic delays. Nil means math/rand.
+	rnd func() float64
 }
 
-// Run rebuilds every Interval until ctx is canceled. A failed build
-// never unpublishes the serving snapshot.
+// ConsecutiveFailures reports how many builds in a row have failed
+// since the last successful publish.
+func (r *Refresher) ConsecutiveFailures() uint64 { return r.failures.Load() }
+
+// LastBuildDuration reports how long the most recent successful build
+// took, or 0 before the first publish.
+func (r *Refresher) LastBuildDuration() time.Duration {
+	return time.Duration(r.lastBuildNS.Load())
+}
+
+// Run rebuilds until ctx is canceled. The next cycle is scheduled only
+// after the previous build finishes — a build that outlives Interval
+// delays the next one rather than triggering an immediate back-to-back
+// rebuild — and failures stretch the delay via nextDelay.
 func (r *Refresher) Run(ctx context.Context) {
 	if r.Interval <= 0 || r.Build == nil {
 		return
 	}
-	t := time.NewTicker(r.Interval)
+	t := time.NewTimer(r.Interval)
 	defer t.Stop()
 	for {
 		select {
 		case <-ctx.Done():
 			return
 		case <-t.C:
-			r.RefreshNow(ctx)
+			_ = r.RefreshNow(ctx)
+			t.Reset(r.nextDelay())
 		}
 	}
 }
 
-// RefreshNow runs one build+publish cycle synchronously.
-func (r *Refresher) RefreshNow(ctx context.Context) {
+// RefreshNow runs one build+publish cycle synchronously, returning the
+// build error if any.
+func (r *Refresher) RefreshNow(ctx context.Context) error {
+	start := time.Now()
 	snap, err := r.Build(ctx)
 	if err != nil {
+		r.failures.Add(1)
 		if r.OnError != nil {
 			r.OnError(err)
 		}
-		return
+		return err
 	}
+	took := time.Since(start)
+	r.failures.Store(0)
+	r.lastBuildNS.Store(int64(took))
 	v := r.Store.Publish(snap)
 	if r.OnPublish != nil {
-		r.OnPublish(v, snap)
+		r.OnPublish(v, snap, took)
 	}
+	return nil
+}
+
+// nextDelay is Interval while builds succeed; after f consecutive
+// failures it is Interval·2^f capped at MaxBackoff, with ±20% jitter.
+func (r *Refresher) nextDelay() time.Duration {
+	d := r.backoffDelay(r.failures.Load())
+	return jitter(d, r.rnd)
+}
+
+// backoffDelay is the un-jittered delay after f consecutive failures.
+func (r *Refresher) backoffDelay(f uint64) time.Duration {
+	if f == 0 {
+		return r.Interval
+	}
+	max := r.MaxBackoff
+	if max <= 0 {
+		max = 16 * r.Interval
+	}
+	d := r.Interval
+	for i := uint64(0); i < f; i++ {
+		d *= 2
+		if d >= max {
+			return max
+		}
+	}
+	return d
+}
+
+// jitter spreads d uniformly over [0.8d, 1.2d].
+func jitter(d time.Duration, rnd func() float64) time.Duration {
+	if d <= 0 {
+		return d
+	}
+	if rnd == nil {
+		rnd = rand.Float64
+	}
+	frac := 0.8 + 0.4*rnd()
+	return time.Duration(float64(d) * frac)
 }

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"net"
 	"net/http"
+	"sync/atomic"
 	"time"
 )
 
@@ -16,6 +17,15 @@ type Config struct {
 	RequestTimeout time.Duration
 	// ShutdownGrace bounds graceful shutdown; 0 defaults to 10s.
 	ShutdownGrace time.Duration
+	// StalenessBudget is how old the serving snapshot may grow before
+	// /healthz reports degraded (503). Data endpoints keep serving the
+	// stale snapshot either way, flagged with an X-Snapshot-Stale
+	// header. 0 disables staleness checks.
+	StalenessBudget time.Duration
+	// MaxInFlight caps concurrent requests per data endpoint; excess
+	// requests are shed with 503 + Retry-After. Health and metrics
+	// endpoints are never capped. 0 disables the cap.
+	MaxInFlight int
 }
 
 func (c Config) addr() string {
@@ -41,20 +51,26 @@ func (c Config) shutdownGrace() time.Duration {
 
 // Server serves ranking queries from a Store's current snapshot.
 type Server struct {
-	cfg     Config
-	store   *Store
-	metrics *Metrics
-	start   time.Time
+	cfg      Config
+	store    *Store
+	metrics  *Metrics
+	start    time.Time
+	inflight map[string]*atomic.Int64
 }
 
 // New assembles a server around store.
 func New(store *Store, cfg Config) *Server {
-	return &Server{
-		cfg:     cfg,
-		store:   store,
-		metrics: NewMetrics(allEndpoints...),
-		start:   time.Now(),
+	s := &Server{
+		cfg:      cfg,
+		store:    store,
+		metrics:  NewMetrics(allEndpoints...),
+		start:    time.Now(),
+		inflight: make(map[string]*atomic.Int64, len(allEndpoints)),
 	}
+	for _, ep := range allEndpoints {
+		s.inflight[ep] = new(atomic.Int64)
+	}
+	return s
 }
 
 // Store exposes the underlying snapshot store (for refreshers).

@@ -1,15 +1,19 @@
 package server
 
-import "sync/atomic"
+import (
+	"sync/atomic"
+	"time"
+)
 
 // Store holds the currently-served snapshot behind an atomic pointer.
 // Readers call Current and work against one immutable snapshot for the
 // whole request; publishers swap in a replacement without blocking any
 // reader. There is no lock anywhere on the read path.
 type Store struct {
-	cur       atomic.Pointer[Snapshot]
-	versions  atomic.Uint64
-	publishes atomic.Uint64
+	cur         atomic.Pointer[Snapshot]
+	versions    atomic.Uint64
+	publishes   atomic.Uint64
+	publishedAt atomic.Int64 // UnixNano of the last Publish; 0 before
 }
 
 // NewStore creates a store serving initial (which may be nil; handlers
@@ -33,8 +37,30 @@ func (s *Store) Publish(snap *Snapshot) uint64 {
 	snap.version = s.versions.Add(1)
 	s.cur.Store(snap)
 	s.publishes.Add(1)
+	s.publishedAt.Store(time.Now().UnixNano())
 	return snap.version
 }
 
 // Publishes counts successful Publish calls since creation.
 func (s *Store) Publishes() uint64 { return s.publishes.Load() }
+
+// PublishedAt reports when the serving snapshot was published (not when
+// it was built — a slow build still counts as fresh at publish time).
+// Zero before the first publish.
+func (s *Store) PublishedAt() time.Time {
+	ns := s.publishedAt.Load()
+	if ns == 0 {
+		return time.Time{}
+	}
+	return time.Unix(0, ns)
+}
+
+// Staleness reports how long the serving snapshot has been published.
+// Zero before the first publish (startup is "empty", not "stale").
+func (s *Store) Staleness() time.Duration {
+	at := s.PublishedAt()
+	if at.IsZero() {
+		return 0
+	}
+	return time.Since(at)
+}

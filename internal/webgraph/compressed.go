@@ -95,13 +95,22 @@ func (c *Compressed) Decompress() (*graph.Graph, error) {
 	return g, nil
 }
 
+// File format versions: 1 is the bare stream written by Write; 2 is the
+// same layout committed through internal/durable (atomic rename plus a
+// CRC32-C trailer), produced by WriteFile and read by ReadCompressedFile.
 const (
-	fileMagic   = 0x53524B43 // "SRKC"
-	fileVersion = 1
+	fileMagic         = 0x53524B43 // "SRKC"
+	fileVersion       = 1
+	fileVersionFramed = 2
 )
 
-// Write serializes the compressed graph.
+// Write serializes the compressed graph as a bare version-1 stream. Use
+// WriteFile to publish to disk with durable framing.
 func (c *Compressed) Write(w io.Writer) error {
+	return c.write(w, fileVersion)
+}
+
+func (c *Compressed) write(w io.Writer, version uint32) error {
 	bw := bufio.NewWriter(w)
 	write := func(data any) error {
 		return binary.Write(bw, binary.LittleEndian, data)
@@ -109,7 +118,7 @@ func (c *Compressed) Write(w io.Writer) error {
 	if err := write(uint32(fileMagic)); err != nil {
 		return err
 	}
-	if err := write(uint32(fileVersion)); err != nil {
+	if err := write(version); err != nil {
 		return err
 	}
 	if err := write(uint64(c.numNodes)); err != nil {
@@ -131,8 +140,13 @@ func (c *Compressed) Write(w io.Writer) error {
 }
 
 // ReadCompressed deserializes a compressed graph written by Write and
-// verifies its structure by decoding every adjacency list once.
+// verifies its structure by decoding every adjacency list once. It reads
+// the bare version-1 stream; framed files go through ReadCompressedFile.
 func ReadCompressed(r io.Reader) (*Compressed, error) {
+	return readCompressed(r, fileVersion)
+}
+
+func readCompressed(r io.Reader, wantVer uint32) (*Compressed, error) {
 	br := bufio.NewReader(r)
 	var magic, ver uint32
 	if err := binary.Read(br, binary.LittleEndian, &magic); err != nil {
@@ -144,7 +158,7 @@ func ReadCompressed(r io.Reader) (*Compressed, error) {
 	if err := binary.Read(br, binary.LittleEndian, &ver); err != nil {
 		return nil, err
 	}
-	if ver != fileVersion {
+	if ver != wantVer {
 		return nil, fmt.Errorf("%w: unsupported version %d", ErrCodec, ver)
 	}
 	var nodes, edges, slabLen uint64

@@ -1,0 +1,93 @@
+package webgraph
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"sourcerank/internal/durable"
+)
+
+// File-level graph persistence. Unlike the stream Write/Read pair, these
+// commit through internal/durable: write-temp, CRC32-C trailer, fsync,
+// atomic rename. A crash mid-write leaves the previous file intact, and
+// a flipped bit anywhere in a committed file is rejected on read with a
+// typed *durable.CorruptError before any structural decoding runs.
+// Legacy bare version-1 files remain readable.
+
+// WriteFile atomically commits the compressed graph to path in the
+// framed version-2 format. fsys nil selects the real filesystem.
+func (c *Compressed) WriteFile(fsys durable.FS, path string) error {
+	return durable.WriteFile(fsys, path, func(w io.Writer) error {
+		return c.write(w, fileVersionFramed)
+	})
+}
+
+// ReadCompressedFile reads a graph committed by WriteFile, accepting
+// legacy bare version-1 files as well.
+func ReadCompressedFile(fsys durable.FS, path string) (*Compressed, error) {
+	payload, framed, err := readGraphFile(fsys, path, fileMagic, fileVersionFramed)
+	if err != nil {
+		return nil, err
+	}
+	wantVer := uint32(fileVersion)
+	if framed {
+		wantVer = fileVersionFramed
+	}
+	return readCompressed(bytes.NewReader(payload), wantVer)
+}
+
+// WriteFile atomically commits the reference-compressed graph to path in
+// the framed version-2 format. fsys nil selects the real filesystem.
+func (c *CompressedRef) WriteFile(fsys durable.FS, path string) error {
+	return durable.WriteFile(fsys, path, func(w io.Writer) error {
+		return c.write(w, refFileVersionFramed)
+	})
+}
+
+// ReadCompressedRefFile reads a graph committed by CompressedRef.WriteFile,
+// accepting legacy bare version-1 files as well.
+func ReadCompressedRefFile(fsys durable.FS, path string) (*CompressedRef, error) {
+	payload, framed, err := readGraphFile(fsys, path, refFileMagic, refFileVersionFramed)
+	if err != nil {
+		return nil, err
+	}
+	wantVer := uint32(refFileVersion)
+	if framed {
+		wantVer = refFileVersionFramed
+	}
+	return readCompressedRef(bytes.NewReader(payload), wantVer)
+}
+
+// readGraphFile loads path, dispatches on the header version, verifies
+// the trailer of framed files, and returns the stream payload plus
+// whether it was framed. Non-framed payloads go to the parser expecting
+// version 1, which also reports unknown future versions.
+func readGraphFile(fsys durable.FS, path string, magic, framedVer uint32) ([]byte, bool, error) {
+	data, err := durable.ReadRaw(fsys, path)
+	if err != nil {
+		return nil, false, err
+	}
+	if len(data) < 8 {
+		return nil, false, fmt.Errorf("webgraph: %s: %w: %d-byte file is shorter than the header",
+			path, ErrCodec, len(data))
+	}
+	le := binary.LittleEndian
+	if got := le.Uint32(data[0:4]); got != magic {
+		return nil, false, fmt.Errorf("webgraph: %s: %w: bad magic %#x", path, ErrCodec, got)
+	}
+	if ver := le.Uint32(data[4:8]); ver != framedVer {
+		return data, false, nil
+	}
+	payload, err := durable.Verify(data)
+	if err != nil {
+		var ce *durable.CorruptError
+		if errors.As(err, &ce) {
+			ce.Path = path
+		}
+		return nil, false, err
+	}
+	return payload, true, nil
+}

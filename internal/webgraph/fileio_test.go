@@ -1,0 +1,197 @@
+package webgraph
+
+import (
+	"errors"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"sourcerank/internal/durable"
+	"sourcerank/internal/graph"
+)
+
+func testGraph(t *testing.T, nodes, edges int, seed int64) *graph.Graph {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	b := graph.NewBuilder(nodes)
+	for i := 0; i < edges; i++ {
+		b.AddEdge(int32(rng.Intn(nodes)), int32(rng.Intn(nodes)))
+	}
+	return b.Build()
+}
+
+func sameGraph(t *testing.T, a, b *graph.Graph) {
+	t.Helper()
+	if a.NumNodes() != b.NumNodes() || a.NumEdges() != b.NumEdges() {
+		t.Fatalf("shape mismatch: %d/%d nodes, %d/%d edges",
+			a.NumNodes(), b.NumNodes(), a.NumEdges(), b.NumEdges())
+	}
+	for u := 0; u < a.NumNodes(); u++ {
+		sa, sb := a.Successors(int32(u)), b.Successors(int32(u))
+		if len(sa) != len(sb) {
+			t.Fatalf("node %d: %d vs %d successors", u, len(sa), len(sb))
+		}
+		for i := range sa {
+			if sa[i] != sb[i] {
+				t.Fatalf("node %d successor %d: %d != %d", u, i, sa[i], sb[i])
+			}
+		}
+	}
+}
+
+func TestCompressedDurableFileRoundTrip(t *testing.T) {
+	g := testGraph(t, 50, 400, 1)
+	c, err := Compress(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "graph.srkc")
+	if err := c.WriteFile(nil, path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCompressedFile(nil, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dg, err := got.Decompress()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameGraph(t, g, dg)
+}
+
+func TestCompressedRefDurableFileRoundTrip(t *testing.T) {
+	g := testGraph(t, 50, 400, 2)
+	c, err := CompressRef(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "graph.srkr")
+	if err := c.WriteFile(nil, path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCompressedRefFile(nil, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dg, err := got.Decompress()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameGraph(t, g, dg)
+}
+
+// TestCompressedFileV1BackCompat writes a bare version-1 stream to disk
+// (the pre-durable format) and reads it through the file-level reader.
+func TestCompressedFileV1BackCompat(t *testing.T) {
+	g := testGraph(t, 30, 150, 3)
+	c, err := Compress(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "graph_v1.srkc")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Write(f); err != nil { // legacy bare stream
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCompressedFile(nil, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dg, err := got.Decompress()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameGraph(t, g, dg)
+}
+
+func TestCompressedFileFlippedByteRejected(t *testing.T) {
+	g := testGraph(t, 20, 80, 4)
+	c, err := Compress(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "graph.srkc")
+	if err := c.WriteFile(nil, path); err != nil {
+		t.Fatal(err)
+	}
+	good, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range good {
+		bad := append([]byte(nil), good...)
+		bad[i] ^= 0xa5
+		if err := os.WriteFile(path, bad, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		_, err := ReadCompressedFile(nil, path)
+		if err == nil {
+			t.Fatalf("flip at offset %d accepted", i)
+		}
+		if !errors.Is(err, durable.ErrCorrupt) && !errors.Is(err, ErrCodec) {
+			t.Fatalf("flip at offset %d: untyped error %v", i, err)
+		}
+	}
+}
+
+func TestGraphFileTruncationAtEveryOffsetRejected(t *testing.T) {
+	g := testGraph(t, 12, 40, 5)
+	c, err := Compress(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cr, err := CompressRef(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+
+	cases := []struct {
+		name  string
+		write func(path string) error
+		read  func(path string) error
+	}{
+		{
+			"compressed",
+			func(p string) error { return c.WriteFile(nil, p) },
+			func(p string) error { _, err := ReadCompressedFile(nil, p); return err },
+		},
+		{
+			"compressedref",
+			func(p string) error { return cr.WriteFile(nil, p) },
+			func(p string) error { _, err := ReadCompressedRefFile(nil, p); return err },
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			path := filepath.Join(dir, tc.name+".bin")
+			if err := tc.write(path); err != nil {
+				t.Fatal(err)
+			}
+			good, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for n := 0; n < len(good); n++ {
+				if err := os.WriteFile(path, good[:n], 0o644); err != nil {
+					t.Fatal(err)
+				}
+				err := tc.read(path)
+				if err == nil {
+					t.Fatalf("truncation to %d bytes accepted", n)
+				}
+				if !errors.Is(err, durable.ErrCorrupt) && !errors.Is(err, ErrCodec) {
+					t.Fatalf("truncation to %d: untyped error %v", n, err)
+				}
+			}
+		})
+	}
+}

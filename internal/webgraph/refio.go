@@ -8,19 +8,25 @@ import (
 )
 
 const (
-	refFileMagic   = 0x53524B52 // "SRKR"
-	refFileVersion = 1
+	refFileMagic         = 0x53524B52 // "SRKR"
+	refFileVersion       = 1
+	refFileVersionFramed = 2 // durable CRC32-C-framed file
 )
 
-// Write serializes the reference-compressed graph.
+// Write serializes the reference-compressed graph as a bare version-1
+// stream. Use WriteFile to publish to disk with durable framing.
 func (c *CompressedRef) Write(w io.Writer) error {
+	return c.write(w, refFileVersion)
+}
+
+func (c *CompressedRef) write(w io.Writer, version uint32) error {
 	bw := bufio.NewWriter(w)
 	le := binary.LittleEndian
 	write := func(data any) error { return binary.Write(bw, le, data) }
 	if err := write(uint32(refFileMagic)); err != nil {
 		return err
 	}
-	if err := write(uint32(refFileVersion)); err != nil {
+	if err := write(version); err != nil {
 		return err
 	}
 	if err := write(uint64(c.numNodes)); err != nil {
@@ -42,8 +48,13 @@ func (c *CompressedRef) Write(w io.Writer) error {
 }
 
 // ReadCompressedRef deserializes a graph written by CompressedRef.Write,
-// verifying the structure by one full sequential decode.
+// verifying the structure by one full sequential decode. It reads the
+// bare version-1 stream; framed files go through ReadCompressedRefFile.
 func ReadCompressedRef(r io.Reader) (*CompressedRef, error) {
+	return readCompressedRef(r, refFileVersion)
+}
+
+func readCompressedRef(r io.Reader, wantVer uint32) (*CompressedRef, error) {
 	br := bufio.NewReader(r)
 	le := binary.LittleEndian
 	var magic, ver uint32
@@ -56,7 +67,7 @@ func ReadCompressedRef(r io.Reader) (*CompressedRef, error) {
 	if err := binary.Read(br, le, &ver); err != nil {
 		return nil, err
 	}
-	if ver != refFileVersion {
+	if ver != wantVer {
 		return nil, fmt.Errorf("%w: unsupported version %d", ErrCodec, ver)
 	}
 	var nodes, edges, slabLen uint64
