@@ -27,6 +27,8 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net/http"
+	_ "net/http/pprof" // registers profiling handlers on the default mux, exposed only via -pprof-addr
 	"os"
 	"os/signal"
 	"strconv"
@@ -58,8 +60,20 @@ func main() {
 		reqTO     = flag.Duration("request-timeout", 5*time.Second, "per-request timeout")
 		scores    = flag.String("scores", "", "extra score vectors to serve, as name=path[,name=path...]")
 		dumpDir   = flag.String("dump-scores", "", "write each computed score vector into this directory")
+		pprofAddr = flag.String("pprof-addr", "", "serve net/http/pprof on this address (off when empty; bind loopback only)")
 	)
 	flag.Parse()
+
+	if *pprofAddr != "" {
+		// The profiling handlers live on the default mux, never on the
+		// query mux, so they are unreachable unless this flag is set.
+		go func() {
+			log.Printf("pprof listening on %s", *pprofAddr)
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				log.Printf("pprof server: %v", err)
+			}
+		}()
+	}
 
 	pg, spam, name, err := loadCorpus(*pagesPath, *spamPath, *preset, *scale, *seed)
 	if err != nil {

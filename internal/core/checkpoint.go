@@ -311,7 +311,7 @@ func RankCheckpointed(sg *source.Graph, kappa []float64, cfg Config, ck Checkpoi
 			return nil
 		},
 	}
-	scores, stats, err := linalg.PowerMethod(tpp, cfg.alpha(), tele, x0, opt)
+	scores, stats, err := linalg.PowerMethodT(throttledTranspose(sg, tpp, cfg.Workers), cfg.alpha(), tele, x0, opt)
 	if err != nil {
 		return nil, info, err
 	}

@@ -80,6 +80,18 @@ type Result struct {
 	Stats linalg.IterStats
 }
 
+// throttledTranspose materializes the transpose of the throttled matrix
+// exactly once per distinct matrix: when throttle.Apply's identity fast
+// path handed back sg.T itself, the transpose cached on the source graph
+// is reused (materialized on first demand, shared by every later solve);
+// otherwise the throttled matrix is transposed with the parallel kernel.
+func throttledTranspose(sg *source.Graph, tpp *linalg.CSR, workers int) *linalg.CSR {
+	if tpp == sg.T {
+		return sg.TransposedT(workers)
+	}
+	return tpp.TransposeParallel(workers)
+}
+
 // Rank computes Spam-Resilient SourceRank over a prepared source graph
 // with the given throttling vector. Pass a zero vector for κ to obtain
 // the un-throttled (but still consensus-weighted, self-edged) model.
@@ -91,13 +103,14 @@ func Rank(sg *source.Graph, kappa []float64, cfg Config) (*Result, error) {
 	if err != nil {
 		return nil, fmt.Errorf("core: applying throttle: %w", err)
 	}
+	tppT := throttledTranspose(sg, tpp, cfg.Workers)
 	res := &Result{Kappa: append([]float64(nil), kappa...), Throttled: tpp}
 	switch cfg.Solver {
 	case Jacobi:
 		n := tpp.Rows
 		b := linalg.NewUniformVector(n)
 		b.Scale(1 - cfg.alpha())
-		scores, stats, err := linalg.JacobiAffine(tpp, cfg.alpha(), b, linalg.SolverOptions{
+		scores, stats, err := linalg.JacobiAffineT(tppT, cfg.alpha(), b, linalg.SolverOptions{
 			Tol: cfg.Tol, MaxIter: cfg.MaxIter, Workers: cfg.Workers,
 		})
 		if err != nil {
@@ -106,7 +119,7 @@ func Rank(sg *source.Graph, kappa []float64, cfg Config) (*Result, error) {
 		scores.Normalize1()
 		res.Scores, res.Stats = scores, stats
 	default:
-		r, err := rank.Stationary(tpp, cfg.rankOptions())
+		r, err := rank.StationaryT(tppT, cfg.rankOptions())
 		if err != nil {
 			return nil, err
 		}
@@ -164,7 +177,7 @@ type PipelineResult struct {
 // graph: build the consensus-weighted source graph, propagate spam
 // proximity from the seed set, assign κ, and solve for σ.
 func Pipeline(pg *pagegraph.Graph, cfg PipelineConfig) (*PipelineResult, error) {
-	sg, err := source.Build(pg, source.Options{Weighting: cfg.Weighting})
+	sg, err := source.Build(pg, source.Options{Weighting: cfg.Weighting, Workers: cfg.Workers})
 	if err != nil {
 		return nil, fmt.Errorf("core: building source graph: %w", err)
 	}

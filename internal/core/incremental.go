@@ -33,7 +33,7 @@ func RankFrom(sg *source.Graph, kappa []float64, prev linalg.Vector, cfg Config)
 		x0 = linalg.NewUniformVector(sg.NumSources())
 	}
 	tele := linalg.NewUniformVector(sg.NumSources())
-	scores, stats, err := linalg.PowerMethod(tpp, cfg.alpha(), tele, x0, linalg.SolverOptions{
+	scores, stats, err := linalg.PowerMethodT(throttledTranspose(sg, tpp, cfg.Workers), cfg.alpha(), tele, x0, linalg.SolverOptions{
 		Tol: cfg.Tol, MaxIter: cfg.MaxIter, Workers: cfg.Workers,
 	})
 	if err != nil {

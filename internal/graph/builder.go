@@ -88,6 +88,29 @@ func (b *Builder) Build() *Graph {
 	return g
 }
 
+// FromParts assembles a Graph directly from CSR arrays, skipping the
+// Builder's sort-and-dedup pass. rowPtr must have n+1 monotone entries
+// with rowPtr[0] == 0 and rowPtr[n] == len(succ); each row of succ must
+// already be strictly increasing and in range — producers that decode or
+// merge sorted adjacency (the parallel webgraph decoder) guarantee this
+// per element. The cheap structural invariants are checked here; call
+// Validate for the full per-edge check. The slices are retained, not
+// copied.
+func FromParts(n int, rowPtr []int64, succ []NodeID) (*Graph, error) {
+	if n < 0 || len(rowPtr) != n+1 {
+		return nil, fmt.Errorf("%w: rowPtr length %d, want %d", ErrCorrupt, len(rowPtr), n+1)
+	}
+	if rowPtr[0] != 0 || int(rowPtr[n]) != len(succ) {
+		return nil, fmt.Errorf("%w: rowPtr bounds [%d, %d] vs %d edges", ErrCorrupt, rowPtr[0], rowPtr[n], len(succ))
+	}
+	for u := 0; u < n; u++ {
+		if rowPtr[u] > rowPtr[u+1] {
+			return nil, fmt.Errorf("%w: node %d has negative extent", ErrCorrupt, u)
+		}
+	}
+	return &Graph{n: n, rowPtr: rowPtr, succ: succ}, nil
+}
+
 // FromAdjacency builds a graph from an explicit adjacency list, useful in
 // tests. Row u of adj lists the successors of node u; duplicate and
 // unsorted entries are tolerated.

@@ -3,7 +3,10 @@ package linalg
 import (
 	"errors"
 	"fmt"
+	"runtime"
 	"sort"
+	"sync"
+	"sync/atomic"
 )
 
 // CSR is an immutable weighted sparse matrix in compressed-sparse-row form.
@@ -103,8 +106,19 @@ func (m *CSR) RowSum(i int) float64 {
 	return s
 }
 
+// transposeMaterializations counts, process-wide, how many times a CSR
+// transpose has been materialized (Transpose or TransposeParallel). The
+// pipeline reuse tests assert on deltas of this counter to catch code
+// paths that re-materialize the transpose of a matrix they already have.
+var transposeMaterializations atomic.Uint64
+
+// TransposeMaterializations returns the process-wide count of transpose
+// materializations performed so far.
+func TransposeMaterializations() uint64 { return transposeMaterializations.Load() }
+
 // Transpose returns Mᵀ as a new CSR matrix.
 func (m *CSR) Transpose() *CSR {
+	transposeMaterializations.Add(1)
 	t := &CSR{
 		Rows:   m.ColsN,
 		ColsN:  m.Rows,
@@ -131,6 +145,108 @@ func (m *CSR) Transpose() *CSR {
 			next[c]++
 		}
 	}
+	return t
+}
+
+// transposeParallelMinNNZ gates the parallel transpose: below it the
+// serial kernel wins on setup cost. Variable so tests can force the
+// parallel path on small fixtures.
+var transposeParallelMinNNZ = 4096
+
+// TransposeParallel returns Mᵀ like Transpose, computed with parallel
+// counting and scatter phases. workers <= 0 selects GOMAXPROCS. The
+// result is bitwise identical to Transpose for any worker count: each
+// worker owns a contiguous source-row range, and per-worker column
+// cursors are laid out in worker order, so entries within a destination
+// row land in increasing source-row order exactly as in the serial
+// counting sort.
+func (m *CSR) TransposeParallel(workers int) *CSR {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > m.Rows {
+		workers = m.Rows
+	}
+	if workers <= 1 || m.NNZ() < transposeParallelMinNNZ {
+		return m.Transpose()
+	}
+	transposeMaterializations.Add(1)
+	t := &CSR{
+		Rows:   m.ColsN,
+		ColsN:  m.Rows,
+		RowPtr: make([]int64, m.ColsN+1),
+		Cols:   make([]int32, len(m.Cols)),
+		Vals:   make([]float64, len(m.Vals)),
+	}
+	bounds := partitionRowsByNNZ(m, workers)
+	// Phase 1: each worker counts column occurrences in its row range.
+	counts := make([][]int64, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			cnt := make([]int64, m.ColsN)
+			lo, hi := m.RowPtr[bounds[w]], m.RowPtr[bounds[w+1]]
+			for _, c := range m.Cols[lo:hi] {
+				cnt[c]++
+			}
+			counts[w] = cnt
+		}(w)
+	}
+	wg.Wait()
+	// Phase 2: per-column totals into RowPtr, then a serial prefix sum.
+	for c := 0; c < t.Rows; c++ {
+		var s int64
+		for w := 0; w < workers; w++ {
+			s += counts[w][c]
+		}
+		t.RowPtr[c+1] = s
+	}
+	for c := 0; c < t.Rows; c++ {
+		t.RowPtr[c+1] += t.RowPtr[c]
+	}
+	// Phase 3: turn counts into per-worker write cursors — worker w's
+	// cursor for column c starts after every lower-ranked worker's
+	// entries — then scatter concurrently.
+	colChunk := (t.Rows + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			lo, hi := w*colChunk, (w+1)*colChunk
+			if hi > t.Rows {
+				hi = t.Rows
+			}
+			for c := lo; c < hi; c++ {
+				run := t.RowPtr[c]
+				for v := 0; v < workers; v++ {
+					n := counts[v][c]
+					counts[v][c] = run
+					run += n
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			next := counts[w]
+			for r := bounds[w]; r < bounds[w+1]; r++ {
+				lo, hi := m.RowPtr[r], m.RowPtr[r+1]
+				for k := lo; k < hi; k++ {
+					c := int(m.Cols[k])
+					pos := next[c]
+					t.Cols[pos] = int32(r)
+					t.Vals[pos] = m.Vals[k]
+					next[c] = pos + 1
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
 	return t
 }
 

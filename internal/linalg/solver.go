@@ -90,8 +90,18 @@ func JacobiAffine(a *CSR, c float64, b Vector, opt SolverOptions) (Vector, IterS
 	if a.Rows != a.ColsN || len(b) != a.Rows {
 		return nil, IterStats{}, ErrDimension
 	}
+	return JacobiAffineT(a.TransposeParallel(opt.Workers), c, b, opt)
+}
+
+// JacobiAffineT is JacobiAffine with the transpose already materialized:
+// at must be Aᵀ for the system x = c·Aᵀx + b. Callers that solve several
+// systems against the same matrix (or hold a cached transpose, see
+// source.Graph) use this to avoid re-materializing Aᵀ per solve.
+func JacobiAffineT(at *CSR, c float64, b Vector, opt SolverOptions) (Vector, IterStats, error) {
+	if at.Rows != at.ColsN || len(b) != at.Rows {
+		return nil, IterStats{}, ErrDimension
+	}
 	opt = opt.withDefaults()
-	at := a.Transpose()
 	x0 := b.Clone()
 	return FixedPointChecked(x0, func(dst, src Vector) {
 		MulVecParallel(at, src, dst, opt.Workers)
@@ -113,12 +123,23 @@ func PowerMethod(p *CSR, c float64, t Vector, x0 Vector, opt SolverOptions) (Vec
 	if p.Rows != p.ColsN || len(t) != p.Rows {
 		return nil, IterStats{}, ErrDimension
 	}
+	return PowerMethodT(p.TransposeParallel(opt.Workers), c, t, x0, opt)
+}
+
+// PowerMethodT is PowerMethod with the transpose already materialized:
+// pt must be Pᵀ for the chain P. Callers holding a pre-transposed or
+// directly-constructed reverse operand (the spam-proximity walk, the
+// cached source-graph transpose) use this to skip the per-solve
+// transpose; the iteration is identical to PowerMethod's.
+func PowerMethodT(pt *CSR, c float64, t Vector, x0 Vector, opt SolverOptions) (Vector, IterStats, error) {
+	if pt.Rows != pt.ColsN || len(t) != pt.Rows {
+		return nil, IterStats{}, ErrDimension
+	}
 	opt = opt.withDefaults()
-	pt := p.Transpose()
 	if x0 == nil {
 		x0 = t
 	}
-	if len(x0) != p.Rows {
+	if len(x0) != pt.Rows {
 		return nil, IterStats{}, ErrDimension
 	}
 	return FixedPointChecked(x0, func(dst, src Vector) {

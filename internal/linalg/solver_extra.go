@@ -19,7 +19,7 @@ func GaussSeidelAffine(a *CSR, c float64, b Vector, opt SolverOptions) (Vector, 
 		return nil, IterStats{}, ErrDimension
 	}
 	opt = opt.withDefaults()
-	at := a.Transpose()
+	at := a.TransposeParallel(opt.Workers)
 	n := a.Rows
 	x := b.Clone()
 	prev := NewVector(n)
@@ -66,7 +66,7 @@ func PowerMethodExtrapolated(p *CSR, c float64, t Vector, opt SolverOptions) (Ve
 	}
 	opt = opt.withDefaults()
 	const extrapolateEvery = 10
-	pt := p.Transpose()
+	pt := p.TransposeParallel(opt.Workers)
 	n := p.Rows
 	x2 := t.Clone() // x_{k-2}
 	x1 := NewVector(n)

@@ -91,6 +91,29 @@ func Stationary(t *linalg.CSR, opt Options) (*Result, error) {
 	return stationary(t, opt)
 }
 
+// StationaryT computes the same damped stationary distribution from the
+// pre-transposed transition matrix Tᵀ. The power iteration only ever
+// multiplies by the transpose, so callers that already hold Tᵀ (e.g. the
+// cached transpose on source.Graph, or the throttled matrix transposed
+// once per pipeline run) avoid re-materializing it per solve.
+func StationaryT(tt *linalg.CSR, opt Options) (*Result, error) {
+	if tt.Rows == 0 {
+		return nil, ErrEmptyGraph
+	}
+	tele := opt.Teleport
+	if tele == nil {
+		tele = linalg.NewUniformVector(tt.Rows)
+	}
+	if len(tele) != tt.Rows {
+		return nil, linalg.ErrDimension
+	}
+	scores, stats, err := linalg.PowerMethodT(tt, opt.alpha(), tele, nil, opt.solver())
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Scores: scores, Stats: stats}, nil
+}
+
 func stationary(t *linalg.CSR, opt Options) (*Result, error) {
 	tele := opt.Teleport
 	if tele == nil {

@@ -9,6 +9,9 @@ package source
 import (
 	"errors"
 	"fmt"
+	"runtime"
+	"slices"
+	"sync"
 
 	"sourcerank/internal/graph"
 	"sourcerank/internal/linalg"
@@ -49,6 +52,9 @@ type Options struct {
 	// model requires self-edges so influence throttling has a diagonal
 	// to act on.
 	OmitSelfEdges bool
+	// Workers bounds aggregation parallelism; <= 0 selects GOMAXPROCS.
+	// The output is identical for every worker count.
+	Workers int
 }
 
 // Graph is the derived source-level graph.
@@ -72,14 +78,294 @@ type Graph struct {
 	NumEdges int64
 	// PageCount holds the number of pages per source.
 	PageCount []int
+
+	ttOnce sync.Once
+	tt     *linalg.CSR
+}
+
+// TransposedT returns Tᵀ, materializing it at most once per Graph and
+// reusing the cached copy on every later call. Solvers that iterate
+// x ← αTᵀx (the un-throttled SourceRank baseline, warm restarts against
+// an unchanged graph) share this single materialization instead of
+// re-transposing per solve. workers bounds the one-time transposition
+// parallelism; <= 0 selects GOMAXPROCS.
+func (sg *Graph) TransposedT(workers int) *linalg.CSR {
+	sg.ttOnce.Do(func() { sg.tt = sg.T.TransposeParallel(workers) })
+	return sg.tt
 }
 
 // ErrEmpty reports an attempt to build a source graph from a page graph
 // with no sources.
 var ErrEmpty = errors.New("source: page graph has no sources")
 
-// Build derives the source graph from pg under the given options.
+// Build derives the source graph from pg under the given options using a
+// sharded two-pass aggregation:
+//
+//  1. pages are partitioned across workers; each worker dedupes the
+//     target sources of each of its pages in a sorted scratch array and
+//     emits packed (src, dst) keys, which it sorts and run-length counts
+//     into a per-shard sorted run;
+//  2. contiguous source-row ranges are merged across shards in parallel,
+//     writing the Counts and T matrices directly in CSR form.
+//
+// The output is deterministic and byte-for-byte identical to BuildSerial
+// for every worker count (the determinism tests assert this), so callers
+// may treat Build and BuildSerial as interchangeable.
 func Build(pg *pagegraph.Graph, opt Options) (*Graph, error) {
+	n := pg.NumSources()
+	if n == 0 {
+		return nil, ErrEmpty
+	}
+	workers := opt.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	numPages := pg.NumPages()
+	if workers > numPages {
+		workers = numPages
+	}
+	if workers < 1 {
+		workers = 1
+	}
+
+	// Pass 1: per-shard sorted runs of packed (src, dst) keys. A key
+	// packs the source row in the high 32 bits and the destination
+	// column in the low 32, so integer sort order is (row, col) order.
+	runKeys := make([][]uint64, workers)
+	runCnt := make([][]int32, workers)
+	rowUpper := make([][]int32, workers) // per-shard entries per row, for merge balancing
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			lo := w * numPages / workers
+			hi := (w + 1) * numPages / workers
+			var scratch []pagegraph.SourceID
+			var keys []uint64
+			for p := lo; p < hi; p++ {
+				out := pg.OutLinks(pagegraph.PageID(p))
+				if len(out) == 0 {
+					continue
+				}
+				scratch = scratch[:0]
+				for _, q := range out {
+					scratch = append(scratch, pg.SourceOf(q))
+				}
+				slices.Sort(scratch)
+				base := uint64(uint32(pg.SourceOf(pagegraph.PageID(p)))) << 32
+				prev := pagegraph.SourceID(-1)
+				for _, sj := range scratch {
+					if sj != prev {
+						keys = append(keys, base|uint64(uint32(sj)))
+						prev = sj
+					}
+				}
+			}
+			slices.Sort(keys)
+			// Run-length count equal keys in place.
+			upper := make([]int32, n)
+			cnt := make([]int32, 0, len(keys))
+			uniq := keys[:0]
+			for i := 0; i < len(keys); {
+				j := i + 1
+				for j < len(keys) && keys[j] == keys[i] {
+					j++
+				}
+				uniq = append(uniq, keys[i])
+				cnt = append(cnt, int32(j-i))
+				upper[keys[i]>>32]++
+				i = j
+			}
+			runKeys[w], runCnt[w], rowUpper[w] = uniq, cnt, upper
+		}(w)
+	}
+	wg.Wait()
+
+	sg := &Graph{
+		Labels:    make([]string, n),
+		PageCount: pg.PageCounts(),
+	}
+	for s := 0; s < n; s++ {
+		sg.Labels[s] = pg.SourceLabel(pagegraph.SourceID(s))
+	}
+
+	// Pass 2: merge the shards' sorted runs over contiguous row ranges.
+	// Range boundaries balance the pre-merge entry total, an upper bound
+	// on merged row width.
+	var totalUpper int64
+	cumUpper := make([]int64, n+1)
+	for r := 0; r < n; r++ {
+		for w := 0; w < workers; w++ {
+			totalUpper += int64(rowUpper[w][r])
+		}
+		cumUpper[r+1] = totalUpper
+	}
+	mergeBounds := make([]int, workers+1)
+	mergeBounds[workers] = n
+	row := 0
+	for m := 1; m < workers; m++ {
+		target := totalUpper * int64(m) / int64(workers)
+		for row < n && cumUpper[row] < target {
+			row++
+		}
+		mergeBounds[m] = row
+	}
+
+	type mergeOut struct {
+		cols     []int32 // merged destination columns, row-major
+		cnt      []int64 // merged counts, aligned with cols
+		rowNNZ   []int32 // entries per row in this range
+		rowTotal []int64 // per-row count totals (consensus denominators)
+		hasSelf  []bool  // per-row: diagonal entry present
+	}
+	outs := make([]mergeOut, workers)
+	for m := 0; m < workers; m++ {
+		wg.Add(1)
+		go func(m int) {
+			defer wg.Done()
+			rA, rB := mergeBounds[m], mergeBounds[m+1]
+			o := mergeOut{
+				rowNNZ:   make([]int32, rB-rA),
+				rowTotal: make([]int64, rB-rA),
+				hasSelf:  make([]bool, rB-rA),
+			}
+			idx := make([]int, workers)
+			end := make([]int, workers)
+			for w := 0; w < workers; w++ {
+				idx[w], _ = slices.BinarySearch(runKeys[w], uint64(rA)<<32)
+				end[w], _ = slices.BinarySearch(runKeys[w], uint64(rB)<<32)
+			}
+			for {
+				min := uint64(1<<64 - 1)
+				live := false
+				for w := 0; w < workers; w++ {
+					if idx[w] < end[w] && runKeys[w][idx[w]] < min {
+						min = runKeys[w][idx[w]]
+						live = true
+					}
+				}
+				if !live {
+					break
+				}
+				var c int64
+				for w := 0; w < workers; w++ {
+					if idx[w] < end[w] && runKeys[w][idx[w]] == min {
+						c += int64(runCnt[w][idx[w]])
+						idx[w]++
+					}
+				}
+				r := int(min >> 32)
+				col := int32(uint32(min))
+				o.cols = append(o.cols, col)
+				o.cnt = append(o.cnt, c)
+				o.rowNNZ[r-rA]++
+				o.rowTotal[r-rA] += c
+				if int(col) == r {
+					o.hasSelf[r-rA] = true
+				}
+			}
+			outs[m] = o
+		}(m)
+	}
+	wg.Wait()
+
+	// Assemble Counts and T directly in CSR form. Row pointers come from
+	// the per-range row widths; the value arrays are filled in parallel,
+	// one contiguous block per merge range.
+	countPtr := make([]int64, n+1)
+	transPtr := make([]int64, n+1)
+	for m := 0; m < workers; m++ {
+		o := &outs[m]
+		rA := mergeBounds[m]
+		for i, nnz := range o.rowNNZ {
+			r := rA + i
+			countPtr[r+1] = int64(nnz)
+			sg.NumEdges += int64(nnz)
+			switch {
+			case nnz == 0:
+				transPtr[r+1] = 1 // dangling source: pure self-loop
+			case !o.hasSelf[i] && !opt.OmitSelfEdges:
+				transPtr[r+1] = int64(nnz) + 1 // structural zero self-edge
+			default:
+				transPtr[r+1] = int64(nnz)
+			}
+		}
+	}
+	for r := 0; r < n; r++ {
+		countPtr[r+1] += countPtr[r]
+		transPtr[r+1] += transPtr[r]
+	}
+	counts := &linalg.CSR{
+		Rows: n, ColsN: n,
+		RowPtr: countPtr,
+		Cols:   make([]int32, countPtr[n]),
+		Vals:   make([]float64, countPtr[n]),
+	}
+	trans := &linalg.CSR{
+		Rows: n, ColsN: n,
+		RowPtr: transPtr,
+		Cols:   make([]int32, transPtr[n]),
+		Vals:   make([]float64, transPtr[n]),
+	}
+	for m := 0; m < workers; m++ {
+		wg.Add(1)
+		go func(m int) {
+			defer wg.Done()
+			o := &outs[m]
+			rA, rB := mergeBounds[m], mergeBounds[m+1]
+			pos := 0
+			for r := rA; r < rB; r++ {
+				nnz := int(o.rowNNZ[r-rA])
+				cols := o.cols[pos : pos+nnz]
+				cnts := o.cnt[pos : pos+nnz]
+				pos += nnz
+				copy(counts.Cols[countPtr[r]:], cols)
+				cv := counts.Vals[countPtr[r]:countPtr[r+1]]
+				for k, c := range cnts {
+					cv[k] = float64(c)
+				}
+				tc := trans.Cols[transPtr[r]:transPtr[r+1]]
+				tv := trans.Vals[transPtr[r]:transPtr[r+1]]
+				if nnz == 0 {
+					tc[0], tv[0] = int32(r), 1
+					continue
+				}
+				insertSelf := !o.hasSelf[r-rA] && !opt.OmitSelfEdges
+				var w float64
+				if opt.Weighting == Uniform {
+					w = 1 / float64(nnz)
+				}
+				total := float64(o.rowTotal[r-rA])
+				j := 0
+				for k, col := range cols {
+					if insertSelf && int(col) > r && j == k {
+						tc[j], tv[j] = int32(r), 0
+						j++
+					}
+					tc[j] = col
+					if opt.Weighting == Uniform {
+						tv[j] = w
+					} else {
+						tv[j] = float64(cnts[k]) / total
+					}
+					j++
+				}
+				if insertSelf && j == nnz {
+					tc[j], tv[j] = int32(r), 0
+				}
+			}
+		}(m)
+	}
+	wg.Wait()
+	sg.Counts, sg.T = counts, trans
+	return sg, nil
+}
+
+// BuildSerial is the reference single-threaded implementation of Build,
+// retained for the determinism tests and the benchmark harness's serial
+// baseline. Build produces byte-for-byte identical Counts and T.
+func BuildSerial(pg *pagegraph.Graph, opt Options) (*Graph, error) {
 	n := pg.NumSources()
 	if n == 0 {
 		return nil, ErrEmpty

@@ -51,6 +51,29 @@ func Apply(t *linalg.CSR, kappa []float64) (*linalg.CSR, error) {
 	if err := Validate(kappa, t.Rows); err != nil {
 		return nil, err
 	}
+	// Identity fast path: all-zero κ over a matrix with no structurally
+	// empty rows leaves every row unchanged (self ≥ 0 always holds), so
+	// the input matrix itself is returned. Callers treat CSR matrices as
+	// immutable, and the identity lets them reuse a cached transpose of
+	// t instead of re-materializing one (see core.Rank).
+	identity := true
+	for _, k := range kappa {
+		if k != 0 {
+			identity = false
+			break
+		}
+	}
+	if identity {
+		for i := 0; i < t.Rows; i++ {
+			if t.RowPtr[i] == t.RowPtr[i+1] {
+				identity = false
+				break
+			}
+		}
+	}
+	if identity {
+		return t, nil
+	}
 	entries := make([]linalg.Entry, 0, t.NNZ()+t.Rows)
 	for i := 0; i < t.Rows; i++ {
 		cols, vals := t.Row(i)
@@ -126,19 +149,26 @@ func SpamProximity(structure *graph.Graph, seeds []int32, opt ProximityOptions) 
 	}
 	d.Normalize1()
 
-	inv := structure.Transpose()
-	entries := make([]linalg.Entry, 0, inv.NumEdges())
+	// The power iteration multiplies by Pᵀ, where P is uniform over the
+	// reversed edges. Pᵀ can be read straight off the forward graph:
+	// Pᵀ[u][v] = P[v][u] = 1/outdeg_rev(v) = 1/indeg(v) for every forward
+	// edge (u, v). Building it directly skips both the graph transpose
+	// and the CSR transpose the solver would otherwise materialize, and
+	// yields the exact matrix — hence bitwise-identical proximity scores
+	// — the transpose-based formulation produced.
+	indeg := make([]int64, n)
 	for u := 0; u < n; u++ {
-		succ := inv.Successors(int32(u))
-		if len(succ) == 0 {
-			continue
-		}
-		w := 1 / float64(len(succ))
-		for _, v := range succ {
-			entries = append(entries, linalg.Entry{Row: u, Col: int(v), Val: w})
+		for _, v := range structure.Successors(int32(u)) {
+			indeg[v]++
 		}
 	}
-	um, err := linalg.NewCSR(n, n, entries)
+	entries := make([]linalg.Entry, 0, structure.NumEdges())
+	for u := 0; u < n; u++ {
+		for _, v := range structure.Successors(int32(u)) {
+			entries = append(entries, linalg.Entry{Row: u, Col: int(v), Val: 1 / float64(indeg[v])})
+		}
+	}
+	pt, err := linalg.NewCSR(n, n, entries)
 	if err != nil {
 		return nil, linalg.IterStats{}, err
 	}
@@ -146,7 +176,7 @@ func SpamProximity(structure *graph.Graph, seeds []int32, opt ProximityOptions) 
 	if beta == 0 {
 		beta = 0.85
 	}
-	return linalg.PowerMethod(um, beta, d, nil, linalg.SolverOptions{
+	return linalg.PowerMethodT(pt, beta, d, nil, linalg.SolverOptions{
 		Tol: opt.Tol, MaxIter: opt.MaxIter, Workers: opt.Workers,
 	})
 }

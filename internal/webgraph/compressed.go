@@ -5,6 +5,8 @@ import (
 	"encoding/binary"
 	"fmt"
 	"io"
+	"runtime"
+	"sync"
 
 	"sourcerank/internal/graph"
 )
@@ -93,6 +95,107 @@ func (c *Compressed) Decompress() (*graph.Graph, error) {
 		return nil, fmt.Errorf("%w: edge count mismatch %d != %d", ErrCodec, g.NumEdges(), c.numEdges)
 	}
 	return g, nil
+}
+
+// decompressParallelMinNodes gates the parallel decoder; below it the
+// serial path wins. Variable so tests can force the parallel path on
+// small fixtures.
+var decompressParallelMinNodes = 2048
+
+// partitionNodesBySlab splits [0, numNodes) into workers contiguous node
+// ranges of approximately equal encoded size, returning workers+1
+// boundaries. Adjacency blocks are independent, so ranges decode with no
+// coordination.
+func (c *Compressed) partitionNodesBySlab(workers int) []int {
+	bounds := make([]int, workers+1)
+	bounds[workers] = c.numNodes
+	total := int64(len(c.slab))
+	if total == 0 {
+		for w := 1; w < workers; w++ {
+			bounds[w] = w * c.numNodes / workers
+		}
+		return bounds
+	}
+	node := 0
+	for w := 1; w < workers; w++ {
+		target := total * int64(w) / int64(workers)
+		for node < c.numNodes && c.offsets[node] < target {
+			node++
+		}
+		bounds[w] = node
+	}
+	return bounds
+}
+
+// DecompressParallel reconstructs the plain CSR graph, decoding
+// independent node blocks concurrently. workers <= 0 selects GOMAXPROCS.
+// The decoded lists are already sorted and duplicate-free, so the CSR is
+// assembled directly from per-worker buffers, producing a graph identical
+// to Decompress for any worker count — and skipping the Builder's
+// edge-sort pass entirely, which makes even the single-worker path faster
+// than the serial decoder.
+func (c *Compressed) DecompressParallel(workers int) (*graph.Graph, error) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > c.numNodes {
+		workers = c.numNodes
+	}
+	if workers < 1 || c.numNodes < decompressParallelMinNodes {
+		workers = 1
+	}
+	bounds := c.partitionNodesBySlab(workers)
+	rowPtr := make([]int64, c.numNodes+1)
+	parts := make([][]int32, workers)
+	errs := make([]error, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			var buf []int32
+			for u := bounds[w]; u < bounds[w+1]; u++ {
+				lo, hi := c.offsets[u], c.offsets[u+1]
+				if lo < 0 || hi < lo || hi > int64(len(c.slab)) {
+					errs[w] = fmt.Errorf("%w: offsets of node %d out of bounds", ErrCodec, u)
+					return
+				}
+				before := len(buf)
+				var err error
+				buf, _, err = DecodeAdjacency(c.slab[lo:hi], int32(u), c.numNodes, buf)
+				if err != nil {
+					errs[w] = fmt.Errorf("webgraph: node %d: %w", u, err)
+					return
+				}
+				rowPtr[u+1] = int64(len(buf) - before)
+			}
+			parts[w] = buf
+		}(w)
+	}
+	wg.Wait()
+	// Workers cover disjoint node ranges, so the lowest-indexed error is
+	// the one the serial decoder would have hit first.
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	for u := 0; u < c.numNodes; u++ {
+		rowPtr[u+1] += rowPtr[u]
+	}
+	if rowPtr[c.numNodes] != c.numEdges {
+		return nil, fmt.Errorf("%w: edge count mismatch %d != %d", ErrCodec, rowPtr[c.numNodes], c.numEdges)
+	}
+	succ := make([]int32, c.numEdges)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			copy(succ[rowPtr[bounds[w]]:], parts[w])
+		}(w)
+	}
+	wg.Wait()
+	return graph.FromParts(c.numNodes, rowPtr, succ)
 }
 
 // File format versions: 1 is the bare stream written by Write; 2 is the
@@ -187,24 +290,62 @@ func readCompressed(r io.Reader, wantVer uint32) (*Compressed, error) {
 		return nil, fmt.Errorf("webgraph: reading slab: %w", err)
 	}
 	c.slab = slab
-	// Verify offsets and decode every list once to surface corruption now
-	// rather than at query time.
-	var edgeCount int64
-	var scratch []int32
-	for u := 0; u < c.numNodes; u++ {
-		lo, hi := c.offsets[u], c.offsets[u+1]
-		if lo < 0 || hi < lo || hi > int64(len(c.slab)) {
-			return nil, fmt.Errorf("%w: offsets of node %d out of bounds", ErrCodec, u)
-		}
-		var err error
-		scratch, _, err = DecodeAdjacency(c.slab[lo:hi], int32(u), c.numNodes, scratch[:0])
-		if err != nil {
-			return nil, fmt.Errorf("webgraph: node %d: %w", u, err)
-		}
-		edgeCount += int64(len(scratch))
-	}
-	if edgeCount != c.numEdges {
-		return nil, fmt.Errorf("%w: declared %d edges, decoded %d", ErrCodec, c.numEdges, edgeCount)
+	if err := c.verify(); err != nil {
+		return nil, err
 	}
 	return c, nil
+}
+
+// verify checks offsets and decodes every adjacency list once to surface
+// corruption at read time rather than at query time. Node blocks are
+// independent, so verification fans out across GOMAXPROCS workers; the
+// reported error is the lowest-numbered bad node's, exactly what the
+// serial scan would return.
+func (c *Compressed) verify() error {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > c.numNodes {
+		workers = c.numNodes
+	}
+	if workers < 1 || c.numNodes < decompressParallelMinNodes {
+		workers = 1
+	}
+	bounds := c.partitionNodesBySlab(workers)
+	errs := make([]error, workers)
+	edges := make([]int64, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			var scratch []int32
+			var n int64
+			for u := bounds[w]; u < bounds[w+1]; u++ {
+				lo, hi := c.offsets[u], c.offsets[u+1]
+				if lo < 0 || hi < lo || hi > int64(len(c.slab)) {
+					errs[w] = fmt.Errorf("%w: offsets of node %d out of bounds", ErrCodec, u)
+					return
+				}
+				var err error
+				scratch, _, err = DecodeAdjacency(c.slab[lo:hi], int32(u), c.numNodes, scratch[:0])
+				if err != nil {
+					errs[w] = fmt.Errorf("webgraph: node %d: %w", u, err)
+					return
+				}
+				n += int64(len(scratch))
+			}
+			edges[w] = n
+		}(w)
+	}
+	wg.Wait()
+	var edgeCount int64
+	for w := 0; w < workers; w++ {
+		if errs[w] != nil {
+			return errs[w]
+		}
+		edgeCount += edges[w]
+	}
+	if edgeCount != c.numEdges {
+		return fmt.Errorf("%w: declared %d edges, decoded %d", ErrCodec, c.numEdges, edgeCount)
+	}
+	return nil
 }

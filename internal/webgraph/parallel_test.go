@@ -1,0 +1,75 @@
+package webgraph
+
+import (
+	"math/rand"
+	"testing"
+
+	"sourcerank/internal/graph"
+)
+
+// TestDecompressParallelMatchesSerial checks the parallel block decoder
+// against the serial one across worker counts, forcing the parallel path
+// on fixtures below the size gate.
+func TestDecompressParallelMatchesSerial(t *testing.T) {
+	defer func(old int) { decompressParallelMinNodes = old }(decompressParallelMinNodes)
+	decompressParallelMinNodes = 1
+
+	rng := rand.New(rand.NewSource(17))
+	cases := map[string]*graph.Graph{
+		"small":    graph.FromAdjacency([][]int32{{1, 2}, {0, 2}, {}}),
+		"random":   randomGraph(rng, 500, 4000),
+		"dense":    randomGraph(rng, 64, 2000),
+		"sparse":   randomGraph(rng, 3000, 3000),
+		"edgeless": graph.FromAdjacency([][]int32{{}, {}, {}, {}}),
+	}
+	for name, g := range cases {
+		c, err := Compress(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := c.Decompress()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, workers := range []int{0, 1, 2, 3, 7, 16} {
+			got, err := c.DecompressParallel(workers)
+			if err != nil {
+				t.Fatalf("%s workers=%d: %v", name, workers, err)
+			}
+			if !graphsEqual(want, got) {
+				t.Fatalf("%s workers=%d: parallel decode differs from serial", name, workers)
+			}
+			if err := got.Validate(); err != nil {
+				t.Fatalf("%s workers=%d: %v", name, workers, err)
+			}
+		}
+	}
+}
+
+// TestDecompressParallelRejectsCorruption makes the parallel decoder see
+// a truncated slab and checks it fails rather than returning a mangled
+// graph, matching the serial decoder's behavior.
+func TestDecompressParallelRejectsCorruption(t *testing.T) {
+	defer func(old int) { decompressParallelMinNodes = old }(decompressParallelMinNodes)
+	decompressParallelMinNodes = 1
+
+	rng := rand.New(rand.NewSource(3))
+	g := randomGraph(rng, 200, 1500)
+	c, err := Compress(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.DecompressParallel(4); err != nil {
+		t.Fatalf("clean decode failed: %v", err)
+	}
+	// Corrupt a byte in the middle of the slab.
+	c.slab[len(c.slab)/2] ^= 0xFF
+	serialErr := func() error { _, err := c.Decompress(); return err }()
+	parallelErr := func() error { _, err := c.DecompressParallel(4); return err }()
+	if serialErr == nil && parallelErr == nil {
+		t.Skip("corruption not detectable at this byte (valid re-encoding)")
+	}
+	if (serialErr == nil) != (parallelErr == nil) {
+		t.Fatalf("serial err %v, parallel err %v", serialErr, parallelErr)
+	}
+}
