@@ -1,0 +1,764 @@
+// Command loadgen is a closed-loop load generator for the srserve
+// serving layer. It measures request throughput and latency percentiles
+// for a configurable endpoint mix, optionally while snapshots are being
+// republished underneath the readers, and writes a machine-readable
+// JSON report (BENCH_serving.json).
+//
+// Two ways to drive traffic:
+//
+//	loadgen -self -preset UK2002 -scale 0.02 -transport direct
+//	    builds the corpus and snapshot in-process and calls the HTTP
+//	    handler directly (no sockets). This isolates handler cost and
+//	    is what the committed BENCH_serving.json uses.
+//
+//	loadgen -target http://localhost:8080
+//	    drives a running srserve over real HTTP.
+//
+// With -compare-baseline (self mode only) every topk-focused run is
+// executed twice — once against a server with the pre-encoded response
+// cache disabled (the pre-change per-request encoding path) and once
+// with it enabled — and the report's hot_path block records the
+// resulting speedup on /v1/topk?n=<topk-n>.
+//
+// With -churn <interval> a publisher goroutine keeps republishing
+// perturbed snapshots during the mixed-load run, exercising the
+// publish-time pre-encoding while readers hit the cache.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"math"
+	"math/bits"
+	"math/rand"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"runtime"
+	"slices"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"sourcerank/internal/gen"
+	"sourcerank/internal/server"
+	"sourcerank/internal/source"
+)
+
+func main() {
+	var (
+		target      = flag.String("target", "", "base URL of a running srserve (mutually exclusive with -self)")
+		self        = flag.Bool("self", false, "build the corpus and server in-process")
+		preset      = flag.String("preset", "UK2002", "generator preset for -self")
+		scale       = flag.Float64("scale", 0.02, "generator scale for -self")
+		seed        = flag.Uint64("seed", 1, "generator seed for -self")
+		transport   = flag.String("transport", "direct", "direct (in-process handler) or http (self mode only; -target always uses http)")
+		duration    = flag.Duration("duration", 3*time.Second, "measurement window per run")
+		concCSV     = flag.String("concurrency", "1,4,16", "comma-separated closed-loop worker counts")
+		mixSpec     = flag.String("mix", "topk=70,rank=20,compare=5,snapshot=5", "endpoint weights")
+		topkN       = flag.Int("topk-n", 10, "n for /v1/topk requests")
+		churn       = flag.Duration("churn", 0, "republish a perturbed snapshot at this interval during the mixed run (self mode; 0 disables)")
+		compareBase = flag.Bool("compare-baseline", false, "also run topk-only load against the cache-disabled encoder path and report the speedup (self mode)")
+		out         = flag.String("out", "BENCH_serving.json", "report path")
+	)
+	flag.Parse()
+
+	if (*target == "") == !*self {
+		log.Fatal("loadgen: exactly one of -target or -self is required")
+	}
+	if *self && *transport != "direct" && *transport != "http" {
+		log.Fatalf("loadgen: unknown -transport %q", *transport)
+	}
+	mix, err := parseMix(*mixSpec)
+	if err != nil {
+		log.Fatalf("loadgen: %v", err)
+	}
+	concs, err := parseConcurrency(*concCSV)
+	if err != nil {
+		log.Fatalf("loadgen: %v", err)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	var (
+		env    *selfEnv
+		report = report{
+			Schema:        "sourcerank/bench-serving/v1",
+			GeneratedUnix: time.Now().Unix(),
+			Config: reportConfig{
+				Target: *target, Preset: *preset, Scale: *scale, Seed: *seed,
+				Transport: *transport, DurationS: duration.Seconds(),
+				Mix: *mixSpec, TopKN: *topkN, GoMaxProcs: runtime.GOMAXPROCS(0),
+			},
+		}
+	)
+	if *self {
+		env, err = buildSelf(ctx, *preset, *scale, *seed, *transport)
+		if err != nil {
+			log.Fatalf("loadgen: %v", err)
+		}
+		report.Config.Sources = env.store.Current().NumSources()
+	}
+
+	topkOnly := mixTable{{kindTopK, 1}}
+	var hot *hotPath
+	for _, c := range concs {
+		if *compareBase {
+			if env == nil {
+				log.Fatal("loadgen: -compare-baseline requires -self")
+			}
+			base := runLoad(ctx, caller(env, *target, false), runSpec{
+				name: fmt.Sprintf("topk-baseline-c%d", c), concurrency: c,
+				mix: topkOnly, topkN: *topkN, duration: *duration, cache: false,
+			})
+			cached := runLoad(ctx, caller(env, *target, true), runSpec{
+				name: fmt.Sprintf("topk-cached-c%d", c), concurrency: c,
+				mix: topkOnly, topkN: *topkN, duration: *duration, cache: true,
+			})
+			report.Runs = append(report.Runs, base, cached)
+			speedup := cached.RPS / math.Max(base.RPS, 1e-9)
+			log.Printf("c=%d topk: baseline %.0f rps, cached %.0f rps (%.1fx)", c, base.RPS, cached.RPS, speedup)
+			if hot == nil || speedup < hot.Speedup {
+				hot = &hotPath{
+					Endpoint:    fmt.Sprintf("/v1/topk?n=%d", *topkN),
+					Concurrency: c, BaselineRPS: base.RPS, CachedRPS: cached.RPS, Speedup: speedup,
+				}
+			}
+		}
+		res := runLoad(ctx, caller(env, *target, true), runSpec{
+			name: fmt.Sprintf("mix-c%d", c), concurrency: c,
+			mix: mix, topkN: *topkN, duration: *duration, cache: true,
+		})
+		report.Runs = append(report.Runs, res)
+		log.Printf("c=%d mix: %.0f rps, p50 %.3fms p99 %.3fms", c, res.RPS,
+			res.Latency.P50*1e3, res.Latency.P99*1e3)
+	}
+
+	if *churn > 0 {
+		if env == nil {
+			log.Fatal("loadgen: -churn requires -self")
+		}
+		c := concs[len(concs)-1]
+		stopChurn, published := env.startChurn(ctx, *churn)
+		res := runLoad(ctx, caller(env, *target, true), runSpec{
+			name: fmt.Sprintf("mix-churn-c%d", c), concurrency: c,
+			mix: mix, topkN: *topkN, duration: *duration, cache: true,
+		})
+		stopChurn()
+		res.PublishesDuringRun = published()
+		report.Runs = append(report.Runs, res)
+		log.Printf("c=%d mix+churn: %.0f rps, %d publishes during run", c, res.RPS, res.PublishesDuringRun)
+	}
+	report.HotPath = hot
+
+	if env != nil {
+		env.close()
+	}
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		log.Fatalf("loadgen: %v", err)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		log.Fatalf("loadgen: %v", err)
+	}
+	log.Printf("wrote %s (%d runs)", *out, len(report.Runs))
+	if hot != nil {
+		log.Printf("hot path speedup (min across concurrency levels): %.1fx", hot.Speedup)
+	}
+}
+
+// --- report schema ---
+
+type report struct {
+	Schema        string       `json:"schema"`
+	GeneratedUnix int64        `json:"generated_unix"`
+	Config        reportConfig `json:"config"`
+	Runs          []runResult  `json:"runs"`
+	HotPath       *hotPath     `json:"hot_path,omitempty"`
+}
+
+type reportConfig struct {
+	Target     string  `json:"target,omitempty"`
+	Preset     string  `json:"preset,omitempty"`
+	Scale      float64 `json:"scale,omitempty"`
+	Seed       uint64  `json:"seed,omitempty"`
+	Sources    int     `json:"sources,omitempty"`
+	Transport  string  `json:"transport"`
+	DurationS  float64 `json:"duration_s"`
+	Mix        string  `json:"mix"`
+	TopKN      int     `json:"topk_n"`
+	GoMaxProcs int     `json:"gomaxprocs"`
+}
+
+type runResult struct {
+	Name               string           `json:"name"`
+	Concurrency        int              `json:"concurrency"`
+	Cache              bool             `json:"response_cache"`
+	Requests           uint64           `json:"requests"`
+	Errors             uint64           `json:"errors"`
+	StatusClasses      map[string]int64 `json:"status_classes"`
+	DurationS          float64          `json:"duration_s"`
+	RPS                float64          `json:"rps"`
+	Latency            latencySummary   `json:"latency_s"`
+	AllocsPerRequest   float64          `json:"allocs_per_request"`
+	BytesPerRequest    float64          `json:"bytes_per_request"`
+	PublishesDuringRun uint64           `json:"publishes_during_run,omitempty"`
+}
+
+type latencySummary struct {
+	P50 float64 `json:"p50"`
+	P90 float64 `json:"p90"`
+	P99 float64 `json:"p99"`
+	Max float64 `json:"max"`
+}
+
+type hotPath struct {
+	Endpoint    string  `json:"endpoint"`
+	Concurrency int     `json:"concurrency"`
+	BaselineRPS float64 `json:"baseline_rps"`
+	CachedRPS   float64 `json:"cached_rps"`
+	Speedup     float64 `json:"speedup"`
+}
+
+// --- endpoint mix ---
+
+type reqKind int
+
+const (
+	kindTopK reqKind = iota
+	kindRank
+	kindCompare
+	kindSnapshot
+)
+
+type mixEntry struct {
+	kind   reqKind
+	weight int
+}
+
+type mixTable []mixEntry
+
+func (m mixTable) total() int {
+	t := 0
+	for _, e := range m {
+		t += e.weight
+	}
+	return t
+}
+
+func (m mixTable) pick(r int) reqKind {
+	for _, e := range m {
+		if r < e.weight {
+			return e.kind
+		}
+		r -= e.weight
+	}
+	return m[len(m)-1].kind
+}
+
+func parseMix(spec string) (mixTable, error) {
+	kinds := map[string]reqKind{
+		"topk": kindTopK, "rank": kindRank, "compare": kindCompare, "snapshot": kindSnapshot,
+	}
+	var m mixTable
+	for _, part := range strings.Split(spec, ",") {
+		name, wstr, ok := strings.Cut(strings.TrimSpace(part), "=")
+		if !ok {
+			return nil, fmt.Errorf("bad -mix entry %q, want endpoint=weight", part)
+		}
+		kind, ok := kinds[name]
+		if !ok {
+			return nil, fmt.Errorf("unknown endpoint %q in -mix", name)
+		}
+		w, err := strconv.Atoi(wstr)
+		if err != nil || w < 0 {
+			return nil, fmt.Errorf("bad weight in -mix entry %q", part)
+		}
+		if w > 0 {
+			m = append(m, mixEntry{kind, w})
+		}
+	}
+	if m.total() == 0 {
+		return nil, fmt.Errorf("-mix %q selects no endpoints", spec)
+	}
+	return m, nil
+}
+
+func parseConcurrency(csv string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(csv, ",") {
+		c, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || c <= 0 {
+			return nil, fmt.Errorf("bad -concurrency entry %q", part)
+		}
+		out = append(out, c)
+	}
+	return out, nil
+}
+
+// --- self-mode environment ---
+
+// selfEnv holds an in-process corpus, snapshot store, and two servers
+// over the same store: one with the pre-encoded response cache (the
+// current behavior) and one with per-request encoding (the baseline).
+type selfEnv struct {
+	sg        *source.Graph
+	store     *server.Store
+	cached    *server.Server
+	baseline  *server.Server
+	transport string
+	// http transport: one loopback listener per server.
+	cachedURL, baselineURL string
+	shutdown               []func()
+}
+
+func buildSelf(ctx context.Context, preset string, scale float64, seed uint64, transport string) (*selfEnv, error) {
+	ds, err := gen.GeneratePreset(gen.Preset(preset), scale, seed)
+	if err != nil {
+		return nil, err
+	}
+	sg, err := source.Build(ds.Pages, source.Options{})
+	if err != nil {
+		return nil, err
+	}
+	log.Printf("corpus %s: %d pages, %d sources", ds.Name, ds.Pages.NumPages(), sg.NumSources())
+	start := time.Now()
+	snap, err := server.BuildSnapshotFromSourceGraph(ds.Pages, sg, ds.SpamSources, server.BuildConfig{Name: ds.Name})
+	if err != nil {
+		return nil, err
+	}
+	store := server.NewStore(snap)
+	log.Printf("snapshot ready in %v", time.Since(start).Round(time.Millisecond))
+
+	env := &selfEnv{
+		sg:        sg,
+		store:     store,
+		cached:    server.New(store, server.Config{}),
+		baseline:  server.New(store, server.Config{DisableResponseCache: true}),
+		transport: transport,
+	}
+	if transport == "http" {
+		env.cachedURL, err = env.listen(ctx, env.cached)
+		if err != nil {
+			return nil, err
+		}
+		env.baselineURL, err = env.listen(ctx, env.baseline)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return env, nil
+}
+
+func (e *selfEnv) listen(ctx context.Context, srv *server.Server) (string, error) {
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return "", err
+	}
+	sctx, cancel := context.WithCancel(ctx)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		if err := srv.RunListener(sctx, l); err != nil {
+			log.Printf("loadgen: server: %v", err)
+		}
+	}()
+	e.shutdown = append(e.shutdown, func() { cancel(); <-done })
+	return "http://" + l.Addr().String(), nil
+}
+
+func (e *selfEnv) close() {
+	for _, f := range e.shutdown {
+		f()
+	}
+}
+
+// startChurn republishes a perturbed copy of the current snapshot at
+// the given interval until the returned stop function is called. Each
+// publish runs the full pre-encoding (finalize) path, so readers race
+// real cache swaps. Scores are perturbed rather than re-solved: churn
+// measures publish/read interaction, not solver time.
+func (e *selfEnv) startChurn(ctx context.Context, interval time.Duration) (stop func(), published func() uint64) {
+	cctx, cancel := context.WithCancel(ctx)
+	done := make(chan struct{})
+	var count atomic.Uint64
+	go func() {
+		defer close(done)
+		rng := rand.New(rand.NewSource(12345))
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-cctx.Done():
+				return
+			case <-t.C:
+			}
+			cur := e.store.Current()
+			sets := make(map[server.Algo]*server.ScoreSet)
+			for _, algo := range cur.Algos() {
+				vec := slices.Clone(cur.Set(algo).ScoresView())
+				for i := 0; i < len(vec)/20+1; i++ {
+					vec[rng.Intn(len(vec))] *= 0.9 + 0.2*rng.Float64()
+				}
+				sets[algo] = server.NewScoreSet(vec, cur.Set(algo).Stats())
+			}
+			snap, err := server.NewSnapshot(cur.Corpus(), e.sg.Labels, e.sg.PageCount,
+				cur.KappaTopK(), sets, time.Now())
+			if err != nil {
+				log.Printf("loadgen: churn snapshot: %v", err)
+				return
+			}
+			e.store.Publish(snap)
+			count.Add(1)
+		}
+	}()
+	return func() { cancel(); <-done }, count.Load
+}
+
+// --- request execution ---
+
+// issuer executes one request of the given kind and returns the HTTP
+// status (0 on transport error). Implementations are per-worker and
+// must not be shared across goroutines.
+type issuer interface {
+	issue(kind reqKind) int
+}
+
+// callerFactory builds one issuer per worker.
+type callerFactory func(worker int, spec runSpec) issuer
+
+// caller picks the transport: in self+direct mode requests go straight
+// into the handler; otherwise over HTTP to the matching server.
+func caller(env *selfEnv, target string, cache bool) callerFactory {
+	if env != nil && env.transport == "direct" {
+		srv := env.cached
+		if !cache {
+			srv = env.baseline
+		}
+		h := srv.Handler()
+		n := env.store.Current().NumSources()
+		return func(worker int, spec runSpec) issuer {
+			return newDirectIssuer(h, n, worker, spec.topkN)
+		}
+	}
+	base := target
+	if env != nil {
+		base = env.cachedURL
+		if !cache {
+			base = env.baselineURL
+		}
+	}
+	return func(worker int, spec runSpec) issuer {
+		n := 0
+		if env != nil {
+			n = env.store.Current().NumSources()
+		}
+		return newHTTPIssuer(base, n, worker, spec.topkN)
+	}
+}
+
+// directIssuer calls the handler in-process with prebuilt requests and
+// a reusable discarding ResponseWriter, so measurement overhead stays
+// far below handler cost.
+type directIssuer struct {
+	h    http.Handler
+	rng  *rand.Rand
+	w    *discardWriter
+	topk *http.Request
+	snap *http.Request
+	// rank/compare sample a fixed pool of prebuilt requests; the pool is
+	// per-worker because the mux writes path-match state into requests.
+	rank    []*http.Request
+	compare []*http.Request
+}
+
+func newDirectIssuer(h http.Handler, numSources, worker, topkN int) *directIssuer {
+	rng := rand.New(rand.NewSource(int64(worker)*7919 + 17))
+	d := &directIssuer{
+		h:    h,
+		rng:  rng,
+		w:    &discardWriter{h: make(http.Header, 8)},
+		topk: httptest.NewRequest(http.MethodGet, fmt.Sprintf("/v1/topk?n=%d", topkN), nil),
+		snap: httptest.NewRequest(http.MethodGet, "/v1/snapshot", nil),
+	}
+	if numSources < 1 {
+		numSources = 1
+	}
+	const pool = 64
+	for i := 0; i < pool; i++ {
+		d.rank = append(d.rank, httptest.NewRequest(http.MethodGet,
+			fmt.Sprintf("/v1/rank/%d", rng.Intn(numSources)), nil))
+		d.compare = append(d.compare, httptest.NewRequest(http.MethodGet,
+			fmt.Sprintf("/v1/compare?a=%d&b=%d", rng.Intn(numSources), rng.Intn(numSources)), nil))
+	}
+	return d
+}
+
+func (d *directIssuer) issue(kind reqKind) int {
+	var req *http.Request
+	switch kind {
+	case kindTopK:
+		req = d.topk
+	case kindRank:
+		req = d.rank[d.rng.Intn(len(d.rank))]
+	case kindCompare:
+		req = d.compare[d.rng.Intn(len(d.compare))]
+	default:
+		req = d.snap
+	}
+	d.w.reset()
+	d.h.ServeHTTP(d.w, req)
+	return d.w.status
+}
+
+// discardWriter drops the body, keeping only the status.
+type discardWriter struct {
+	h      http.Header
+	status int
+}
+
+func (w *discardWriter) Header() http.Header         { return w.h }
+func (w *discardWriter) Write(p []byte) (int, error) { return len(p), nil }
+func (w *discardWriter) WriteHeader(code int)        { w.status = code }
+func (w *discardWriter) reset()                      { w.status = http.StatusOK }
+
+// httpIssuer drives real HTTP requests with a keep-alive client.
+type httpIssuer struct {
+	client  *http.Client
+	rng     *rand.Rand
+	sources int
+	topkURL string
+	snapURL string
+	base    string
+}
+
+func newHTTPIssuer(base string, numSources, worker, topkN int) *httpIssuer {
+	if numSources < 1 {
+		numSources = 4096 // unknown remote corpus: sample a modest ID range
+	}
+	return &httpIssuer{
+		client: &http.Client{
+			Timeout: 30 * time.Second,
+			Transport: &http.Transport{
+				MaxIdleConns:        0,
+				MaxIdleConnsPerHost: 4,
+			},
+		},
+		rng:     rand.New(rand.NewSource(int64(worker)*7919 + 17)),
+		sources: numSources,
+		topkURL: fmt.Sprintf("%s/v1/topk?n=%d", base, topkN),
+		snapURL: base + "/v1/snapshot",
+		base:    base,
+	}
+}
+
+func (c *httpIssuer) issue(kind reqKind) int {
+	var u string
+	switch kind {
+	case kindTopK:
+		u = c.topkURL
+	case kindRank:
+		u = fmt.Sprintf("%s/v1/rank/%d", c.base, c.rng.Intn(c.sources))
+	case kindCompare:
+		u = fmt.Sprintf("%s/v1/compare?a=%d&b=%d", c.base, c.rng.Intn(c.sources), c.rng.Intn(c.sources))
+	default:
+		u = c.snapURL
+	}
+	resp, err := c.client.Get(u)
+	if err != nil {
+		return 0
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	return resp.StatusCode
+}
+
+// --- the closed loop ---
+
+type runSpec struct {
+	name        string
+	concurrency int
+	mix         mixTable
+	topkN       int
+	duration    time.Duration
+	cache       bool
+}
+
+// latHist is a per-worker log-scale latency histogram: 4 sub-buckets
+// per power of two of nanoseconds, good to ~12% relative error.
+type latHist struct {
+	buckets [256]uint64
+	max     time.Duration
+}
+
+func histIdx(d time.Duration) int {
+	ns := uint64(d)
+	if ns < 8 {
+		return int(ns)
+	}
+	b := bits.Len64(ns) // >= 4
+	sub := (ns >> (b - 3)) & 3
+	i := (b-3)*4 + int(sub)
+	if i > 255 {
+		return 255
+	}
+	return i
+}
+
+// histLowerBound inverts histIdx: the smallest duration in bucket i.
+func histLowerBound(i int) time.Duration {
+	if i < 8 {
+		return time.Duration(i)
+	}
+	b := i/4 + 3
+	sub := uint64(i % 4)
+	return time.Duration((4 + sub) << (b - 3))
+}
+
+func (h *latHist) observe(d time.Duration) {
+	h.buckets[histIdx(d)]++
+	if d > h.max {
+		h.max = d
+	}
+}
+
+func (h *latHist) merge(o *latHist) {
+	for i, v := range o.buckets {
+		h.buckets[i] += v
+	}
+	if o.max > h.max {
+		h.max = o.max
+	}
+}
+
+func (h *latHist) quantile(q float64) float64 {
+	var total uint64
+	for _, v := range h.buckets {
+		total += v
+	}
+	if total == 0 {
+		return 0
+	}
+	rank := uint64(q * float64(total))
+	if rank >= total {
+		rank = total - 1
+	}
+	var cum uint64
+	for i, v := range h.buckets {
+		if cum+v > rank {
+			lo := histLowerBound(i).Seconds()
+			hi := histLowerBound(i + 1).Seconds()
+			frac := (float64(rank-cum) + 0.5) / float64(v)
+			return lo + frac*(hi-lo)
+		}
+		cum += v
+	}
+	return h.max.Seconds()
+}
+
+func runLoad(ctx context.Context, factory callerFactory, spec runSpec) runResult {
+	type workerStats struct {
+		hist     latHist
+		requests uint64
+		errors   uint64
+		classes  [6]int64 // index status/100; 0 = transport error
+	}
+	stats := make([]workerStats, spec.concurrency)
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+
+	runtime.GC()
+	var before runtime.MemStats
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+
+	for w := 0; w < spec.concurrency; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			iss := factory(w, spec)
+			st := &stats[w]
+			rng := rand.New(rand.NewSource(int64(w) + 1))
+			total := spec.mix.total()
+			for {
+				select {
+				case <-stop:
+					return
+				case <-ctx.Done():
+					return
+				default:
+				}
+				kind := spec.mix.pick(rng.Intn(total))
+				t0 := time.Now()
+				status := iss.issue(kind)
+				st.hist.observe(time.Since(t0))
+				st.requests++
+				cls := status / 100
+				if cls < 0 || cls > 5 {
+					cls = 0
+				}
+				st.classes[cls]++
+				if status == 0 || status >= 500 {
+					st.errors++
+				}
+			}
+		}(w)
+	}
+	timer := time.NewTimer(spec.duration)
+	select {
+	case <-timer.C:
+	case <-ctx.Done():
+	}
+	close(stop)
+	wg.Wait()
+	elapsed := time.Since(start)
+	var after runtime.MemStats
+	runtime.ReadMemStats(&after)
+
+	var merged latHist
+	res := runResult{
+		Name:          spec.name,
+		Concurrency:   spec.concurrency,
+		Cache:         spec.cache,
+		StatusClasses: map[string]int64{},
+		DurationS:     elapsed.Seconds(),
+	}
+	for i := range stats {
+		merged.merge(&stats[i].hist)
+		res.Requests += stats[i].requests
+		res.Errors += stats[i].errors
+		for cls, n := range stats[i].classes {
+			if n == 0 {
+				continue
+			}
+			key := fmt.Sprintf("%dxx", cls)
+			if cls == 0 {
+				key = "transport_error"
+			}
+			res.StatusClasses[key] += n
+		}
+	}
+	res.RPS = float64(res.Requests) / elapsed.Seconds()
+	res.Latency = latencySummary{
+		P50: merged.quantile(0.50),
+		P90: merged.quantile(0.90),
+		P99: merged.quantile(0.99),
+		Max: merged.max.Seconds(),
+	}
+	if res.Requests > 0 {
+		// Process-wide deltas: includes the harness's own allocations
+		// (timers, rng), so this is an upper bound on per-request cost.
+		res.AllocsPerRequest = float64(after.Mallocs-before.Mallocs) / float64(res.Requests)
+		res.BytesPerRequest = float64(after.TotalAlloc-before.TotalAlloc) / float64(res.Requests)
+	}
+	return res
+}

@@ -241,7 +241,8 @@ func dumpScores(dir string, snap *server.Snapshot) error {
 		return err
 	}
 	for _, algo := range snap.Algos() {
-		vec := snap.Set(algo).Scores()
+		// Read-only use: the view skips the defensive copy of Scores.
+		vec := snap.Set(algo).ScoresView()
 		if err := linalg.WriteVectorFile(fmt.Sprintf("%s/%s.vec", dir, algo), vec); err != nil {
 			return err
 		}

@@ -2,7 +2,7 @@ package server
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 	"time"
 
 	"sourcerank/internal/core"
@@ -134,12 +134,12 @@ func trustedSeeds(sg *source.Graph, k int, spam []int32) []int32 {
 			ids = append(ids, int32(i))
 		}
 	}
-	sort.Slice(ids, func(a, b int) bool {
-		ca, cb := sg.PageCount[ids[a]], sg.PageCount[ids[b]]
+	slices.SortFunc(ids, func(a, b int32) int {
+		ca, cb := sg.PageCount[a], sg.PageCount[b]
 		if ca != cb {
-			return ca > cb
+			return cb - ca
 		}
-		return ids[a] < ids[b]
+		return int(a - b)
 	})
 	if k > len(ids) {
 		k = len(ids)

@@ -1,0 +1,257 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"strconv"
+	"sync"
+)
+
+// maxTopK caps the n accepted by /v1/topk; larger requests are clamped
+// and flagged with an X-TopK-Clamped header.
+const maxTopK = 10000
+
+// maxRankCacheSources bounds the per-source /v1/rank pre-render. A
+// fragment costs ~100 bytes per source per algorithm, so this cap keeps
+// the cache to a few tens of MB on the largest corpora; sources beyond
+// it (or snapshots above it entirely) are served by the encoder
+// fallback, which produces byte-identical output.
+const maxRankCacheSources = 1 << 17
+
+// Pre-assigned header values: assigning an existing []string into the
+// header map does not allocate, unlike Header.Set which builds a fresh
+// one-element slice per call. Keys are in canonical MIME form.
+var jsonContentType = []string{"application/json"}
+
+// respCache is the per-snapshot set of pre-encoded response bodies.
+// Everything here is computed once per publish and immutable afterwards,
+// so the serving hot path performs zero marshaling and zero allocation
+// between publishes.
+type respCache struct {
+	etag    string   // strong ETag keyed on the snapshot version, e.g. `"v42"`
+	etagHdr []string // ready-to-assign header value holding etag
+	topk    map[Algo]*topkCache
+	rank    map[Algo]*rankCache
+	meta    []byte // full /v1/snapshot body
+}
+
+// Fixed byte fragments of the /v1/topk document surrounding the
+// variable parts (the effective n and the entry prefix).
+var (
+	topkNMarker  = []byte("\n  \"n\": ")
+	topkMid      = []byte(",\n  \"results\": [")
+	topkTail     = []byte("\n  ]\n}\n")
+	topkZeroTail = []byte(",\n  \"results\": []\n}\n")
+	entryClose   = []byte("\n    }")
+	rankMarker   = []byte(`"source": `)
+)
+
+// topkCache holds one algorithm's fully-encoded top-K payload. The
+// entries region is the comma-joined encoding of the top max() entries;
+// ends[i] is the offset just past entry i's closing brace, so a request
+// for any n <= max() is served by slicing a prefix and appending the
+// constant tail — no per-request encoding.
+type topkCache struct {
+	head    []byte // document start through `"n": ` (version and algo baked in)
+	entries []byte // `\n    {...},\n    {...}` — no surrounding brackets
+	ends    []int
+}
+
+func (c *topkCache) max() int { return len(c.ends) }
+
+func (c *topkCache) writeTo(w io.Writer, n int) {
+	w.Write(c.head)
+	w.Write(topkDigits[n])
+	if n == 0 {
+		w.Write(topkZeroTail)
+		return
+	}
+	w.Write(topkMid)
+	w.Write(c.entries[:c.ends[n-1]])
+	w.Write(topkTail)
+}
+
+// rankCache holds one algorithm's per-source /v1/rank fragments in a
+// single backing slice (one big allocation, not one per source).
+type rankCache struct {
+	head  []byte // document start through the shared `"algo"` line
+	frags []byte
+	offs  []int32 // len = numSources+1
+}
+
+func (c *rankCache) numSources() int { return len(c.offs) - 1 }
+
+func (c *rankCache) writeTo(w io.Writer, id int32) {
+	w.Write(c.head)
+	w.Write(c.frags[c.offs[id]:c.offs[id+1]])
+}
+
+// topkDigits maps n to its decimal encoding, so writing the effective n
+// into a cached response is a table lookup instead of an append that
+// would escape to the heap.
+var (
+	topkDigits     [maxTopK + 1][]byte
+	topkDigitsOnce sync.Once
+)
+
+func initTopKDigits() {
+	topkDigitsOnce.Do(func() {
+		var buf [8]byte
+		for n := range topkDigits {
+			topkDigits[n] = append([]byte(nil), strconv.AppendInt(buf[:0], int64(n), 10)...)
+		}
+	})
+}
+
+// encodeIndented renders v exactly as writeJSON does (two-space indent,
+// HTML escaping on, trailing newline), into buf. The returned slice
+// aliases buf's storage.
+func encodeIndented(buf *bytes.Buffer, v any) ([]byte, error) {
+	buf.Reset()
+	enc := json.NewEncoder(buf)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// finalize pre-encodes the hot-path response bodies for this snapshot.
+// Store.Publish calls it after assigning the version and before the
+// snapshot pointer is swapped in, so readers only ever observe a fully
+// built cache. publishes is the store's publish counter as of this
+// publish (it equals what Store.Publishes reports while this snapshot
+// is current, which keeps the cached /v1/snapshot body identical to the
+// encoder fallback).
+//
+// Every builder is defensive: if the rendered document does not match
+// the expected shape, that piece of the cache is dropped and handlers
+// fall back to per-request encoding. The golden tests assert the cached
+// bytes are identical to the fallback for every algorithm and n.
+func (s *Snapshot) finalize(publishes uint64) {
+	initTopKDigits()
+	c := &respCache{
+		etag: `"v` + strconv.FormatUint(s.version, 10) + `"`,
+		topk: make(map[Algo]*topkCache, len(s.sets)),
+		rank: make(map[Algo]*rankCache, len(s.sets)),
+	}
+	c.etagHdr = []string{c.etag}
+	var buf bytes.Buffer
+	for _, algo := range s.Algos() {
+		if tc := s.buildTopKCache(&buf, algo); tc != nil {
+			c.topk[algo] = tc
+		}
+		if s.NumSources() <= maxRankCacheSources {
+			if rc := s.buildRankCache(&buf, algo); rc != nil {
+				c.rank[algo] = rc
+			}
+		}
+	}
+	if meta, err := encodeIndented(&buf, snapshotResponse{
+		Version:   s.version,
+		BuiltAt:   s.builtAt,
+		Corpus:    s.corpus,
+		Algos:     s.Algos(),
+		KappaTopK: s.kappaTopK,
+		Publishes: publishes,
+	}); err == nil {
+		c.meta = append([]byte(nil), meta...)
+	}
+	s.resp = c
+}
+
+// buildTopKCache renders the full top-K document once through the
+// encoder fallback and slices it into head / entries / offsets. Entry
+// boundaries are found by scanning for the entry-closing byte sequence
+// "\n    }", which cannot occur inside a JSON string (the encoder
+// escapes raw control characters), so the scan is unambiguous.
+func (s *Snapshot) buildTopKCache(buf *bytes.Buffer, algo Algo) *topkCache {
+	maxN := s.NumSources()
+	if maxN > maxTopK {
+		maxN = maxTopK
+	}
+	results, err := s.TopK(algo, maxN)
+	if err != nil {
+		return nil
+	}
+	doc, err := encodeIndented(buf, topKResponse{Version: s.version, Algo: algo, N: maxN, Results: results})
+	if err != nil {
+		return nil
+	}
+	doc = append([]byte(nil), doc...) // own the bytes; buf is reused
+	i := bytes.Index(doc, topkNMarker)
+	if i < 0 {
+		return nil
+	}
+	headEnd := i + len(topkNMarker)
+	rest := doc[headEnd:]
+	digits := topkDigits[maxN]
+	if !bytes.HasPrefix(rest, digits) {
+		return nil
+	}
+	rest = rest[len(digits):]
+	if maxN == 0 {
+		if !bytes.Equal(rest, topkZeroTail) {
+			return nil
+		}
+		return &topkCache{head: doc[:headEnd]}
+	}
+	if !bytes.HasPrefix(rest, topkMid) || !bytes.HasSuffix(rest, topkTail) {
+		return nil
+	}
+	entries := rest[len(topkMid) : len(rest)-len(topkTail)]
+	ends := make([]int, 0, maxN)
+	for j := 0; j < len(entries); {
+		k := bytes.Index(entries[j:], entryClose)
+		if k < 0 {
+			break
+		}
+		j += k + len(entryClose)
+		ends = append(ends, j)
+	}
+	if len(ends) != maxN || ends[maxN-1] != len(entries) {
+		return nil
+	}
+	return &topkCache{head: doc[:headEnd], entries: entries, ends: ends}
+}
+
+// buildRankCache renders every source's /v1/rank document through the
+// encoder fallback, verifies they share the version/algo head, and
+// packs the per-source remainders into one fragment slab.
+func (s *Snapshot) buildRankCache(buf *bytes.Buffer, algo Algo) *rankCache {
+	n := s.NumSources()
+	var head []byte
+	frags := make([]byte, 0, n*96)
+	offs := make([]int32, 1, n+1)
+	for id := int32(0); int(id) < n; id++ {
+		entry, err := s.Entry(algo, id)
+		if err != nil {
+			return nil
+		}
+		resp := rankResponse{Version: s.version, Algo: algo, Entry: entry, Sources: n}
+		if pc := s.pageCount; int(id) < len(pc) {
+			resp.Pages = pc[id]
+		}
+		doc, err := encodeIndented(buf, resp)
+		if err != nil {
+			return nil
+		}
+		if head == nil {
+			i := bytes.Index(doc, rankMarker)
+			if i < 0 {
+				return nil
+			}
+			head = append([]byte(nil), doc[:i]...)
+		}
+		if !bytes.HasPrefix(doc, head) {
+			return nil
+		}
+		frags = append(frags, doc[len(head):]...)
+		if len(frags) > 1<<31-1 {
+			return nil
+		}
+		offs = append(offs, int32(len(frags)))
+	}
+	return &rankCache{head: head, frags: frags, offs: offs}
+}

@@ -1,10 +1,13 @@
 package server
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"net/http"
 	"strconv"
+	"strings"
+	"sync"
 	"time"
 )
 
@@ -37,7 +40,8 @@ func writeError(w http.ResponseWriter, code int, msg string) {
 	writeJSON(w, code, apiError{Error: msg})
 }
 
-// statusRecorder captures the response code for metrics.
+// statusRecorder captures the response code for metrics. Recorders are
+// pooled: the serving hot path must not allocate per request.
 type statusRecorder struct {
 	http.ResponseWriter
 	code int
@@ -48,10 +52,14 @@ func (r *statusRecorder) WriteHeader(code int) {
 	r.ResponseWriter.WriteHeader(code)
 }
 
+var recorderPool = sync.Pool{New: func() any { return new(statusRecorder) }}
+
 // instrument wraps a handler with latency/status accounting and the
 // per-request timeout. When capped, requests beyond cfg.MaxInFlight
 // concurrent on this endpoint are shed with 503 + Retry-After instead
-// of queueing behind a saturated handler.
+// of queueing behind a saturated handler. With no timeout configured
+// the wrapper is allocation-free (the recorder comes from a pool and
+// the request is not cloned).
 func (s *Server) instrument(endpoint string, capped bool, h http.HandlerFunc) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
@@ -67,11 +75,18 @@ func (s *Server) instrument(endpoint string, capped bool, h http.HandlerFunc) ht
 			}
 			defer ctr.Add(-1)
 		}
-		ctx, cancel := contextWithTimeout(r, s.cfg.RequestTimeout)
-		defer cancel()
-		rec := &statusRecorder{ResponseWriter: w, code: http.StatusOK}
-		h(rec, r.WithContext(ctx))
-		s.metrics.Observe(endpoint, rec.code, time.Since(start))
+		if s.cfg.RequestTimeout > 0 {
+			ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+			defer cancel()
+			r = r.WithContext(ctx)
+		}
+		rec := recorderPool.Get().(*statusRecorder)
+		rec.ResponseWriter, rec.code = w, http.StatusOK
+		h(rec, r)
+		code := rec.code
+		rec.ResponseWriter = nil
+		recorderPool.Put(rec)
+		s.metrics.Observe(endpoint, code, time.Since(start))
 	})
 }
 
@@ -102,10 +117,80 @@ func (s *Server) snapshotOr503(w http.ResponseWriter) (*Snapshot, bool) {
 	return snap, true
 }
 
+// respCacheFor returns snap's pre-encoded response cache, or nil when
+// serving is configured to take the encoder fallback on every request.
+func (s *Server) respCacheFor(snap *Snapshot) *respCache {
+	if s.cfg.DisableResponseCache {
+		return nil
+	}
+	return snap.resp
+}
+
+// queryValue returns the first value of key in the request's query
+// string without allocating. Queries carrying escapes (%, +) or the
+// legacy ';' separator fall back to the stdlib parser; the flag keys
+// this server serves (algo, n, a, b) are never escaped by well-formed
+// clients, so the fast path covers real traffic.
+func queryValue(r *http.Request, key string) string {
+	raw := r.URL.RawQuery
+	if strings.IndexByte(raw, '%') >= 0 || strings.IndexByte(raw, '+') >= 0 || strings.IndexByte(raw, ';') >= 0 {
+		return r.URL.Query().Get(key)
+	}
+	for raw != "" {
+		var pair string
+		if i := strings.IndexByte(raw, '&'); i >= 0 {
+			pair, raw = raw[:i], raw[i+1:]
+		} else {
+			pair, raw = raw, ""
+		}
+		if k, v, _ := strings.Cut(pair, "="); k == key {
+			return v
+		}
+	}
+	return ""
+}
+
+// etagMatch reports whether an If-None-Match header value matches the
+// given strong ETag, honoring * and comma-separated candidate lists
+// (weak validators compare by opaque tag, which is fine for GET).
+func etagMatch(inm, etag string) bool {
+	for inm != "" {
+		var cand string
+		if i := strings.IndexByte(inm, ','); i >= 0 {
+			cand, inm = inm[:i], inm[i+1:]
+		} else {
+			cand, inm = inm, ""
+		}
+		cand = strings.TrimSpace(cand)
+		if cand == "*" {
+			return true
+		}
+		cand = strings.TrimPrefix(cand, "W/")
+		if cand == etag {
+			return true
+		}
+	}
+	return false
+}
+
+// notModified sets the snapshot-version ETag on the response and
+// reports whether the request should be answered 304 (in which case the
+// status has already been written). Only cache-served responses carry
+// an ETag; the 304 is correct for any deterministic body because the
+// tag is keyed on the snapshot version.
+func notModified(w http.ResponseWriter, r *http.Request, c *respCache) bool {
+	w.Header()["Etag"] = c.etagHdr
+	if inm := r.Header.Get("If-None-Match"); inm != "" && etagMatch(inm, c.etag) {
+		w.WriteHeader(http.StatusNotModified)
+		return true
+	}
+	return false
+}
+
 // algoParam resolves ?algo=, defaulting to srsr when served, otherwise
 // the snapshot's first algorithm.
 func algoParam(r *http.Request, snap *Snapshot) (Algo, error) {
-	raw := r.URL.Query().Get("algo")
+	raw := queryValue(r, "algo")
 	if raw == "" {
 		if snap.Set(AlgoSRSR) != nil {
 			return AlgoSRSR, nil
@@ -144,6 +229,17 @@ func (s *Server) handleRank(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusNotFound, "unknown source "+strconv.Quote(ident))
 		return
 	}
+	if c := s.respCacheFor(snap); c != nil {
+		if rc := c.rank[algo]; rc != nil && int(id) < rc.numSources() {
+			if notModified(w, r, c) {
+				return
+			}
+			w.Header()["Content-Type"] = jsonContentType
+			w.WriteHeader(http.StatusOK)
+			rc.writeTo(w, id)
+			return
+		}
+	}
 	entry, err := snap.Entry(algo, id)
 	if err != nil {
 		writeError(w, http.StatusInternalServerError, err.Error())
@@ -175,16 +271,33 @@ func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	n := 10
-	if raw := r.URL.Query().Get("n"); raw != "" {
+	if raw := queryValue(r, "n"); raw != "" {
 		n, err = strconv.Atoi(raw)
 		if err != nil || n < 0 {
 			writeError(w, http.StatusBadRequest, "n must be a non-negative integer")
 			return
 		}
 	}
-	const maxTopK = 10000
 	if n > maxTopK {
+		// The payload reports the effective n; the header lets load
+		// tests and clients distinguish a clamped response from a
+		// corpus that simply has fewer sources.
 		n = maxTopK
+		w.Header().Set("X-TopK-Clamped", "true")
+	}
+	if c := s.respCacheFor(snap); c != nil {
+		if tc := c.topk[algo]; tc != nil {
+			if n > tc.max() {
+				n = tc.max()
+			}
+			if notModified(w, r, c) {
+				return
+			}
+			w.Header()["Content-Type"] = jsonContentType
+			w.WriteHeader(http.StatusOK)
+			tc.writeTo(w, n)
+			return
+		}
 	}
 	results, err := snap.TopK(algo, n)
 	if err != nil {
@@ -213,8 +326,7 @@ func (s *Server) handleCompare(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err.Error())
 		return
 	}
-	q := r.URL.Query()
-	rawA, rawB := q.Get("a"), q.Get("b")
+	rawA, rawB := queryValue(r, "a"), queryValue(r, "b")
 	if rawA == "" || rawB == "" {
 		writeError(w, http.StatusBadRequest, "compare needs both a= and b=")
 		return
@@ -250,6 +362,15 @@ type snapshotResponse struct {
 func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 	snap, ok := s.snapshotOr503(w)
 	if !ok {
+		return
+	}
+	if c := s.respCacheFor(snap); c != nil && c.meta != nil {
+		if notModified(w, r, c) {
+			return
+		}
+		w.Header()["Content-Type"] = jsonContentType
+		w.WriteHeader(http.StatusOK)
+		w.Write(c.meta)
 		return
 	}
 	writeJSON(w, http.StatusOK, snapshotResponse{

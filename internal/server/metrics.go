@@ -3,6 +3,7 @@ package server
 import (
 	"fmt"
 	"io"
+	"runtime"
 	"sort"
 	"sync/atomic"
 	"time"
@@ -10,7 +11,9 @@ import (
 
 // latencyBounds are the histogram bucket upper bounds in seconds,
 // spanning sub-millisecond index lookups to slow multi-second rebuilds.
-var latencyBounds = []float64{
+// Declared as an array so the bucket count is a compile-time constant
+// for the shard layout.
+var latencyBounds = [...]float64{
 	0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005,
 	0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5,
 }
@@ -18,37 +21,90 @@ var latencyBounds = []float64{
 // statusClasses partitions response codes for the request counters.
 var statusClasses = []string{"2xx", "3xx", "4xx", "5xx"}
 
-// endpointStats accumulates one endpoint's counters and latency
-// histogram with plain atomics — no locks on the request path.
-type endpointStats struct {
+// statShard is one independent stripe of an endpoint's counters. Shards
+// are updated with plain atomics and padded so adjacent shards never
+// share a cache line; the hot path therefore takes no lock and suffers
+// no cross-core counter ping-pong.
+type statShard struct {
 	byClass [4]atomic.Uint64
-	buckets []atomic.Uint64 // len(latencyBounds)+1; last is +Inf
 	count   atomic.Uint64
 	sumNS   atomic.Uint64
 	shed    atomic.Uint64
+	buckets [len(latencyBounds) + 1]atomic.Uint64 // last is +Inf
+	_       [8]byte                               // pad to a cache-line multiple (192 bytes)
+}
+
+// mergedStats is a point-in-time sum of every shard, used by the
+// exporters and accessors (never on the request path).
+type mergedStats struct {
+	byClass [4]uint64
+	buckets [len(latencyBounds) + 1]uint64
+	count   uint64
+	sumNS   uint64
+	shed    uint64
+}
+
+// endpointStats is one endpoint's sharded counter set.
+type endpointStats struct {
+	shards []statShard
+}
+
+func (es *endpointStats) merge() mergedStats {
+	var m mergedStats
+	for i := range es.shards {
+		sh := &es.shards[i]
+		for c := range m.byClass {
+			m.byClass[c] += sh.byClass[c].Load()
+		}
+		for b := range m.buckets {
+			m.buckets[b] += sh.buckets[b].Load()
+		}
+		m.count += sh.count.Load()
+		m.sumNS += sh.sumNS.Load()
+		m.shed += sh.shed.Load()
+	}
+	return m
 }
 
 // Metrics is a fixed-shape, stdlib-only metrics registry exposed in
 // Prometheus text format at /metrics. Endpoints are registered up front
-// so Observe never allocates.
+// and counters are sharded, so Observe never allocates and concurrent
+// observers on different cores do not contend on one cache line.
 type Metrics struct {
 	start     time.Time
 	names     []string
 	endpoints map[string]*endpointStats
+	shardMask uint32
 }
 
-// NewMetrics registers the given endpoint names.
+// NewMetrics registers the given endpoint names. The shard count is
+// sized to GOMAXPROCS (rounded up to a power of two, capped at 64).
 func NewMetrics(endpoints ...string) *Metrics {
+	shards := 1
+	for shards < runtime.GOMAXPROCS(0) && shards < 64 {
+		shards <<= 1
+	}
 	m := &Metrics{
 		start:     time.Now(),
 		names:     append([]string(nil), endpoints...),
 		endpoints: make(map[string]*endpointStats, len(endpoints)),
+		shardMask: uint32(shards - 1),
 	}
 	sort.Strings(m.names)
 	for _, name := range m.names {
-		m.endpoints[name] = &endpointStats{buckets: make([]atomic.Uint64, len(latencyBounds)+1)}
+		m.endpoints[name] = &endpointStats{shards: make([]statShard, shards)}
 	}
 	return m
+}
+
+// shardIdx spreads observations across shards. There is no portable way
+// to learn the current P without unsafe tricks, so it hashes the
+// observed duration instead: concurrent requests finish at distinct
+// nanosecond timestamps with effectively random low bits, and the
+// golden-ratio multiply diffuses those into the shard index. Any skew
+// costs only a little contention, never correctness.
+func (m *Metrics) shardIdx(d time.Duration) uint32 {
+	return uint32((uint64(d)*0x9E3779B97F4A7C15)>>32) & m.shardMask
 }
 
 // Observe records one completed request. Unknown endpoints are dropped
@@ -58,13 +114,14 @@ func (m *Metrics) Observe(endpoint string, code int, d time.Duration) {
 	if !ok {
 		return
 	}
+	sh := &es.shards[m.shardIdx(d)]
 	class := code/100 - 2
 	if class < 0 || class > 3 {
 		class = 3
 	}
-	es.byClass[class].Add(1)
-	es.count.Add(1)
-	es.sumNS.Add(uint64(d.Nanoseconds()))
+	sh.byClass[class].Add(1)
+	sh.count.Add(1)
+	sh.sumNS.Add(uint64(d.Nanoseconds()))
 	sec := d.Seconds()
 	idx := len(latencyBounds)
 	for i, b := range latencyBounds {
@@ -73,13 +130,13 @@ func (m *Metrics) Observe(endpoint string, code int, d time.Duration) {
 			break
 		}
 	}
-	es.buckets[idx].Add(1)
+	sh.buckets[idx].Add(1)
 }
 
 // ObserveShed records one request rejected by the in-flight cap.
 func (m *Metrics) ObserveShed(endpoint string) {
 	if es, ok := m.endpoints[endpoint]; ok {
-		es.shed.Add(1)
+		es.shards[0].shed.Add(1)
 	}
 }
 
@@ -89,7 +146,40 @@ func (m *Metrics) Shed(endpoint string) uint64 {
 	if !ok {
 		return 0
 	}
-	return es.shed.Load()
+	return es.merge().shed
+}
+
+// Quantile estimates the q-quantile (0 < q < 1) of one endpoint's
+// request latency in seconds from the merged histogram, interpolating
+// linearly within the containing bucket. Observations beyond the last
+// finite bound clamp to it. Returns 0 with no observations.
+func (m *Metrics) Quantile(endpoint string, q float64) float64 {
+	es, ok := m.endpoints[endpoint]
+	if !ok {
+		return 0
+	}
+	return quantileFromBuckets(es.merge(), q)
+}
+
+func quantileFromBuckets(st mergedStats, q float64) float64 {
+	if st.count == 0 {
+		return 0
+	}
+	rank := q * float64(st.count)
+	cum, lower := 0.0, 0.0
+	for i, upper := range latencyBounds {
+		c := float64(st.buckets[i])
+		if c > 0 && cum+c >= rank {
+			frac := (rank - cum) / c
+			if frac < 0 {
+				frac = 0
+			}
+			return lower + (upper-lower)*frac
+		}
+		cum += c
+		lower = upper
+	}
+	return latencyBounds[len(latencyBounds)-1]
 }
 
 // WriteText renders the registry in Prometheus text exposition format,
@@ -116,10 +206,15 @@ func (m *Metrics) WriteText(w io.Writer, snapVersion, publishes uint64, sources 
 	fmt.Fprintf(w, "# TYPE srserve_snapshot_stale_seconds gauge\n")
 	fmt.Fprintf(w, "srserve_snapshot_stale_seconds %.3f\n", staleSeconds)
 
+	merged := make(map[string]mergedStats, len(m.names))
+	for _, name := range m.names {
+		merged[name] = m.endpoints[name].merge()
+	}
+
 	fmt.Fprintf(w, "# HELP srserve_requests_shed_total Requests rejected by the in-flight cap, by endpoint.\n")
 	fmt.Fprintf(w, "# TYPE srserve_requests_shed_total counter\n")
 	for _, name := range m.names {
-		if v := m.endpoints[name].shed.Load(); v > 0 {
+		if v := merged[name].shed; v > 0 {
 			fmt.Fprintf(w, "srserve_requests_shed_total{endpoint=%q} %d\n", name, v)
 		}
 	}
@@ -127,9 +222,9 @@ func (m *Metrics) WriteText(w io.Writer, snapVersion, publishes uint64, sources 
 	fmt.Fprintf(w, "# HELP srserve_requests_total Requests served, by endpoint and status class.\n")
 	fmt.Fprintf(w, "# TYPE srserve_requests_total counter\n")
 	for _, name := range m.names {
-		es := m.endpoints[name]
+		st := merged[name]
 		for i, class := range statusClasses {
-			if v := es.byClass[i].Load(); v > 0 {
+			if v := st.byClass[i]; v > 0 {
 				fmt.Fprintf(w, "srserve_requests_total{endpoint=%q,class=%q} %d\n", name, class, v)
 			}
 		}
@@ -138,19 +233,34 @@ func (m *Metrics) WriteText(w io.Writer, snapVersion, publishes uint64, sources 
 	fmt.Fprintf(w, "# HELP srserve_request_seconds Request latency histogram, by endpoint.\n")
 	fmt.Fprintf(w, "# TYPE srserve_request_seconds histogram\n")
 	for _, name := range m.names {
-		es := m.endpoints[name]
-		if es.count.Load() == 0 {
+		st := merged[name]
+		if st.count == 0 {
 			continue
 		}
 		var cum uint64
 		for i, b := range latencyBounds {
-			cum += es.buckets[i].Load()
+			cum += st.buckets[i]
 			fmt.Fprintf(w, "srserve_request_seconds_bucket{endpoint=%q,le=\"%g\"} %d\n", name, b, cum)
 		}
-		cum += es.buckets[len(latencyBounds)].Load()
+		cum += st.buckets[len(latencyBounds)]
 		fmt.Fprintf(w, "srserve_request_seconds_bucket{endpoint=%q,le=\"+Inf\"} %d\n", name, cum)
-		fmt.Fprintf(w, "srserve_request_seconds_sum{endpoint=%q} %.6f\n", name, float64(es.sumNS.Load())/1e9)
-		fmt.Fprintf(w, "srserve_request_seconds_count{endpoint=%q} %d\n", name, es.count.Load())
+		fmt.Fprintf(w, "srserve_request_seconds_sum{endpoint=%q} %.6f\n", name, float64(st.sumNS)/1e9)
+		fmt.Fprintf(w, "srserve_request_seconds_count{endpoint=%q} %d\n", name, st.count)
+	}
+
+	for _, q := range []struct {
+		name string
+		q    float64
+	}{{"p50", 0.50}, {"p99", 0.99}} {
+		fmt.Fprintf(w, "# HELP srserve_request_seconds_%s Estimated %s request latency from the fixed-bucket histogram.\n", q.name, q.name)
+		fmt.Fprintf(w, "# TYPE srserve_request_seconds_%s gauge\n", q.name)
+		for _, name := range m.names {
+			st := merged[name]
+			if st.count == 0 {
+				continue
+			}
+			fmt.Fprintf(w, "srserve_request_seconds_%s{endpoint=%q} %.9f\n", q.name, name, quantileFromBuckets(st, q.q))
+		}
 	}
 }
 
@@ -162,5 +272,5 @@ func (m *Metrics) Requests(endpoint string) uint64 {
 	if !ok {
 		return 0
 	}
-	return es.count.Load()
+	return es.merge().count
 }

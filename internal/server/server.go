@@ -26,6 +26,12 @@ type Config struct {
 	// requests are shed with 503 + Retry-After. Health and metrics
 	// endpoints are never capped. 0 disables the cap.
 	MaxInFlight int
+	// DisableResponseCache forces every request through the per-request
+	// encoding path instead of the pre-encoded snapshot responses. It
+	// exists for benchmarking the cache against the fallback
+	// (cmd/loadgen -compare-baseline) and for the golden tests that
+	// assert both paths produce identical bytes.
+	DisableResponseCache bool
 }
 
 func (c Config) addr() string {
@@ -81,14 +87,6 @@ func (s *Server) Metrics() *Metrics { return s.metrics }
 
 // Handler returns the fully-wired HTTP handler.
 func (s *Server) Handler() http.Handler { return s.routes() }
-
-// contextWithTimeout derives the per-request deadline.
-func contextWithTimeout(r *http.Request, d time.Duration) (context.Context, context.CancelFunc) {
-	if d <= 0 {
-		return r.Context(), func() {}
-	}
-	return context.WithTimeout(r.Context(), d)
-}
 
 // Run listens on cfg.Addr and serves until ctx is canceled, then shuts
 // down gracefully within cfg.ShutdownGrace. It returns nil on a clean

@@ -1,0 +1,142 @@
+package server
+
+import (
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"sourcerank/internal/linalg"
+)
+
+func benchSnapshot(b *testing.B, n int) *Snapshot {
+	b.Helper()
+	rng := rand.New(rand.NewSource(1))
+	scores := make(linalg.Vector, n)
+	for i := range scores {
+		scores[i] = rng.Float64()
+	}
+	labels := make([]string, n)
+	pages := make([]int, n)
+	for i := range labels {
+		labels[i] = "source-" + string(rune('a'+i%26)) + "-bench"
+		pages[i] = i
+	}
+	snap, err := NewSnapshot(CorpusInfo{Name: "bench"}, labels, pages, 0,
+		map[Algo]*ScoreSet{AlgoSRSR: NewScoreSet(scores, linalg.IterStats{})}, time.Now())
+	if err != nil {
+		b.Fatal(err)
+	}
+	return snap
+}
+
+// BenchmarkTopKCached measures the cached /v1/topk?n=10 hot path
+// through the instrumented handler (routing excluded, no request
+// timeout). CI gates on 0 allocs/op.
+func BenchmarkTopKCached(b *testing.B) {
+	srv := New(NewStore(benchSnapshot(b, 1000)), Config{})
+	h := srv.instrument(epTopK, true, srv.handleTopK)
+	req := httptest.NewRequest(http.MethodGet, "/v1/topk?n=10&algo=srsr", nil)
+	w := newBenchResponseWriter()
+	h.ServeHTTP(w, req) // warm the recorder pool and header map
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.ServeHTTP(w, req)
+	}
+	if w.status != http.StatusOK {
+		b.Fatalf("status %d", w.status)
+	}
+}
+
+// BenchmarkTopKFallback is the same request through the per-request
+// encoding path (the pre-change behavior), for comparison.
+func BenchmarkTopKFallback(b *testing.B) {
+	srv := New(NewStore(benchSnapshot(b, 1000)), Config{DisableResponseCache: true})
+	h := srv.instrument(epTopK, true, srv.handleTopK)
+	req := httptest.NewRequest(http.MethodGet, "/v1/topk?n=10&algo=srsr", nil)
+	w := newBenchResponseWriter()
+	h.ServeHTTP(w, req)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.ServeHTTP(w, req)
+	}
+}
+
+// BenchmarkRankCached measures the cached /v1/rank/{source} hot path.
+// CI gates on 0 allocs/op.
+func BenchmarkRankCached(b *testing.B) {
+	srv := New(NewStore(benchSnapshot(b, 1000)), Config{})
+	h := srv.instrument(epRank, true, srv.handleRank)
+	req := httptest.NewRequest(http.MethodGet, "/v1/rank/123", nil)
+	req.SetPathValue("source", "123")
+	w := newBenchResponseWriter()
+	h.ServeHTTP(w, req)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.ServeHTTP(w, req)
+	}
+	if w.status != http.StatusOK {
+		b.Fatalf("status %d", w.status)
+	}
+}
+
+// BenchmarkRankFallback is the rank endpoint through the encoder path.
+func BenchmarkRankFallback(b *testing.B) {
+	srv := New(NewStore(benchSnapshot(b, 1000)), Config{DisableResponseCache: true})
+	h := srv.instrument(epRank, true, srv.handleRank)
+	req := httptest.NewRequest(http.MethodGet, "/v1/rank/123", nil)
+	req.SetPathValue("source", "123")
+	w := newBenchResponseWriter()
+	h.ServeHTTP(w, req)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.ServeHTTP(w, req)
+	}
+}
+
+// BenchmarkNewScoreSet tracks the publish-path sort (slices.SortFunc on
+// concrete types, replacing sort.Slice).
+func BenchmarkNewScoreSet(b *testing.B) {
+	rng := rand.New(rand.NewSource(42))
+	scores := make(linalg.Vector, 100_000)
+	for i := range scores {
+		scores[i] = rng.Float64()
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		NewScoreSet(scores, linalg.IterStats{})
+	}
+}
+
+// BenchmarkPublishFinalize measures the full per-publish pre-encoding
+// cost (top-K payloads, rank fragments, metadata) that buys the
+// allocation-free read path.
+func BenchmarkPublishFinalize(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		snap := benchSnapshot(b, 1000)
+		store := NewStore(nil)
+		b.StartTimer()
+		store.Publish(snap)
+	}
+}
+
+// BenchmarkObserve tracks the sharded metrics hot path.
+func BenchmarkObserve(b *testing.B) {
+	m := NewMetrics(allEndpoints...)
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		d := time.Duration(0)
+		for pb.Next() {
+			d += 73 * time.Nanosecond
+			m.Observe(epTopK, 200, d)
+		}
+	})
+}

@@ -8,7 +8,7 @@ package server
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 	"strconv"
 	"time"
 
@@ -56,12 +56,17 @@ func NewScoreSet(scores linalg.Vector, stats linalg.IterStats) *ScoreSet {
 	for i := range order {
 		order[i] = int32(i)
 	}
-	sort.Slice(order, func(a, b int) bool {
-		sa, sb := scores[order[a]], scores[order[b]]
-		if sa != sb {
-			return sa > sb
+	// slices.SortFunc on the concrete []int32 skips the interface and
+	// reflect-based swap of sort.Slice on the publish path.
+	slices.SortFunc(order, func(a, b int32) int {
+		sa, sb := scores[a], scores[b]
+		switch {
+		case sa > sb:
+			return -1
+		case sa < sb:
+			return 1
 		}
-		return order[a] < order[b]
+		return int(a - b)
 	})
 	rank := make([]int32, n)
 	for pos, id := range order {
@@ -78,6 +83,13 @@ func (ss *ScoreSet) Stats() linalg.IterStats { return ss.stats }
 func (ss *ScoreSet) Scores() linalg.Vector {
 	return append(linalg.Vector(nil), ss.scores...)
 }
+
+// ScoresView returns the underlying score vector without copying.
+// Callers must treat it as read-only: it is shared with every
+// concurrent reader of the snapshot. Internal consumers (handlers,
+// score dumps, the response pre-encoder) use this so only the external
+// API pays the defensive copy of Scores.
+func (ss *ScoreSet) ScoresView() linalg.Vector { return ss.scores }
 
 // CorpusInfo summarizes the corpus behind a snapshot.
 type CorpusInfo struct {
@@ -100,6 +112,11 @@ type Snapshot struct {
 	pageCount []int
 	kappaTopK int
 	sets      map[Algo]*ScoreSet
+	// resp holds the pre-encoded hot-path response bodies. It is built
+	// by Store.Publish (via finalize) before the snapshot becomes
+	// visible to readers, and never mutated afterwards; nil on
+	// snapshots that were never published.
+	resp *respCache
 }
 
 // NewSnapshot assembles a snapshot from prepared parts. labels and sets
@@ -153,7 +170,7 @@ func (s *Snapshot) Algos() []Algo {
 	for a := range s.sets {
 		out = append(out, a)
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	slices.Sort(out)
 	return out
 }
 

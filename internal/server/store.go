@@ -1,6 +1,7 @@
 package server
 
 import (
+	"sync"
 	"sync/atomic"
 	"time"
 )
@@ -8,9 +9,11 @@ import (
 // Store holds the currently-served snapshot behind an atomic pointer.
 // Readers call Current and work against one immutable snapshot for the
 // whole request; publishers swap in a replacement without blocking any
-// reader. There is no lock anywhere on the read path.
+// reader. There is no lock anywhere on the read path; publishMu only
+// serializes publishers against each other.
 type Store struct {
 	cur         atomic.Pointer[Snapshot]
+	publishMu   sync.Mutex
 	versions    atomic.Uint64
 	publishes   atomic.Uint64
 	publishedAt atomic.Int64 // UnixNano of the last Publish; 0 before
@@ -30,13 +33,23 @@ func NewStore(initial *Snapshot) *Store {
 // publish.
 func (s *Store) Current() *Snapshot { return s.cur.Load() }
 
-// Publish assigns snap the next version number and makes it the served
+// Publish assigns snap the next version number, pre-encodes its hot-path
+// response bodies (see Snapshot.finalize), and makes it the served
 // snapshot. The caller must hand over ownership: snap must not be
 // mutated after Publish. Returns the assigned version (starting at 1).
+//
+// Publishers are serialized: finalize does real work (it renders the
+// top-K and per-source payloads once per publish), and holding the lock
+// across version assignment and the pointer swap keeps versions
+// monotonic from every reader's point of view. Readers never touch the
+// lock.
 func (s *Store) Publish(snap *Snapshot) uint64 {
+	s.publishMu.Lock()
+	defer s.publishMu.Unlock()
 	snap.version = s.versions.Add(1)
+	pubs := s.publishes.Add(1)
+	snap.finalize(pubs)
 	s.cur.Store(snap)
-	s.publishes.Add(1)
 	s.publishedAt.Store(time.Now().UnixNano())
 	return snap.version
 }

@@ -1,0 +1,147 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestPublishUnderLoadCacheConsistency hammers the cached topk/rank/
+// compare endpoints (with and without conditional requests) from many
+// goroutines while a publisher keeps swapping snapshots. Run with
+// -race: it proves cache swaps are torn-read-free — every response body
+// is internally consistent, its version matches its ETag, and 304s are
+// only issued for the tag the server itself advertised.
+func TestPublishUnderLoadCacheConsistency(t *testing.T) {
+	const (
+		nSources  = 50
+		readers   = 8
+		publishes = 40
+	)
+	rng := rand.New(rand.NewSource(7))
+	store := NewStore(randomSnapshot(t, nSources, 0, rng))
+	srv := New(store, Config{})
+	h := srv.Handler()
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	errs := make(chan string, readers)
+	fail := func(format string, args ...any) {
+		select {
+		case errs <- fmt.Sprintf(format, args...):
+		default:
+		}
+	}
+	var got304 atomic.Int64
+
+	for w := 0; w < readers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			prng := rand.New(rand.NewSource(int64(w) + 99))
+			var lastVersion uint64
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				var path string
+				switch prng.Intn(3) {
+				case 0:
+					path = fmt.Sprintf("/v1/topk?n=%d", prng.Intn(nSources+2))
+				case 1:
+					path = fmt.Sprintf("/v1/rank/%d", prng.Intn(nSources))
+				default:
+					path = fmt.Sprintf("/v1/compare?a=%d&b=%d", prng.Intn(nSources), prng.Intn(nSources))
+				}
+				req := httptest.NewRequest(http.MethodGet, path, nil)
+				rec := httptest.NewRecorder()
+				h.ServeHTTP(rec, req)
+				if rec.Code != http.StatusOK {
+					fail("%s: status %d: %s", path, rec.Code, rec.Body.String())
+					return
+				}
+				etag := rec.Header().Get("ETag")
+				var body struct {
+					Version uint64  `json:"version"`
+					N       int     `json:"n"`
+					Results []Entry `json:"results"`
+					Rank    int     `json:"rank"`
+				}
+				if err := json.Unmarshal(rec.Body.Bytes(), &body); err != nil {
+					fail("%s: bad JSON (torn body?): %v\n%s", path, err, rec.Body.String())
+					return
+				}
+				if body.Version < lastVersion {
+					fail("%s: version went backwards: %d after %d", path, body.Version, lastVersion)
+					return
+				}
+				lastVersion = body.Version
+				if etag != "" && etag != fmt.Sprintf("%q", fmt.Sprintf("v%d", body.Version)) {
+					fail("%s: ETag %s does not match body version %d", path, etag, body.Version)
+					return
+				}
+				for i := 1; i < len(body.Results); i++ {
+					if body.Results[i].Rank != i+1 {
+						fail("%s: rank %d at position %d (torn prefix?)", path, body.Results[i].Rank, i)
+						return
+					}
+					if body.Results[i].Score > body.Results[i-1].Score {
+						fail("%s: unsorted cached results", path)
+						return
+					}
+				}
+				// Conditional replay: a 304 is only acceptable for the
+				// exact tag we just saw; a 200 must carry a newer body.
+				if etag != "" {
+					req2 := httptest.NewRequest(http.MethodGet, path, nil)
+					req2.Header.Set("If-None-Match", etag)
+					rec2 := httptest.NewRecorder()
+					h.ServeHTTP(rec2, req2)
+					switch rec2.Code {
+					case http.StatusNotModified:
+						got304.Add(1)
+						if rec2.Body.Len() != 0 {
+							fail("%s: 304 with body", path)
+							return
+						}
+					case http.StatusOK:
+						if !strings.Contains(rec2.Body.String(), `"version"`) {
+							fail("%s: 200 replay missing version", path)
+							return
+						}
+					default:
+						fail("%s: conditional replay status %d", path, rec2.Code)
+						return
+					}
+				}
+			}
+		}(w)
+	}
+
+	prng := rand.New(rand.NewSource(1234))
+	for i := 1; i <= publishes; i++ {
+		store.Publish(randomSnapshot(t, nSources, int64(i), prng))
+		time.Sleep(time.Millisecond)
+	}
+	close(stop)
+	wg.Wait()
+	close(errs)
+	for msg := range errs {
+		t.Error(msg)
+	}
+	if got304.Load() == 0 {
+		t.Error("stress run never exercised the 304 path")
+	}
+	if v := store.Current().Version(); v != publishes+1 {
+		t.Fatalf("final version %d, want %d", v, publishes+1)
+	}
+}
