@@ -144,13 +144,29 @@ func sameSourceGraph(a, b *source.Graph) bool {
 
 func main() {
 	var (
+		mode    = flag.String("mode", "pipeline", "pipeline (stage timings) or refresh (cold vs warm publish)")
 		preset  = flag.String("preset", "UK2002", "synthetic corpus preset (UK2002, IT2004, WB2001)")
 		scale   = flag.Float64("scale", 0.02, "fraction of the preset's Table 1 size to generate")
 		seed    = flag.Uint64("seed", 1, "generator seed (pins the corpus)")
-		out     = flag.String("out", "BENCH_pipeline.json", "report output path")
+		out     = flag.String("out", "", "report output path (default BENCH_<mode>.json)")
 		workers = flag.Int("workers", 4, "worker count for the mid tier (1 and GOMAXPROCS always run)")
 	)
 	flag.Parse()
+
+	switch *mode {
+	case "refresh":
+		if *out == "" {
+			*out = "BENCH_refresh.json"
+		}
+		runRefresh(*preset, *scale, *seed, *out, *workers)
+		return
+	case "pipeline":
+		if *out == "" {
+			*out = "BENCH_pipeline.json"
+		}
+	default:
+		fatal(fmt.Errorf("unknown -mode %q (want pipeline or refresh)", *mode))
+	}
 
 	maxprocs := runtime.GOMAXPROCS(0)
 	tiers := []int{1}

@@ -1,0 +1,227 @@
+// Refresh mode: measure a recompute-and-republish cycle on a perturbed
+// graph, cold (from scratch) versus warm (seeded with the previous
+// publish's score vectors), the way srserve's background refresher runs
+// it. Two perturbation scenarios bracket the warm-start payoff:
+//
+//   - page_churn: ~4% of page links re-added as duplicates of existing
+//     links. Consensus weighting counts unique linking pages, so the
+//     derived source matrix is unchanged and the previous scores are
+//     already the new fixed point — warm solves converge immediately.
+//     This is the common refresh shape (re-crawl noise, duplicate-link
+//     stuffing) and the scenario CI gates on.
+//   - consensus_drift: ~1% of links added from new pages of a source to
+//     targets the source already links to, bumping consensus counts.
+//     The fixed point genuinely moves, and the shift lies along
+//     slowly-mixing directions (it is amplified by (I-αTᵀ)⁻¹), so warm
+//     iteration counts can meet or exceed cold ones here. Reported
+//     honestly, not gated.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+
+	"sourcerank/internal/gen"
+	"sourcerank/internal/linalg"
+	"sourcerank/internal/pagegraph"
+	"sourcerank/internal/server"
+	"sourcerank/internal/source"
+)
+
+// refreshSchema identifies the refresh-report layout.
+const refreshSchema = "sourcerank/bench-refresh/v1"
+
+// ranksTol bounds the rank divergence allowed between a warm and a cold
+// publish of the same graph; both converge to the same fixed point, so
+// anything beyond solver tolerance is a bug.
+const ranksTol = 1e-7
+
+type refreshSide struct {
+	BuildNs    int64          `json:"build_ns"`
+	Iterations map[string]int `json:"iterations"`
+	Converged  bool           `json:"converged"`
+}
+
+type refreshScenario struct {
+	Name            string      `json:"name"`
+	LinksChanged    int         `json:"links_changed"`
+	LinksChangedPct float64     `json:"links_changed_pct"`
+	Cold            refreshSide `json:"cold"`
+	Warm            refreshSide `json:"warm"`
+	RanksMatchTol   bool        `json:"ranks_match_tol"`
+	Tol             float64     `json:"tol"`
+	WallSpeedup     float64     `json:"wall_speedup"`
+}
+
+type refreshReport struct {
+	Schema     string            `json:"schema"`
+	Go         string            `json:"go"`
+	GOMAXPROCS int               `json:"gomaxprocs"`
+	NumCPU     int               `json:"num_cpu"`
+	Graph      graphInfo         `json:"graph"`
+	BaselineNs int64             `json:"baseline_build_ns"`
+	Scenarios  []refreshScenario `json:"scenarios"`
+}
+
+// churnLinks re-adds existing links picked at random: page-level churn
+// that consensus weighting dedupes away.
+func churnLinks(pg *pagegraph.Graph, seed uint64, links int) *pagegraph.Graph {
+	out := pg.Clone()
+	rng := gen.NewRNG(seed)
+	n := out.NumPages()
+	for i := 0; i < links; {
+		p := pagegraph.PageID(rng.Intn(n))
+		outs := out.OutLinks(p)
+		if len(outs) == 0 {
+			continue
+		}
+		out.AddLink(p, outs[rng.Intn(len(outs))])
+		i++
+	}
+	return out
+}
+
+// driftConsensus adds links from random sibling pages to targets their
+// source already links to, bumping existing consensus counts by one.
+func driftConsensus(pg *pagegraph.Graph, seed uint64, links int) *pagegraph.Graph {
+	out := pg.Clone()
+	rng := gen.NewRNG(seed)
+	n := out.NumPages()
+	for i := 0; i < links; {
+		p := pagegraph.PageID(rng.Intn(n))
+		outs := out.OutLinks(p)
+		if len(outs) == 0 {
+			continue
+		}
+		q := outs[rng.Intn(len(outs))]
+		sibs := out.PagesOf(out.SourceOf(p))
+		out.AddLink(sibs[rng.Intn(len(sibs))], q)
+		i++
+	}
+	return out
+}
+
+// timeBuild benchmarks one publish build and returns its timing plus the
+// last snapshot it produced.
+func timeBuild(pg *pagegraph.Graph, sg *source.Graph, spam []int32, cfg server.BuildConfig) (refreshSide, *server.Snapshot) {
+	var snap *server.Snapshot
+	res := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			var err error
+			snap, err = server.BuildSnapshotFromSourceGraph(pg, sg, spam, cfg)
+			if err != nil {
+				fatal(err)
+			}
+		}
+	})
+	side := refreshSide{
+		BuildNs:    res.NsPerOp(),
+		Iterations: map[string]int{},
+		Converged:  true,
+	}
+	for _, algo := range snap.Algos() {
+		st := snap.Set(algo).Stats()
+		side.Iterations[string(algo)] = st.Iterations
+		side.Converged = side.Converged && st.Converged
+	}
+	return side, snap
+}
+
+func runRefresh(preset string, scale float64, seed uint64, out string, workers int) {
+	fmt.Fprintf(os.Stderr, "bench: generating %s at scale %g (seed %d)\n", preset, scale, seed)
+	ds, err := gen.GeneratePreset(gen.Preset(preset), scale, seed)
+	if err != nil {
+		fatal(err)
+	}
+	pg := ds.Pages
+	info := graphInfo{
+		Preset:  preset,
+		Scale:   scale,
+		Seed:    seed,
+		Pages:   pg.NumPages(),
+		Links:   pg.NumLinks(),
+		Sources: pg.NumSources(),
+	}
+	fmt.Fprintf(os.Stderr, "bench: %d pages, %d links, %d sources\n", info.Pages, info.Links, info.Sources)
+
+	cfg := server.BuildConfig{Name: ds.Name, Workers: workers}
+
+	// Baseline publish: the snapshot every scenario warm-starts from.
+	baseSG, err := source.Build(pg, source.Options{Workers: workers})
+	if err != nil {
+		fatal(err)
+	}
+	base, prev := timeBuild(pg, baseSG, ds.SpamSources, cfg)
+	fmt.Fprintf(os.Stderr, "bench: baseline publish %dns, iterations %v\n", base.BuildNs, base.Iterations)
+
+	scenarios := []struct {
+		name    string
+		links   int
+		perturb func(*pagegraph.Graph, uint64, int) *pagegraph.Graph
+	}{
+		{"page_churn", int(pg.NumLinks() / 25), churnLinks},
+		{"consensus_drift", int(pg.NumLinks() / 100), driftConsensus},
+	}
+
+	rep := refreshReport{
+		Schema:     refreshSchema,
+		Go:         runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+		Graph:      info,
+		BaselineNs: base.BuildNs,
+	}
+	for _, sc := range scenarios {
+		drifted := sc.perturb(pg, seed+99, sc.links)
+		sg, err := source.Build(drifted, source.Options{Workers: workers})
+		if err != nil {
+			fatal(err)
+		}
+		cold, coldSnap := timeBuild(drifted, sg, ds.SpamSources, cfg)
+		warmCfg := cfg
+		warmCfg.WarmStart = server.WarmStartFrom(prev)
+		warm, warmSnap := timeBuild(drifted, sg, ds.SpamSources, warmCfg)
+
+		match := true
+		for _, algo := range coldSnap.Algos() {
+			if linalg.L2Distance(coldSnap.Set(algo).ScoresView(), warmSnap.Set(algo).ScoresView()) > ranksTol {
+				match = false
+			}
+		}
+		row := refreshScenario{
+			Name:            sc.name,
+			LinksChanged:    sc.links,
+			LinksChangedPct: 100 * float64(sc.links) / float64(pg.NumLinks()),
+			Cold:            cold,
+			Warm:            warm,
+			RanksMatchTol:   match,
+			Tol:             ranksTol,
+		}
+		if warm.BuildNs > 0 {
+			row.WallSpeedup = float64(cold.BuildNs) / float64(warm.BuildNs)
+		}
+		rep.Scenarios = append(rep.Scenarios, row)
+		fmt.Fprintf(os.Stderr, "bench: %s (%d links, %.1f%%): cold %dns %v → warm %dns %v (%.2fx, ranks match=%v)\n",
+			sc.name, sc.links, row.LinksChangedPct, cold.BuildNs, cold.Iterations,
+			warm.BuildNs, warm.Iterations, row.WallSpeedup, match)
+	}
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "bench: report in %s\n", out)
+
+	for _, sc := range rep.Scenarios {
+		if !sc.RanksMatchTol {
+			fmt.Fprintf(os.Stderr, "bench: ERROR: %s warm ranks diverged from cold beyond %g\n", sc.Name, ranksTol)
+			os.Exit(1)
+		}
+	}
+}

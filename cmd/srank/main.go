@@ -180,6 +180,9 @@ func sourceLevelScores(algo string, pg *pagegraph.Graph, sg *source.Graph, spamS
 		if err != nil {
 			return nil, err
 		}
+		fmt.Print("proximity ")
+		printStats(res.ProximityStats)
+		fmt.Print("srsr ")
 		printStats(res.Stats)
 		if ck != nil {
 			if res.Checkpoint.ResumedFrom > 0 {

@@ -24,6 +24,7 @@ package main
 import (
 	"bufio"
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
@@ -54,6 +55,7 @@ func main() {
 		topK      = flag.Int("throttle-topk", 0, "sources to throttle fully (0 = 2.7% of sources)")
 		workers   = flag.Int("workers", 0, "solver goroutines (0 = GOMAXPROCS)")
 		refresh   = flag.Duration("refresh", 0, "recompute+republish interval (0 disables)")
+		coldRef   = flag.Bool("cold-refresh", false, "disable warm-starting refresh solves from the previous snapshot")
 		maxBO     = flag.Duration("max-backoff", 0, "cap on the retry delay after failed refreshes (0 = 16x refresh interval)")
 		staleTO   = flag.Duration("staleness-budget", 0, "snapshot age at which /healthz turns degraded (0 disables)")
 		maxInFl   = flag.Int("max-inflight", 0, "concurrent requests allowed per data endpoint before shedding (0 = unlimited)")
@@ -94,7 +96,7 @@ func main() {
 		Extra:   extra,
 	}
 
-	build := func(ctx context.Context) (*server.Snapshot, error) {
+	build := func(ctx context.Context, warm *server.WarmStart) (*server.Snapshot, error) {
 		labels := spam
 		if *spamPath != "" {
 			// Refresh semantics: the label file is the mutable input;
@@ -105,14 +107,16 @@ func main() {
 			}
 			labels = fresh
 		}
-		return server.BuildSnapshot(pg, labels, cfg)
+		bc := cfg
+		bc.WarmStart = warm
+		return server.BuildSnapshot(pg, labels, bc)
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
 	start := time.Now()
-	snap, err := build(ctx)
+	snap, err := build(ctx, nil)
 	if err != nil {
 		log.Fatalf("srserve: initial snapshot: %v", err)
 	}
@@ -124,6 +128,7 @@ func main() {
 	store := server.NewStore(snap)
 	log.Printf("snapshot v%d ready in %v (algos: %v, throttled top-%d)",
 		snap.Version(), time.Since(start).Round(time.Millisecond), snap.Algos(), snap.KappaTopK())
+	logSolverStats(snap)
 
 	if *refresh > 0 {
 		ref := &server.Refresher{
@@ -131,14 +136,16 @@ func main() {
 			Build:      build,
 			Interval:   *refresh,
 			MaxBackoff: *maxBO,
+			ColdStart:  *coldRef,
 			OnPublish: func(v uint64, s *server.Snapshot, took time.Duration) {
 				log.Printf("published snapshot v%d in %v (%d spam labels)",
 					v, took.Round(time.Millisecond), s.Corpus().SpamLabeled)
+				logSolverStats(s)
 			},
 			OnError: func(err error) { log.Printf("refresh failed (still serving old snapshot): %v", err) },
 		}
 		go ref.Run(ctx)
-		log.Printf("background refresh every %v", *refresh)
+		log.Printf("background refresh every %v (warm start: %v)", *refresh, !*coldRef)
 	}
 
 	srv := server.New(store, server.Config{
@@ -235,17 +242,48 @@ func loadExtraScores(spec string) (map[server.Algo]linalg.Vector, error) {
 	return out, nil
 }
 
-// dumpScores writes each algorithm's vector as dir/<algo>.vec.
+// logSolverStats prints each algorithm's convergence behaviour so
+// operators can see iteration counts (and warm-start savings) without a
+// profiler.
+func logSolverStats(snap *server.Snapshot) {
+	for _, algo := range snap.Algos() {
+		ss := snap.Set(algo)
+		st := ss.Stats()
+		mode := "cold"
+		if ss.WarmStarted() {
+			mode = "warm"
+		}
+		log.Printf("  %s: %d iterations, residual %.3g, converged=%v, solve %v (%s start)",
+			algo, st.Iterations, st.Residual, st.Converged, ss.SolveTime().Round(time.Millisecond), mode)
+	}
+}
+
+// dumpScores writes each algorithm's vector as dir/<algo>.vec plus a
+// stats.json with per-algorithm solver convergence.
 func dumpScores(dir string, snap *server.Snapshot) error {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return err
 	}
+	stats := make(map[string]any, len(snap.Algos()))
 	for _, algo := range snap.Algos() {
+		ss := snap.Set(algo)
 		// Read-only use: the view skips the defensive copy of Scores.
-		vec := snap.Set(algo).ScoresView()
+		vec := ss.ScoresView()
 		if err := linalg.WriteVectorFile(fmt.Sprintf("%s/%s.vec", dir, algo), vec); err != nil {
 			return err
 		}
+		st := ss.Stats()
+		stats[string(algo)] = map[string]any{
+			"iterations":    st.Iterations,
+			"residual":      st.Residual,
+			"converged":     st.Converged,
+			"solve_seconds": ss.SolveTime().Seconds(),
+			"warm_started":  ss.WarmStarted(),
+		}
 	}
-	return nil
+	payload, err := json.MarshalIndent(stats, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(fmt.Sprintf("%s/stats.json", dir), append(payload, '\n'), 0o644)
 }

@@ -93,15 +93,18 @@ const (
 var ErrCheckpointInvalid = errors.New("core: invalid checkpoint")
 
 // fingerprint identifies the solve a checkpoint belongs to: node count
-// plus a 64-bit hash of the throttled matrix structure, weights, and α.
-// A checkpoint recorded against a different crawl, throttle vector, or
-// mixing parameter must not be resumed.
+// plus a 64-bit hash of the throttled matrix structure, weights, α, and
+// the warm-start lineage. A checkpoint recorded against a different
+// crawl, throttle vector, mixing parameter, or initial iterate must not
+// be resumed: two solves from different x0 pass through different
+// iterate sequences even though they share a fixed point, so mixing
+// their checkpoints would break the bit-identical-resume guarantee.
 type fingerprint struct {
 	nodes uint64
 	hash  uint64
 }
 
-func fingerprintOf(t *linalg.CSR, alpha float64) fingerprint {
+func fingerprintOf(t *linalg.CSR, alpha float64, x0 linalg.Vector) fingerprint {
 	h := fnv.New64a()
 	le := binary.LittleEndian
 	var buf [8]byte
@@ -120,6 +123,17 @@ func fingerprintOf(t *linalg.CSR, alpha float64) fingerprint {
 	}
 	for _, v := range t.Vals {
 		put(math.Float64bits(v))
+	}
+	// Warm-start provenance: a cold start (nil x0, i.e. the teleport
+	// vector) hashes a sentinel; a warm start hashes every iterate bit.
+	if x0 == nil {
+		put(0)
+	} else {
+		put(1)
+		put(uint64(len(x0)))
+		for _, v := range x0 {
+			put(math.Float64bits(v))
+		}
 	}
 	return fingerprint{nodes: uint64(t.Rows), hash: h.Sum64()}
 }
@@ -288,17 +302,26 @@ func RankCheckpointed(sg *source.Graph, kappa []float64, cfg Config, ck Checkpoi
 	if err != nil {
 		return nil, info, fmt.Errorf("core: applying throttle: %w", err)
 	}
-	fp := fingerprintOf(tpp, cfg.alpha())
+	warm := sanitizeWarmStart(cfg.X0)
+	if warm != nil && len(warm) != sg.NumSources() {
+		return nil, info, linalg.ErrDimension
+	}
+	fp := fingerprintOf(tpp, cfg.alpha(), warm)
 	x0, startIter, err := resumeCheckpoint(fsys, ck.Dir, fp, &info)
 	if err != nil {
 		return nil, info, fmt.Errorf("core: scanning checkpoints: %w", err)
 	}
 	info.ResumedFrom = startIter
+	if x0 == nil {
+		// No resumable checkpoint: start from the configured warm-start
+		// vector (nil falls through to the teleport cold start).
+		x0 = warm
+	}
 
 	every, keep := ck.every(), ck.keep()
 	tele := linalg.NewUniformVector(sg.NumSources())
 	opt := linalg.SolverOptions{
-		Tol: cfg.Tol, MaxIter: cfg.MaxIter, Workers: cfg.Workers,
+		Tol: cfg.Tol, MaxIter: cfg.MaxIter, Workers: cfg.Workers, CheckEvery: cfg.CheckEvery,
 		Progress: func(iter int, x linalg.Vector) error {
 			if iter%every != 0 {
 				return nil

@@ -54,10 +54,35 @@ type Config struct {
 	// paper's Consensus. (Only used by entry points that build the
 	// source graph themselves.)
 	Weighting source.Weighting
+	// X0 optionally warm-starts the stationary solve from a previous
+	// score vector (e.g. the last published snapshot's σ). It must have
+	// one entry per source; the solver converges to the same fixed
+	// point from any start, only faster when X0 is close. Only the
+	// Power solver warm-starts; Jacobi ignores X0.
+	X0 linalg.Vector
+	// CheckEvery computes the convergence residual only every k-th
+	// iteration (see linalg.SolverOptions.CheckEvery); <= 1 checks
+	// every iteration.
+	CheckEvery int
 }
 
 func (c Config) rankOptions() rank.Options {
-	return rank.Options{Alpha: c.Alpha, Tol: c.Tol, MaxIter: c.MaxIter, Workers: c.Workers}
+	return rank.Options{Alpha: c.Alpha, Tol: c.Tol, MaxIter: c.MaxIter, Workers: c.Workers,
+		X0: sanitizeWarmStart(c.X0), CheckEvery: c.CheckEvery}
+}
+
+// sanitizeWarmStart clones and L1-normalizes a warm-start vector so the
+// solve starts from a probability distribution. A nil or degenerate
+// (zero/non-normalizable) vector yields nil, i.e. a cold start.
+func sanitizeWarmStart(prev linalg.Vector) linalg.Vector {
+	if prev == nil {
+		return nil
+	}
+	x0 := prev.Clone()
+	if !x0.Normalize1() {
+		return nil
+	}
+	return x0
 }
 
 func (c Config) alpha() float64 {
@@ -111,7 +136,7 @@ func Rank(sg *source.Graph, kappa []float64, cfg Config) (*Result, error) {
 		b := linalg.NewUniformVector(n)
 		b.Scale(1 - cfg.alpha())
 		scores, stats, err := linalg.JacobiAffineT(tppT, cfg.alpha(), b, linalg.SolverOptions{
-			Tol: cfg.Tol, MaxIter: cfg.MaxIter, Workers: cfg.Workers,
+			Tol: cfg.Tol, MaxIter: cfg.MaxIter, Workers: cfg.Workers, CheckEvery: cfg.CheckEvery,
 		})
 		if err != nil {
 			return nil, err
@@ -153,6 +178,10 @@ type PipelineConfig struct {
 	// capped at GradedMax.
 	Graded    bool
 	GradedMax float64
+	// ProximityX0 optionally warm-starts the spam-proximity walk from a
+	// previous proximity vector, mirroring Config.X0 for the stationary
+	// solve. Degenerate vectors fall back to a cold start.
+	ProximityX0 linalg.Vector
 	// Checkpoint, if set, makes the final SRSR solve resumable: the
 	// iterate is persisted every Checkpoint.Every iterations and a crash
 	// resumes from the newest valid checkpoint (see RankCheckpointed).
@@ -190,6 +219,7 @@ func Pipeline(pg *pagegraph.Graph, cfg PipelineConfig) (*PipelineResult, error) 
 func PipelineFromSourceGraph(sg *source.Graph, cfg PipelineConfig) (*PipelineResult, error) {
 	prox, pstats, err := throttle.SpamProximity(sg.Structure(), cfg.SpamSeeds, throttle.ProximityOptions{
 		Beta: cfg.Beta, Tol: cfg.Tol, MaxIter: cfg.MaxIter, Workers: cfg.Workers,
+		X0: sanitizeWarmStart(cfg.ProximityX0),
 	})
 	if err != nil {
 		return nil, fmt.Errorf("core: spam proximity: %w", err)

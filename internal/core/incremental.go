@@ -5,7 +5,6 @@ import (
 
 	"sourcerank/internal/linalg"
 	"sourcerank/internal/source"
-	"sourcerank/internal/throttle"
 )
 
 // RankFrom computes Spam-Resilient SourceRank warm-started from a
@@ -23,26 +22,10 @@ func RankFrom(sg *source.Graph, kappa []float64, prev linalg.Vector, cfg Config)
 	if len(prev) != sg.NumSources() {
 		return nil, linalg.ErrDimension
 	}
-	tpp, err := throttle.Apply(sg.T, kappa)
-	if err != nil {
-		return nil, err
-	}
-	x0 := prev.Clone()
-	if !x0.Normalize1() {
-		// Degenerate previous vector: fall back to uniform.
-		x0 = linalg.NewUniformVector(sg.NumSources())
-	}
-	tele := linalg.NewUniformVector(sg.NumSources())
-	scores, stats, err := linalg.PowerMethodT(throttledTranspose(sg, tpp, cfg.Workers), cfg.alpha(), tele, x0, linalg.SolverOptions{
-		Tol: cfg.Tol, MaxIter: cfg.MaxIter, Workers: cfg.Workers,
-	})
-	if err != nil {
-		return nil, err
-	}
-	return &Result{
-		Scores:    scores,
-		Kappa:     append([]float64(nil), kappa...),
-		Throttled: tpp,
-		Stats:     stats,
-	}, nil
+	// Rank's Power path sanitizes Config.X0 (clone + L1-normalize,
+	// degenerate → cold start) and threads it into the power method, so
+	// warm starting is just a Config.
+	cfg.X0 = prev
+	cfg.Solver = Power
+	return Rank(sg, kappa, cfg)
 }

@@ -1,0 +1,180 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"sourcerank/internal/faultfs"
+	"sourcerank/internal/gen"
+	"sourcerank/internal/linalg"
+	"sourcerank/internal/source"
+	"sourcerank/internal/spam"
+)
+
+// pipelineCfg is the shared small-corpus pipeline configuration.
+func pipelineCfg(seeds []int32, topK int) PipelineConfig {
+	return PipelineConfig{SpamSeeds: seeds, TopK: topK}
+}
+
+// TestPipelineWarmStartFewerIterations perturbs a generated web graph by
+// a small spam injection (≪5% of links) and checks that feeding the
+// previous pipeline's σ and proximity back through Config.X0/ProximityX0
+// converges in strictly fewer iterations while landing on the same
+// ranks within solver tolerance.
+func TestPipelineWarmStartFewerIterations(t *testing.T) {
+	ds, err := gen.GeneratePreset(gen.UK2002, 0.002, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pg := ds.Pages
+	sg := buildSG(t, pg)
+	cfg := pipelineCfg(ds.SpamSources, sg.NumSources()/40)
+	prev, err := PipelineFromSourceGraph(sg, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	attacked := pg.Clone()
+	if _, err := spam.InjectIntraSource(attacked, ds.SpamSources[0], 10); err != nil {
+		t.Fatal(err)
+	}
+	sg2, err := source.Build(attacked, source.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sg2.NumSources() != sg.NumSources() {
+		t.Fatalf("perturbation changed source count: %d -> %d", sg.NumSources(), sg2.NumSources())
+	}
+
+	cold, err := PipelineFromSourceGraph(sg2, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warmCfg := cfg
+	warmCfg.X0 = prev.Scores
+	warmCfg.ProximityX0 = prev.Proximity
+	warm, err := PipelineFromSourceGraph(sg2, warmCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if warm.Stats.Iterations >= cold.Stats.Iterations {
+		t.Errorf("warm solve took %d iterations, cold %d", warm.Stats.Iterations, cold.Stats.Iterations)
+	}
+	if warm.ProximityStats.Iterations >= cold.ProximityStats.Iterations {
+		t.Errorf("warm proximity took %d iterations, cold %d",
+			warm.ProximityStats.Iterations, cold.ProximityStats.Iterations)
+	}
+	if d := linalg.L2Distance(warm.Scores, cold.Scores); d > 1e-7 {
+		t.Errorf("warm ranks differ from cold by %g", d)
+	}
+	if d := linalg.L2Distance(warm.Proximity, cold.Proximity); d > 1e-7 {
+		t.Errorf("warm proximity differs from cold by %g", d)
+	}
+}
+
+// TestConfigX0DimensionError: a wrong-length warm start must error, not
+// silently mis-solve.
+func TestConfigX0DimensionError(t *testing.T) {
+	sg := buildSG(t, corpus(t))
+	kappa := make([]float64, sg.NumSources())
+	if _, err := Rank(sg, kappa, Config{X0: linalg.NewUniformVector(sg.NumSources() + 1)}); err == nil {
+		t.Error("wrong-length X0 accepted")
+	}
+}
+
+// TestJacobiIgnoresX0: the Jacobi path documents that it ignores X0 —
+// results must match the no-X0 Jacobi solve exactly.
+func TestJacobiIgnoresX0(t *testing.T) {
+	sg := buildSG(t, corpus(t))
+	kappa := make([]float64, sg.NumSources())
+	plain, err := Rank(sg, kappa, Config{Solver: Jacobi})
+	if err != nil {
+		t.Fatal(err)
+	}
+	withX0, err := Rank(sg, kappa, Config{Solver: Jacobi, X0: linalg.NewUniformVector(sg.NumSources())})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range plain.Scores {
+		if plain.Scores[i] != withX0.Scores[i] {
+			t.Fatalf("score %d: %v != %v", i, plain.Scores[i], withX0.Scores[i])
+		}
+	}
+}
+
+// TestRankCheckpointedWarmStartLineage: checkpoints written by a solve
+// with one x0 lineage must be discarded by a solve with another — a
+// cold-start resume mixing warm-start iterates (or vice versa) would
+// silently break the bit-identical-resume guarantee.
+func TestRankCheckpointedWarmStartLineage(t *testing.T) {
+	sg := buildSG(t, corpus(t))
+	kappa := testKappa(sg.NumSources())
+	dir := t.TempDir()
+
+	// Crash a cold-start solve mid-way, leaving cold-lineage checkpoints.
+	crashOnce(t, dir, kappa)
+
+	// A warm-started solve over the same graph/κ/α must not resume them.
+	warmX0 := linalg.NewUniformVector(sg.NumSources())
+	warmX0[0] *= 2
+	warmX0.Normalize1()
+	res, info, err := RankCheckpointed(sg, kappa, Config{X0: warmX0}, CheckpointConfig{Dir: dir, Every: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.ResumedFrom != 0 {
+		t.Fatalf("warm-start solve resumed a cold-lineage checkpoint at iteration %d", info.ResumedFrom)
+	}
+	if info.Discarded == 0 {
+		t.Fatal("cold-lineage checkpoints not discarded")
+	}
+	// And it still converges to the reference fixed point.
+	ref, err := Rank(sg, kappa, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := linalg.L2Distance(res.Scores, ref.Scores); d > 1e-7 {
+		t.Errorf("warm checkpointed solve differs from reference by %g", d)
+	}
+}
+
+// TestRankCheckpointedWarmStartResume: warm-started checkpointed solves
+// resume bit-identically within the same lineage.
+func TestRankCheckpointedWarmStartResume(t *testing.T) {
+	sg := buildSG(t, corpus(t))
+	kappa := testKappa(sg.NumSources())
+	warmX0 := linalg.NewUniformVector(sg.NumSources())
+	warmX0[1] *= 3
+	warmX0.Normalize1()
+
+	ref, _, err := RankCheckpointed(sg, kappa, Config{X0: warmX0}, CheckpointConfig{Dir: t.TempDir(), Every: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	dir := t.TempDir()
+	// First run crashes partway through on a write budget, leaving
+	// committed warm-lineage checkpoints behind.
+	ffs := faultfs.New(nil)
+	ffs.SetWriteBudget(600)
+	_, _, err = RankCheckpointed(sg, kappa, Config{X0: warmX0}, CheckpointConfig{Dir: dir, Every: 5, FS: ffs})
+	if !errors.Is(err, faultfs.ErrCrash) {
+		t.Fatalf("want simulated crash, got %v", err)
+	}
+	if len(srckFiles(t, dir)) == 0 {
+		t.Fatal("crash left no committed checkpoints")
+	}
+	res, info, err := RankCheckpointed(sg, kappa, Config{X0: warmX0}, CheckpointConfig{Dir: dir, Every: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.ResumedFrom == 0 {
+		t.Fatal("second run did not resume from the partial solve's checkpoints")
+	}
+	for i := range ref.Scores {
+		if res.Scores[i] != ref.Scores[i] {
+			t.Fatalf("resumed warm score %d: %v != %v", i, res.Scores[i], ref.Scores[i])
+		}
+	}
+}

@@ -1,0 +1,428 @@
+package linalg
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// forceFusedParallel lowers the fused-kernel thresholds so small test
+// fixtures exercise the pooled multi-stripe path, restoring them on
+// cleanup.
+func forceFusedParallel(t testing.TB) {
+	t.Helper()
+	oldMin, oldPer := fusedMinNNZ, fusedNNZPerStripe
+	fusedMinNNZ = 1
+	fusedNNZPerStripe = 16
+	t.Cleanup(func() { fusedMinNNZ, fusedNNZPerStripe = oldMin, oldPer })
+}
+
+// randChain builds a deterministic random row-substochastic chain with
+// dangling rows, mirroring the generator in TestQuickPowerMethodIsDistribution.
+func randChain(t testing.TB, seed int64, n int) *CSR {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	entries := []Entry{}
+	for i := 0; i < n; i++ {
+		if rng.Float64() < 0.15 {
+			continue // dangling row
+		}
+		deg := 1 + rng.Intn(6)
+		if deg > n {
+			deg = n
+		}
+		seen := map[int]bool{}
+		for len(seen) < deg {
+			seen[rng.Intn(n)] = true
+		}
+		for j := range seen {
+			entries = append(entries, Entry{i, j, 1 / float64(deg)})
+		}
+	}
+	m, err := NewCSR(n, n, entries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// unfusedPowerStep is the pre-fusion iteration sequence the kernel must
+// reproduce bit for bit: MulVecParallel, Scale, lost-mass Sum, Axpy.
+func unfusedPowerStep(pt *CSR, c float64, tel, src, dst Vector, workers int) {
+	MulVecParallel(pt, src, dst, workers)
+	dst.Scale(c)
+	lost := 1 - dst.Sum()
+	if lost < 0 {
+		lost = 0
+	}
+	dst.Axpy(lost, tel)
+}
+
+// TestFusedPowerBitwiseMatchesUnfused checks that one fused power Step
+// produces exactly the bits of the unfused four-pass sequence at every
+// worker count, and that the in-pass residual is bitwise invariant
+// across worker counts and agrees with the serial norm to rounding.
+func TestFusedPowerBitwiseMatchesUnfused(t *testing.T) {
+	forceFusedParallel(t)
+	for _, n := range []int{1, 2, 17, 97, 256} {
+		p := randChain(t, int64(n), n)
+		pt := p.Transpose()
+		tel := NewUniformVector(n)
+		src := NewVector(n)
+		rng := rand.New(rand.NewSource(42))
+		for i := range src {
+			src[i] = rng.Float64()
+		}
+		src.Normalize1()
+
+		want := NewVector(n)
+		unfusedPowerStep(pt, 0.85, tel, src, want, 1)
+
+		var res1 float64
+		for workers := 1; workers <= 16; workers++ {
+			k, err := NewFusedPower(pt, 0.85, tel, ResidualL2, workers)
+			if err != nil {
+				t.Fatal(err)
+			}
+			dst := NewVector(n)
+			res := k.Step(dst, src, true)
+			k.Close()
+			for i := range dst {
+				if dst[i] != want[i] {
+					t.Fatalf("n=%d workers=%d: dst[%d] = %v, unfused %v", n, workers, i, dst[i], want[i])
+				}
+			}
+			if workers == 1 {
+				res1 = res
+				serial := L2Distance(dst, src)
+				if math.Abs(res-serial) > 1e-12*(1+serial) {
+					t.Fatalf("n=%d: fused residual %v far from serial %v", n, res, serial)
+				}
+			} else if res != res1 {
+				t.Fatalf("n=%d workers=%d: residual %v != workers=1 residual %v", n, workers, res, res1)
+			}
+		}
+	}
+}
+
+// TestFusedAffineBitwiseMatchesUnfused is the affine-kernel counterpart:
+// dst must equal MulVecParallel + Scale + Axpy(1, b) exactly.
+func TestFusedAffineBitwiseMatchesUnfused(t *testing.T) {
+	forceFusedParallel(t)
+	for _, n := range []int{1, 2, 17, 97, 256} {
+		a := randChain(t, 1000+int64(n), n)
+		at := a.Transpose()
+		b := NewVector(n)
+		rng := rand.New(rand.NewSource(43))
+		for i := range b {
+			b[i] = rng.Float64() * 0.15
+		}
+		src := NewVector(n)
+		for i := range src {
+			src[i] = rng.Float64()
+		}
+
+		want := NewVector(n)
+		MulVecParallel(at, src, want, 1)
+		want.Scale(0.85)
+		want.Axpy(1, b)
+
+		var res1 float64
+		for workers := 1; workers <= 16; workers++ {
+			k, err := NewFusedAffine(at, 0.85, b, ResidualL2, workers)
+			if err != nil {
+				t.Fatal(err)
+			}
+			dst := NewVector(n)
+			res := k.Step(dst, src, true)
+			k.Close()
+			for i := range dst {
+				if dst[i] != want[i] {
+					t.Fatalf("n=%d workers=%d: dst[%d] = %v, unfused %v", n, workers, i, dst[i], want[i])
+				}
+			}
+			if workers == 1 {
+				res1 = res
+			} else if res != res1 {
+				t.Fatalf("n=%d workers=%d: residual %v != workers=1 residual %v", n, workers, res, res1)
+			}
+		}
+	}
+}
+
+// TestFusedResidualL1 checks the L1 accumulation against a direct serial
+// computation.
+func TestFusedResidualL1(t *testing.T) {
+	forceFusedParallel(t)
+	p := randChain(t, 7, 64)
+	pt := p.Transpose()
+	tel := NewUniformVector(64)
+	src := tel.Clone()
+	k, err := NewFusedPower(pt, 0.85, tel, ResidualL1, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer k.Close()
+	dst := NewVector(64)
+	res := k.Step(dst, src, true)
+	var want float64
+	for i := range dst {
+		want += math.Abs(dst[i] - src[i])
+	}
+	if math.Abs(res-want) > 1e-12*(1+want) {
+		t.Fatalf("L1 residual %v, want about %v", res, want)
+	}
+}
+
+// TestPowerMethodTFusedMatchesGenericPath pins the solver rewiring:
+// the fused default path and the generic unfused path (forced via a
+// custom Dist equal to the default L2) must agree bit for bit on the
+// final iterate and on iteration count.
+func TestPowerMethodTFusedMatchesGenericPath(t *testing.T) {
+	forceFusedParallel(t)
+	p := randChain(t, 11, 120)
+	pt := p.Transpose()
+	tel := NewUniformVector(120)
+	for workers := 1; workers <= 8; workers++ {
+		fused, fst, err := PowerMethodT(pt, 0.85, tel, nil, SolverOptions{Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		generic, gst, err := PowerMethodT(pt, 0.85, tel, nil, SolverOptions{Workers: workers, Dist: L2Distance})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fst.Iterations != gst.Iterations || fst.Converged != gst.Converged {
+			t.Fatalf("workers=%d: fused stats %+v, generic %+v", workers, fst, gst)
+		}
+		for i := range fused {
+			if fused[i] != generic[i] {
+				t.Fatalf("workers=%d: x[%d] = %v fused, %v generic", workers, i, fused[i], generic[i])
+			}
+		}
+	}
+}
+
+// TestJacobiAffineTFusedMatchesGenericPath is the affine counterpart.
+func TestJacobiAffineTFusedMatchesGenericPath(t *testing.T) {
+	forceFusedParallel(t)
+	a := randChain(t, 13, 120)
+	at := a.Transpose()
+	b := NewUniformVector(120)
+	b.Scale(0.15)
+	fused, fst, err := JacobiAffineT(at, 0.85, b, SolverOptions{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	generic, gst, err := JacobiAffineT(at, 0.85, b, SolverOptions{Workers: 4, Dist: L2Distance})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fst.Iterations != gst.Iterations || fst.Converged != gst.Converged {
+		t.Fatalf("fused stats %+v, generic %+v", fst, gst)
+	}
+	for i := range fused {
+		if fused[i] != generic[i] {
+			t.Fatalf("x[%d] = %v fused, %v generic", i, fused[i], generic[i])
+		}
+	}
+}
+
+// TestCheckEveryCadence verifies that CheckEvery=k converges at a check
+// iteration (a multiple of k), never before the every-iteration solve,
+// at most k-1 iterations after it, and to the same fixed point.
+func TestCheckEveryCadence(t *testing.T) {
+	p := randChain(t, 17, 80)
+	pt := p.Transpose()
+	tel := NewUniformVector(80)
+	every, est, err := PowerMethodT(pt, 0.85, tel, nil, SolverOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !est.Converged {
+		t.Fatal("baseline solve did not converge")
+	}
+	const k = 7
+	sparse, sst, err := PowerMethodT(pt, 0.85, tel, nil, SolverOptions{CheckEvery: k})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sst.Converged {
+		t.Fatal("CheckEvery solve did not converge")
+	}
+	if sst.Iterations%k != 0 {
+		t.Fatalf("converged at iteration %d, not a multiple of CheckEvery=%d", sst.Iterations, k)
+	}
+	if sst.Iterations < est.Iterations || sst.Iterations >= est.Iterations+k {
+		t.Fatalf("CheckEvery=%d converged at %d; every-iteration baseline %d", k, sst.Iterations, est.Iterations)
+	}
+	if d := L2Distance(every, sparse); d > 1e-9 {
+		t.Fatalf("fixed points differ by %v", d)
+	}
+}
+
+// TestCheckEveryGenericPath checks the same cadence on the generic
+// FixedPointChecked driver (custom-Dist route).
+func TestCheckEveryGenericPath(t *testing.T) {
+	step := func(dst, src Vector) {
+		for i := range dst {
+			dst[i] = 0.5 * src[i]
+		}
+	}
+	x0 := Vector{1, 1}
+	_, every, err := FixedPointChecked(x0, step, SolverOptions{Tol: 1e-6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, sparse, err := FixedPointChecked(x0, step, SolverOptions{Tol: 1e-6, CheckEvery: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !every.Converged || !sparse.Converged {
+		t.Fatalf("convergence: every=%v sparse=%v", every.Converged, sparse.Converged)
+	}
+	if sparse.Iterations%5 != 0 {
+		t.Fatalf("converged at %d, not a multiple of 5", sparse.Iterations)
+	}
+	if sparse.Iterations < every.Iterations || sparse.Iterations >= every.Iterations+5 {
+		t.Fatalf("CheckEvery=5 converged at %d; baseline %d", sparse.Iterations, every.Iterations)
+	}
+}
+
+// TestFusedEmptyMatrix covers the degenerate 0x0 solve: no panic, and
+// the zero-length residual converges immediately.
+func TestFusedEmptyMatrix(t *testing.T) {
+	m, err := NewCSR(0, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x, st, err := PowerMethodT(m, 0.85, Vector{}, nil, SolverOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(x) != 0 || !st.Converged || st.Iterations != 1 {
+		t.Fatalf("empty solve: x=%v stats=%+v", x, st)
+	}
+	x, st, err = JacobiAffineT(m, 0.85, Vector{}, SolverOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(x) != 0 || !st.Converged {
+		t.Fatalf("empty affine solve: x=%v stats=%+v", x, st)
+	}
+}
+
+// TestFusedDimensionErrors pins the constructor validation.
+func TestFusedDimensionErrors(t *testing.T) {
+	m := randChain(t, 3, 8)
+	if _, err := NewFusedPower(m.Transpose(), 0.85, NewUniformVector(7), ResidualL2, 1); err != ErrDimension {
+		t.Fatalf("bad teleport length: err=%v", err)
+	}
+	if _, err := NewFusedAffine(m.Transpose(), 0.85, NewUniformVector(7), ResidualL2, 1); err != ErrDimension {
+		t.Fatalf("bad bias length: err=%v", err)
+	}
+	rect, err := NewCSR(3, 4, []Entry{{0, 0, 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewFusedPower(rect, 0.85, NewUniformVector(3), ResidualL2, 1); err != ErrDimension {
+		t.Fatalf("rectangular operand: err=%v", err)
+	}
+}
+
+// TestFusedStepZeroAlloc asserts the kernel's core promise: after the
+// pool is up, Step allocates nothing — with and without the residual.
+func TestFusedStepZeroAlloc(t *testing.T) {
+	forceFusedParallel(t)
+	p := randChain(t, 21, 512)
+	pt := p.Transpose()
+	tel := NewUniformVector(512)
+	k, err := NewFusedPower(pt, 0.85, tel, ResidualL2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer k.Close()
+	src, dst := tel.Clone(), NewVector(512)
+	k.Step(dst, src, true) // warm up
+	if n := testing.AllocsPerRun(50, func() {
+		k.Step(dst, src, true)
+		k.Step(src, dst, false)
+	}); n != 0 {
+		t.Fatalf("fused power Step allocated %v times per run", n)
+	}
+
+	ka, err := NewFusedAffine(pt, 0.85, tel, ResidualL2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ka.Close()
+	ka.Step(dst, src, true)
+	if n := testing.AllocsPerRun(50, func() {
+		ka.Step(dst, src, true)
+	}); n != 0 {
+		t.Fatalf("fused affine Step allocated %v times per run", n)
+	}
+}
+
+// TestFusedCloseIdempotentAndSerialFallback: Close twice, then Step
+// still works on the inline path.
+func TestFusedCloseIdempotent(t *testing.T) {
+	forceFusedParallel(t)
+	p := randChain(t, 23, 64)
+	pt := p.Transpose()
+	tel := NewUniformVector(64)
+	k, err := NewFusedPower(pt, 0.85, tel, ResidualL2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst := NewVector(64)
+	k.Step(dst, tel, true)
+	want := dst.Clone()
+	k.Close()
+	k.Close()
+	k.Step(dst, tel, true)
+	for i := range dst {
+		if dst[i] != want[i] {
+			t.Fatalf("post-Close Step diverged at %d: %v != %v", i, dst[i], want[i])
+		}
+	}
+}
+
+// benchChain builds a larger fixture for the Step benchmarks.
+func benchChain(b *testing.B, n int) (*CSR, Vector) {
+	b.Helper()
+	pt := randChain(b, 99, n).Transpose()
+	return pt, NewUniformVector(n)
+}
+
+// BenchmarkFusedPowerStep measures one fused iteration (with residual).
+// CI gates this benchmark's -benchmem output at 0 allocs/op.
+func BenchmarkFusedPowerStep(b *testing.B) {
+	pt, tel := benchChain(b, 20000)
+	k, err := NewFusedPower(pt, 0.85, tel, ResidualL2, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer k.Close()
+	src, dst := tel.Clone(), NewVector(len(tel))
+	k.Step(dst, src, true)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k.Step(dst, src, true)
+		src, dst = dst, src
+	}
+}
+
+// BenchmarkUnfusedPowerStep is the pre-fusion sequence for comparison.
+func BenchmarkUnfusedPowerStep(b *testing.B) {
+	pt, tel := benchChain(b, 20000)
+	src, dst := tel.Clone(), NewVector(len(tel))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		unfusedPowerStep(pt, 0.85, tel, src, dst, 0)
+		L2Distance(dst, src)
+		src, dst = dst, src
+	}
+}

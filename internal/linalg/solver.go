@@ -16,7 +16,18 @@ type SolverOptions struct {
 	Tol     float64 // convergence threshold on successive-iterate distance; default 1e-9
 	MaxIter int     // iteration cap; default 1000
 	Workers int     // goroutines for SpMV; <=0 means GOMAXPROCS
-	Dist    func(a, b Vector) float64
+	// Dist overrides the convergence measure (default L2Distance). The
+	// fused kernels compute the default norm in-pass; setting a custom
+	// Dist routes PowerMethodT/JacobiAffineT through the generic unfused
+	// iteration instead.
+	Dist func(a, b Vector) float64
+	// CheckEvery computes the convergence residual only on every k-th
+	// iteration (and always on the MaxIter-th), letting the iterations
+	// in between skip the norm entirely. <= 1 checks every iteration.
+	// Convergence is detected at the first check iteration at or after
+	// the true crossing, so a solve may run up to CheckEvery-1 extra
+	// iterations — never fewer.
+	CheckEvery int
 	// Progress, if set, observes each completed iteration (1-based) with
 	// the current iterate. Returning a non-nil error aborts the solve and
 	// is surfaced by the error-returning solvers; the checkpointing layer
@@ -38,6 +49,13 @@ func (o SolverOptions) withDefaults() SolverOptions {
 	return o
 }
 
+func (o SolverOptions) checkEvery() int {
+	if o.CheckEvery <= 1 {
+		return 1
+	}
+	return o.CheckEvery
+}
+
 // ErrDimension reports mismatched operand sizes passed to a solver.
 var ErrDimension = errors.New("linalg: dimension mismatch")
 
@@ -57,19 +75,23 @@ func FixedPoint(x0 Vector, step func(dst, src Vector), opt SolverOptions) (Vecto
 // returned alongside the last completed iterate and its stats.
 func FixedPointChecked(x0 Vector, step func(dst, src Vector), opt SolverOptions) (Vector, IterStats, error) {
 	opt = opt.withDefaults()
+	check := opt.checkEvery()
 	cur := x0.Clone()
 	next := NewVector(len(x0))
 	var st IterStats
 	for st.Iterations = 1; st.Iterations <= opt.MaxIter; st.Iterations++ {
 		step(next, cur)
-		st.Residual = opt.Dist(next, cur)
+		wantRes := st.Iterations%check == 0 || st.Iterations == opt.MaxIter
+		if wantRes {
+			st.Residual = opt.Dist(next, cur)
+		}
 		cur, next = next, cur
 		if opt.Progress != nil {
 			if err := opt.Progress(st.Iterations, cur); err != nil {
 				return cur, st, err
 			}
 		}
-		if st.Residual < opt.Tol {
+		if wantRes && st.Residual < opt.Tol {
 			st.Converged = true
 			return cur, st, nil
 		}
@@ -97,17 +119,28 @@ func JacobiAffine(a *CSR, c float64, b Vector, opt SolverOptions) (Vector, IterS
 // at must be Aᵀ for the system x = c·Aᵀx + b. Callers that solve several
 // systems against the same matrix (or hold a cached transpose, see
 // source.Graph) use this to avoid re-materializing Aᵀ per solve.
+// Each iteration runs on the fused affine kernel (SpMV, scale, bias add,
+// and residual in one parallel pass) unless a custom Dist is set.
 func JacobiAffineT(at *CSR, c float64, b Vector, opt SolverOptions) (Vector, IterStats, error) {
 	if at.Rows != at.ColsN || len(b) != at.Rows {
 		return nil, IterStats{}, ErrDimension
 	}
-	opt = opt.withDefaults()
-	x0 := b.Clone()
-	return FixedPointChecked(x0, func(dst, src Vector) {
-		MulVecParallel(at, src, dst, opt.Workers)
-		dst.Scale(c)
-		dst.Axpy(1, b)
-	}, opt)
+	if opt.Dist != nil {
+		// A custom convergence measure cannot be fused; fall back to the
+		// generic unfused iteration.
+		opt = opt.withDefaults()
+		return FixedPointChecked(b.Clone(), func(dst, src Vector) {
+			MulVecParallel(at, src, dst, opt.Workers)
+			dst.Scale(c)
+			dst.Axpy(1, b)
+		}, opt)
+	}
+	k, err := NewFusedAffine(at, c, b, ResidualL2, opt.Workers)
+	if err != nil {
+		return nil, IterStats{}, err
+	}
+	defer k.Close()
+	return iterateFused(k, b, opt)
 }
 
 // PowerMethod computes the stationary distribution of the row-stochastic
@@ -130,25 +163,38 @@ func PowerMethod(p *CSR, c float64, t Vector, x0 Vector, opt SolverOptions) (Vec
 // pt must be Pᵀ for the chain P. Callers holding a pre-transposed or
 // directly-constructed reverse operand (the spam-proximity walk, the
 // cached source-graph transpose) use this to skip the per-solve
-// transpose; the iteration is identical to PowerMethod's.
+// transpose; the iteration is identical to PowerMethod's. Each
+// iteration runs on the fused power kernel (see FusedPower) unless a
+// custom Dist is set, producing the same bits as the unfused sequence
+// with zero per-iteration allocation.
 func PowerMethodT(pt *CSR, c float64, t Vector, x0 Vector, opt SolverOptions) (Vector, IterStats, error) {
 	if pt.Rows != pt.ColsN || len(t) != pt.Rows {
 		return nil, IterStats{}, ErrDimension
 	}
-	opt = opt.withDefaults()
 	if x0 == nil {
 		x0 = t
 	}
 	if len(x0) != pt.Rows {
 		return nil, IterStats{}, ErrDimension
 	}
-	return FixedPointChecked(x0, func(dst, src Vector) {
-		MulVecParallel(pt, src, dst, opt.Workers)
-		dst.Scale(c)
-		lost := 1 - dst.Sum()
-		if lost < 0 {
-			lost = 0
-		}
-		dst.Axpy(lost, t)
-	}, opt)
+	if opt.Dist != nil {
+		// A custom convergence measure cannot be fused; fall back to the
+		// generic unfused iteration.
+		opt = opt.withDefaults()
+		return FixedPointChecked(x0, func(dst, src Vector) {
+			MulVecParallel(pt, src, dst, opt.Workers)
+			dst.Scale(c)
+			lost := 1 - dst.Sum()
+			if lost < 0 {
+				lost = 0
+			}
+			dst.Axpy(lost, t)
+		}, opt)
+	}
+	k, err := NewFusedPower(pt, c, t, ResidualL2, opt.Workers)
+	if err != nil {
+		return nil, IterStats{}, err
+	}
+	defer k.Close()
+	return iterateFused(k, x0, opt)
 }

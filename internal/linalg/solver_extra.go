@@ -2,7 +2,7 @@ package linalg
 
 import (
 	"math"
-	"sort"
+	"slices"
 )
 
 // GaussSeidelAffine solves x = c·Aᵀx + b by Gauss–Seidel iteration: each
@@ -130,7 +130,7 @@ func Gini(v Vector) float64 {
 		return 0
 	}
 	sorted := v.Clone()
-	insertionOrQuickSort(sorted)
+	slices.Sort(sorted)
 	var cum, total float64
 	for i, x := range sorted {
 		cum += float64(i+1) * x
@@ -140,10 +140,4 @@ func Gini(v Vector) float64 {
 		return 0
 	}
 	return (2*cum/(float64(n)*total) - float64(n+1)/float64(n))
-}
-
-// insertionOrQuickSort sorts ascending; isolated so the Gini hot path
-// reads clearly.
-func insertionOrQuickSort(v Vector) {
-	sort.Float64s([]float64(v))
 }

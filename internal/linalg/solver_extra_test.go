@@ -115,6 +115,107 @@ func TestPowerMethodExtrapolatedDimensionError(t *testing.T) {
 	}
 }
 
+// TestExtraSolversDeterministicAcrossWorkers: the alternative solvers
+// must be bitwise worker-count-invariant like the main ones.
+func TestExtraSolversDeterministicAcrossWorkers(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	m := stochasticChain(t, rng, 60)
+	b := NewUniformVector(60)
+	b.Scale(0.15)
+	tele := NewUniformVector(60)
+
+	gsRef, gsSt, err := GaussSeidelAffine(m, 0.85, b, SolverOptions{Tol: 1e-12, Workers: 1})
+	if err != nil || !gsSt.Converged {
+		t.Fatalf("gs ref: %v %+v", err, gsSt)
+	}
+	exRef, exSt, err := PowerMethodExtrapolated(m, 0.85, tele, SolverOptions{Tol: 1e-12, Workers: 1})
+	if err != nil || !exSt.Converged {
+		t.Fatalf("extrapolated ref: %v %+v", err, exSt)
+	}
+	for w := 2; w <= 16; w++ {
+		gs, st, err := GaussSeidelAffine(m, 0.85, b, SolverOptions{Tol: 1e-12, Workers: w})
+		if err != nil || st.Iterations != gsSt.Iterations {
+			t.Fatalf("gs workers=%d: %v %+v", w, err, st)
+		}
+		ex, st2, err := PowerMethodExtrapolated(m, 0.85, tele, SolverOptions{Tol: 1e-12, Workers: w})
+		if err != nil || st2.Iterations != exSt.Iterations {
+			t.Fatalf("extrapolated workers=%d: %v %+v", w, err, st2)
+		}
+		for i := range gsRef {
+			if math.Float64bits(gs[i]) != math.Float64bits(gsRef[i]) {
+				t.Fatalf("gs workers=%d: entry %d differs bitwise", w, i)
+			}
+			if math.Float64bits(ex[i]) != math.Float64bits(exRef[i]) {
+				t.Fatalf("extrapolated workers=%d: entry %d differs bitwise", w, i)
+			}
+		}
+	}
+}
+
+// TestExtraSolversEmptyMatrix: a 0x0 system converges immediately to an
+// empty vector instead of erroring or panicking.
+func TestExtraSolversEmptyMatrix(t *testing.T) {
+	m := mustCSR(t, 0, 0, nil)
+	gs, st, err := GaussSeidelAffine(m, 0.85, Vector{}, SolverOptions{})
+	if err != nil || !st.Converged || len(gs) != 0 {
+		t.Fatalf("gs on empty: %v %+v len=%d", err, st, len(gs))
+	}
+	ex, st2, err := PowerMethodExtrapolated(m, 0.85, Vector{}, SolverOptions{})
+	if err != nil || !st2.Converged || len(ex) != 0 {
+		t.Fatalf("extrapolated on empty: %v %+v len=%d", err, st2, len(ex))
+	}
+}
+
+// TestExtraSolversAbsorbingRows: fully-throttled sources (κ=1) become
+// pure self-loops under throttle.Apply. On such a matrix all solvers
+// must agree with the power method and the absorbing sources must
+// accumulate strictly more than their teleport share (they receive
+// in-links but give nothing back).
+func TestExtraSolversAbsorbingRows(t *testing.T) {
+	const n, alpha = 20, 0.85
+	entries := []Entry{
+		{0, 0, 1}, // κ=1: absorbing
+		{1, 1, 1}, // κ=1: absorbing
+	}
+	for i := 2; i < n; i++ {
+		// Every untouched row splits between an absorbing row and the chain.
+		entries = append(entries,
+			Entry{i, i % 2, 0.5},
+			Entry{i, 2 + (i-1)%(n-2), 0.5})
+	}
+	m, err := NewCSR(n, n, entries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tele := NewUniformVector(n)
+	b := tele.Clone()
+	b.Scale(1 - alpha)
+
+	want, st, err := PowerMethodT(m.Transpose(), alpha, tele, nil, SolverOptions{Tol: 1e-12})
+	if err != nil || !st.Converged {
+		t.Fatalf("power: %v %+v", err, st)
+	}
+	gs, st2, err := GaussSeidelAffine(m, alpha, b, SolverOptions{Tol: 1e-12})
+	if err != nil || !st2.Converged {
+		t.Fatalf("gs: %v %+v", err, st2)
+	}
+	ex, st3, err := PowerMethodExtrapolated(m, alpha, tele, SolverOptions{Tol: 1e-12})
+	if err != nil || !st3.Converged {
+		t.Fatalf("extrapolated: %v %+v", err, st3)
+	}
+	if d := L2Distance(want, gs); d > 1e-8 {
+		t.Errorf("gs differs from power by %g", d)
+	}
+	if d := L2Distance(want, ex); d > 1e-8 {
+		t.Errorf("extrapolated differs from power by %g", d)
+	}
+	for i := 0; i < 2; i++ {
+		if want[i] <= tele[i] {
+			t.Errorf("absorbing row %d scored %g, want > teleport share %g", i, want[i], tele[i])
+		}
+	}
+}
+
 func TestGini(t *testing.T) {
 	if g := Gini(NewUniformVector(100)); math.Abs(g) > 1e-9 {
 		t.Errorf("uniform Gini = %v, want 0", g)
@@ -130,6 +231,34 @@ func TestGini(t *testing.T) {
 	}
 	if g := Gini(NewVector(5)); g != 0 {
 		t.Errorf("zero-vector Gini = %v", g)
+	}
+}
+
+// TestGiniBitwiseRegression pins Gini's exact output bits on pinned
+// pseudo-random vectors. The sorted prefix-sum is evaluated in ascending
+// index order, so the result must not depend on the sort algorithm (the
+// insertion/quick hybrid was replaced by slices.Sort without moving a
+// bit); any future change to the sort or the accumulation order that
+// perturbs even the last ulp fails here.
+func TestGiniBitwiseRegression(t *testing.T) {
+	golden := map[int]uint64{
+		1:    0x0000000000000000,
+		7:    0x3fd5241f119a1d80,
+		100:  0x3fd475dc02f43168,
+		4097: 0x3fd58fa0d984f320,
+	}
+	for _, n := range []int{1, 7, 100, 4097} {
+		v := NewVector(n)
+		s := uint64(0x9e3779b97f4a7c15)
+		for i := range v {
+			s ^= s << 13
+			s ^= s >> 7
+			s ^= s << 17
+			v[i] = float64(s%1000000) / 1000000
+		}
+		if got := math.Float64bits(Gini(v)); got != golden[n] {
+			t.Errorf("n=%d: Gini bits %#016x, want %#016x", n, got, golden[n])
+		}
 	}
 }
 

@@ -27,6 +27,16 @@ type Options struct {
 	// Teleport optionally overrides the uniform teleportation vector.
 	// It must be a probability distribution of length NumNodes.
 	Teleport linalg.Vector
+	// X0 optionally warm-starts the power iteration from a previous
+	// solution instead of the teleport vector. On a slowly drifting
+	// graph the previous snapshot's scores are within a small delta of
+	// the new fixed point, so the solve pays only for the delta rather
+	// than the full spectral gap. Must have length NumNodes; the solver
+	// converges to the same fixed point from any starting distribution.
+	X0 linalg.Vector
+	// CheckEvery thins residual computation to every k-th iteration
+	// (see linalg.SolverOptions.CheckEvery). <= 1 checks every iteration.
+	CheckEvery int
 }
 
 func (o Options) alpha() float64 {
@@ -37,7 +47,7 @@ func (o Options) alpha() float64 {
 }
 
 func (o Options) solver() linalg.SolverOptions {
-	return linalg.SolverOptions{Tol: o.Tol, MaxIter: o.MaxIter, Workers: o.Workers}
+	return linalg.SolverOptions{Tol: o.Tol, MaxIter: o.MaxIter, Workers: o.Workers, CheckEvery: o.CheckEvery}
 }
 
 // ErrEmptyGraph reports ranking over a graph with no nodes.
@@ -107,7 +117,10 @@ func StationaryT(tt *linalg.CSR, opt Options) (*Result, error) {
 	if len(tele) != tt.Rows {
 		return nil, linalg.ErrDimension
 	}
-	scores, stats, err := linalg.PowerMethodT(tt, opt.alpha(), tele, nil, opt.solver())
+	if opt.X0 != nil && len(opt.X0) != tt.Rows {
+		return nil, linalg.ErrDimension
+	}
+	scores, stats, err := linalg.PowerMethodT(tt, opt.alpha(), tele, opt.X0, opt.solver())
 	if err != nil {
 		return nil, err
 	}
@@ -122,7 +135,10 @@ func stationary(t *linalg.CSR, opt Options) (*Result, error) {
 	if len(tele) != t.Rows {
 		return nil, linalg.ErrDimension
 	}
-	scores, stats, err := linalg.PowerMethod(t, opt.alpha(), tele, nil, opt.solver())
+	if opt.X0 != nil && len(opt.X0) != t.Rows {
+		return nil, linalg.ErrDimension
+	}
+	scores, stats, err := linalg.PowerMethod(t, opt.alpha(), tele, opt.X0, opt.solver())
 	if err != nil {
 		return nil, err
 	}

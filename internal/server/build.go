@@ -37,14 +37,20 @@ type BuildConfig struct {
 	// linalg.ReadVectorFile) to serve alongside the computed sets. Each
 	// vector must have one score per source.
 	Extra map[Algo]linalg.Vector
+	// WarmStart, if set, seeds each algorithm's solve from the previous
+	// publish's vectors (see WarmStart). Vectors whose shape no longer
+	// matches the source count are ignored, silently falling back to a
+	// cold start; results match cold-start ranks within solver Tol
+	// either way, since the fixed point does not depend on the start.
+	WarmStart *WarmStart
 }
 
 func (c BuildConfig) coreConfig() core.Config {
 	return core.Config{Alpha: c.Alpha, Tol: c.Tol, MaxIter: c.MaxIter, Workers: c.Workers}
 }
 
-func (c BuildConfig) rankOptions() rank.Options {
-	return rank.Options{Alpha: c.Alpha, Tol: c.Tol, MaxIter: c.MaxIter, Workers: c.Workers}
+func (c BuildConfig) rankOptions(x0 linalg.Vector) rank.Options {
+	return rank.Options{Alpha: c.Alpha, Tol: c.Tol, MaxIter: c.MaxIter, Workers: c.Workers, X0: x0}
 }
 
 // BuildSnapshot runs the offline stage: derive the source graph once,
@@ -70,37 +76,48 @@ func BuildSnapshotFromSourceGraph(pg *pagegraph.Graph, sg *source.Graph, spam []
 	if topK <= 0 {
 		topK = int(0.027*float64(sg.NumSources()) + 0.5)
 	}
+	n := sg.NumSources()
+	var proximity linalg.Vector
 	sets := make(map[Algo]*ScoreSet, len(algos))
 	for _, algo := range algos {
+		x0 := cfg.WarmStart.vectorFor(algo, n)
+		start := time.Now()
 		switch algo {
 		case AlgoSRSR:
 			if len(spam) == 0 {
 				continue
 			}
+			ccfg := cfg.coreConfig()
+			ccfg.X0 = x0
 			res, err := core.PipelineFromSourceGraph(sg, core.PipelineConfig{
-				Config:    cfg.coreConfig(),
-				SpamSeeds: spam,
-				TopK:      topK,
+				Config:      ccfg,
+				SpamSeeds:   spam,
+				TopK:        topK,
+				ProximityX0: cfg.WarmStart.proximityFor(n),
 			})
 			if err != nil {
 				return nil, fmt.Errorf("server: srsr: %w", err)
 			}
+			proximity = res.Proximity
 			sets[algo] = NewScoreSet(res.Scores, res.Stats)
 		case AlgoPageRank:
-			res, err := rank.PageRank(sg.Structure(), cfg.rankOptions())
+			res, err := rank.PageRank(sg.Structure(), cfg.rankOptions(x0))
 			if err != nil {
 				return nil, fmt.Errorf("server: pagerank: %w", err)
 			}
 			sets[algo] = NewScoreSet(res.Scores, res.Stats)
 		case AlgoTrustRank:
 			trusted := trustedSeeds(sg, cfg.TrustedSeeds, spam)
-			res, err := rank.TrustRank(sg.Structure(), trusted, cfg.rankOptions())
+			res, err := rank.TrustRank(sg.Structure(), trusted, cfg.rankOptions(x0))
 			if err != nil {
 				return nil, fmt.Errorf("server: trustrank: %w", err)
 			}
 			sets[algo] = NewScoreSet(res.Scores, res.Stats)
 		default:
 			return nil, fmt.Errorf("server: unknown algorithm %q", algo)
+		}
+		if ss := sets[algo]; ss != nil {
+			ss.setSolve(time.Since(start), x0 != nil)
 		}
 	}
 	for algo, vec := range cfg.Extra {
@@ -115,7 +132,12 @@ func BuildSnapshotFromSourceGraph(pg *pagegraph.Graph, sg *source.Graph, spam []
 		Links:       pg.NumLinks(),
 		SpamLabeled: len(spam),
 	}
-	return NewSnapshot(info, sg.Labels, sg.PageCount, topK, sets, time.Now())
+	snap, err := NewSnapshot(info, sg.Labels, sg.PageCount, topK, sets, time.Now())
+	if err != nil {
+		return nil, err
+	}
+	snap.proximity = proximity
+	return snap, nil
 }
 
 // trustedSeeds picks the k non-spam sources with the most pages, the

@@ -409,14 +409,16 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	snap := s.store.Current()
 	var version uint64
 	sources := 0
-	if snap := s.store.Current(); snap != nil {
+	if snap != nil {
 		version = snap.Version()
 		sources = snap.NumSources()
 	}
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	s.metrics.WriteText(w, version, s.store.Publishes(), sources, s.store.Staleness().Seconds())
+	s.metrics.WriteSolverText(w, snap)
 }
 
 // routes wires the instrumented mux.

@@ -264,6 +264,42 @@ func (m *Metrics) WriteText(w io.Writer, snapVersion, publishes uint64, sources 
 	}
 }
 
+// WriteSolverText renders per-algorithm solver convergence gauges for
+// the served snapshot: iterations, residual at convergence, solve wall
+// time, and whether the solve was warm-started. It appends to the main
+// WriteText exposition (kept separate so the existing series' byte
+// format is untouched); a nil snapshot writes nothing.
+func (m *Metrics) WriteSolverText(w io.Writer, snap *Snapshot) {
+	if snap == nil {
+		return
+	}
+	algos := snap.Algos()
+	fmt.Fprintf(w, "# HELP srserve_solver_iterations Solver iterations for the served snapshot, by algorithm.\n")
+	fmt.Fprintf(w, "# TYPE srserve_solver_iterations gauge\n")
+	for _, a := range algos {
+		fmt.Fprintf(w, "srserve_solver_iterations{algo=%q} %d\n", a, snap.Set(a).Stats().Iterations)
+	}
+	fmt.Fprintf(w, "# HELP srserve_solver_residual Solver residual at convergence, by algorithm.\n")
+	fmt.Fprintf(w, "# TYPE srserve_solver_residual gauge\n")
+	for _, a := range algos {
+		fmt.Fprintf(w, "srserve_solver_residual{algo=%q} %g\n", a, snap.Set(a).Stats().Residual)
+	}
+	fmt.Fprintf(w, "# HELP srserve_solver_seconds Solve wall time for the served snapshot, by algorithm.\n")
+	fmt.Fprintf(w, "# TYPE srserve_solver_seconds gauge\n")
+	for _, a := range algos {
+		fmt.Fprintf(w, "srserve_solver_seconds{algo=%q} %.6f\n", a, snap.Set(a).SolveTime().Seconds())
+	}
+	fmt.Fprintf(w, "# HELP srserve_solver_warm_start Whether the solve was warm-started from the previous snapshot (1) or cold (0).\n")
+	fmt.Fprintf(w, "# TYPE srserve_solver_warm_start gauge\n")
+	for _, a := range algos {
+		v := 0
+		if snap.Set(a).WarmStarted() {
+			v = 1
+		}
+		fmt.Fprintf(w, "srserve_solver_warm_start{algo=%q} %d\n", a, v)
+	}
+}
+
 // Requests returns the total request count for one endpoint (all status
 // classes); tests use it to assert instrumentation without parsing the
 // text format.

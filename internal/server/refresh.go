@@ -10,8 +10,12 @@ import (
 // BuildFunc produces the next snapshot during a refresh. It runs on the
 // refresher's goroutine; readers keep serving the old snapshot while it
 // computes. Implementations typically re-read spam labels or recompute
-// κ and call BuildSnapshot.
-type BuildFunc func(ctx context.Context) (*Snapshot, error)
+// κ and call BuildSnapshot. warm is the previous publish's solver state
+// (nil on the first build or when warm starting is disabled); builds
+// that honor it pass it to BuildConfig.WarmStart, and builds that
+// ignore it stay correct — warm starting only changes the number of
+// iterations, never the fixed point.
+type BuildFunc func(ctx context.Context, warm *WarmStart) (*Snapshot, error)
 
 // Refresher periodically rebuilds and publishes snapshots. Failed
 // builds never unpublish the serving snapshot; instead the refresher
@@ -30,9 +34,18 @@ type Refresher struct {
 	// OnError, if set, observes build failures; the old snapshot stays
 	// published and the loop continues.
 	OnError func(error)
+	// ColdStart disables warm-start retention: every build receives a
+	// nil WarmStart (srserve -cold-refresh; also useful to bound
+	// worst-case divergence accumulation in long-running fleets).
+	ColdStart bool
 
 	failures    atomic.Uint64
 	lastBuildNS atomic.Int64
+	// warm retains the last published snapshot's solver state for the
+	// next build; falls back to the store's current snapshot when unset
+	// (e.g. a refresher attached to a store seeded by an initial
+	// foreground build).
+	warm atomic.Pointer[WarmStart]
 
 	// rnd supplies the jitter fraction in [0,1); tests pin it for
 	// deterministic delays. Nil means math/rand.
@@ -73,8 +86,15 @@ func (r *Refresher) Run(ctx context.Context) {
 // RefreshNow runs one build+publish cycle synchronously, returning the
 // build error if any.
 func (r *Refresher) RefreshNow(ctx context.Context) error {
+	var warm *WarmStart
+	if !r.ColdStart {
+		warm = r.warm.Load()
+		if warm == nil {
+			warm = WarmStartFrom(r.Store.Current())
+		}
+	}
 	start := time.Now()
-	snap, err := r.Build(ctx)
+	snap, err := r.Build(ctx, warm)
 	if err != nil {
 		r.failures.Add(1)
 		if r.OnError != nil {
@@ -86,6 +106,9 @@ func (r *Refresher) RefreshNow(ctx context.Context) error {
 	r.failures.Store(0)
 	r.lastBuildNS.Store(int64(took))
 	v := r.Store.Publish(snap)
+	if !r.ColdStart {
+		r.warm.Store(WarmStartFrom(snap))
+	}
 	if r.OnPublish != nil {
 		r.OnPublish(v, snap, took)
 	}

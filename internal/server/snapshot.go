@@ -46,6 +46,9 @@ type ScoreSet struct {
 	order  []int32 // source IDs in descending score order, ties by ID
 	rank   []int32 // rank[source] = position of source in order
 	stats  linalg.IterStats
+	// Solve observability, set by the snapshot builder via setSolve.
+	solveTime   time.Duration
+	warmStarted bool
 }
 
 // NewScoreSet indexes a score vector for serving. The vector is retained
@@ -77,6 +80,21 @@ func NewScoreSet(scores linalg.Vector, stats linalg.IterStats) *ScoreSet {
 
 // Stats reports the solver convergence of this score set.
 func (ss *ScoreSet) Stats() linalg.IterStats { return ss.stats }
+
+// setSolve records how the score set's solve ran; the snapshot builder
+// calls it before the set becomes visible to readers.
+func (ss *ScoreSet) setSolve(d time.Duration, warm bool) {
+	ss.solveTime = d
+	ss.warmStarted = warm
+}
+
+// SolveTime reports the wall time of the solve that produced this score
+// set (0 for injected/precomputed vectors).
+func (ss *ScoreSet) SolveTime() time.Duration { return ss.solveTime }
+
+// WarmStarted reports whether the solve was warm-started from a
+// previous snapshot's scores.
+func (ss *ScoreSet) WarmStarted() bool { return ss.warmStarted }
 
 // Scores returns a copy of the underlying score vector, indexed by
 // source ID.
@@ -112,6 +130,11 @@ type Snapshot struct {
 	pageCount []int
 	kappaTopK int
 	sets      map[Algo]*ScoreSet
+	// proximity is the SRSR spam-proximity vector the throttle was
+	// derived from, retained so the next refresh can warm-start the
+	// proximity walk (see WarmStartFrom). Nil when SRSR was not
+	// computed. Immutable once set by the snapshot builder.
+	proximity linalg.Vector
 	// resp holds the pre-encoded hot-path response bodies. It is built
 	// by Store.Publish (via finalize) before the snapshot becomes
 	// visible to readers, and never mutated afterwards; nil on

@@ -1,0 +1,61 @@
+package server
+
+import "sourcerank/internal/linalg"
+
+// WarmStart carries the previous publish's solver state into the next
+// snapshot build: per-algorithm score vectors and the SRSR spam-proximity
+// vector. On a slowly drifting corpus these are within a small delta of
+// the next fixed points, so warm-started solves pay only for the delta
+// instead of the full spectral gap.
+//
+// The vectors alias the published snapshot's immutable score data; they
+// must be treated as read-only. The solvers clone before iterating.
+type WarmStart struct {
+	// Sources is the source count the vectors were computed over.
+	Sources int
+	// Scores maps each algorithm to its last published score vector.
+	Scores map[Algo]linalg.Vector
+	// Proximity is the last SRSR spam-proximity vector, when known.
+	Proximity linalg.Vector
+}
+
+// WarmStartFrom extracts warm-start state from a published snapshot.
+// A nil snapshot yields nil (cold start everywhere).
+func WarmStartFrom(snap *Snapshot) *WarmStart {
+	if snap == nil {
+		return nil
+	}
+	w := &WarmStart{
+		Sources:   snap.NumSources(),
+		Scores:    make(map[Algo]linalg.Vector, len(snap.sets)),
+		Proximity: snap.proximity,
+	}
+	for algo, ss := range snap.sets {
+		w.Scores[algo] = ss.scores
+	}
+	return w
+}
+
+// vectorFor returns the retained score vector for algo when its shape
+// matches n sources, and nil otherwise — the shape guard that silently
+// degrades to a cold start when the source count changed (recrawl,
+// corpus swap) and the old iterate no longer lines up with the new
+// index space. Nil-receiver safe.
+func (w *WarmStart) vectorFor(algo Algo, n int) linalg.Vector {
+	if w == nil {
+		return nil
+	}
+	v := w.Scores[algo]
+	if len(v) != n {
+		return nil
+	}
+	return v
+}
+
+// proximityFor is vectorFor for the spam-proximity vector.
+func (w *WarmStart) proximityFor(n int) linalg.Vector {
+	if w == nil || len(w.Proximity) != n {
+		return nil
+	}
+	return w.Proximity
+}

@@ -1,0 +1,235 @@
+package server
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"sourcerank/internal/gen"
+	"sourcerank/internal/linalg"
+	"sourcerank/internal/pagegraph"
+	"sourcerank/internal/source"
+)
+
+// perturb clones the page graph and re-adds existing links picked at
+// random: page-level link churn (a re-crawl seeing the same links again,
+// spammers stuffing duplicate links) that the source-level consensus
+// aggregation dedupes away. The derived source matrix is unchanged, so
+// the previous publish's scores are already the new fixed point — the
+// refresh case warm starting is built for. Churn that alters the
+// consensus counts themselves shifts the fixed point along slowly-mixing
+// directions and erodes the gain; cmd/bench -mode refresh measures that
+// scenario instead of a test asserting it.
+func perturb(t *testing.T, pg *pagegraph.Graph, seed uint64, links int) *pagegraph.Graph {
+	t.Helper()
+	out := pg.Clone()
+	rng := gen.NewRNG(seed)
+	n := out.NumPages()
+	for i := 0; i < links; {
+		p := pagegraph.PageID(rng.Intn(n))
+		outs := out.OutLinks(p)
+		if len(outs) == 0 {
+			continue
+		}
+		out.AddLink(p, outs[rng.Intn(len(outs))])
+		i++
+	}
+	if err := out.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// TestWarmRefreshFewerIterations: a refresh on a graph with ~4% of its
+// page links churned (duplicates of existing links — absorbed by
+// consensus weighting) with WarmStart from the previous snapshot must
+// converge every algorithm in at most the cold iteration count — and
+// the SRSR solve in strictly fewer — while matching cold ranks within
+// solver tolerance.
+func TestWarmRefreshFewerIterations(t *testing.T) {
+	ds, err := gen.GeneratePreset(gen.UK2002, 0.002, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := BuildConfig{Name: ds.Name}
+	prev, err := BuildSnapshot(ds.Pages, ds.SpamSources, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	drifted := perturb(t, ds.Pages, 99, int(ds.Pages.NumLinks()/25))
+	sg, err := source.Build(drifted, source.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold, err := BuildSnapshotFromSourceGraph(drifted, sg, ds.SpamSources, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warmCfg := cfg
+	warmCfg.WarmStart = WarmStartFrom(prev)
+	warm, err := BuildSnapshotFromSourceGraph(drifted, sg, ds.SpamSources, warmCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, algo := range cold.Algos() {
+		ci, wi := cold.Set(algo).Stats().Iterations, warm.Set(algo).Stats().Iterations
+		if !warm.Set(algo).WarmStarted() {
+			t.Errorf("%s: warm build not marked warm-started", algo)
+		}
+		if wi > ci {
+			t.Errorf("%s: warm solve took %d iterations, cold %d", algo, wi, ci)
+		}
+		if d := linalg.L2Distance(warm.Set(algo).ScoresView(), cold.Set(algo).ScoresView()); d > 1e-7 {
+			t.Errorf("%s: warm ranks differ from cold by %g", algo, d)
+		}
+	}
+	if wi, ci := warm.Set(AlgoSRSR).Stats().Iterations, cold.Set(AlgoSRSR).Stats().Iterations; wi >= ci {
+		t.Errorf("srsr: warm solve took %d iterations, cold %d — no measurable saving", wi, ci)
+	}
+	if cold.Set(AlgoSRSR).WarmStarted() {
+		t.Error("cold build marked warm-started")
+	}
+}
+
+// TestWarmStartShapeChangeFallsBack: when the source count changes, the
+// retained vectors no longer line up with the new index space and every
+// solve must silently degrade to a cold start — same results as a build
+// with no WarmStart at all.
+func TestWarmStartShapeChangeFallsBack(t *testing.T) {
+	ds, err := gen.GeneratePreset(gen.UK2002, 0.002, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := BuildConfig{Name: ds.Name}
+	prev, err := BuildSnapshot(ds.Pages, ds.SpamSources, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Adding a source changes the shape of every score vector.
+	grown := ds.Pages.Clone()
+	sid := grown.AddSource("late-arrival.example")
+	p := grown.AddPage(sid)
+	grown.AddLink(p, 0)
+	if err := grown.Validate(); err != nil {
+		t.Fatal(err)
+	}
+
+	warmCfg := cfg
+	warmCfg.WarmStart = WarmStartFrom(prev)
+	warm, err := BuildSnapshot(grown, ds.SpamSources, warmCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold, err := BuildSnapshot(grown, ds.SpamSources, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm.NumSources() != prev.NumSources()+1 {
+		t.Fatalf("source count %d, want %d", warm.NumSources(), prev.NumSources()+1)
+	}
+	for _, algo := range warm.Algos() {
+		if warm.Set(algo).WarmStarted() {
+			t.Errorf("%s: shape-changed build still marked warm-started", algo)
+		}
+		ws, cs := warm.Set(algo).ScoresView(), cold.Set(algo).ScoresView()
+		for i := range ws {
+			if ws[i] != cs[i] {
+				t.Fatalf("%s: score %d differs from pure cold build: %v != %v", algo, i, ws[i], cs[i])
+			}
+		}
+	}
+}
+
+// TestRefresherRetainsWarmState: the refresher seeds the first build
+// from the store's current snapshot, threads each publish's state into
+// the next build, and honors ColdStart.
+func TestRefresherRetainsWarmState(t *testing.T) {
+	ds, err := gen.GeneratePreset(gen.UK2002, 0.002, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := BuildConfig{Name: ds.Name}
+	initial, err := BuildSnapshot(ds.Pages, ds.SpamSources, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	store := NewStore(initial)
+
+	var got []*WarmStart
+	ref := &Refresher{
+		Store: store,
+		Build: func(ctx context.Context, warm *WarmStart) (*Snapshot, error) {
+			got = append(got, warm)
+			bc := cfg
+			bc.WarmStart = warm
+			return BuildSnapshot(ds.Pages, ds.SpamSources, bc)
+		},
+	}
+	for i := 0; i < 2; i++ {
+		if err := ref.RefreshNow(context.Background()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(got) != 2 {
+		t.Fatalf("build ran %d times, want 2", len(got))
+	}
+	if got[0] == nil || got[0].Sources != initial.NumSources() {
+		t.Fatalf("first refresh not seeded from the store's current snapshot: %+v", got[0])
+	}
+	if got[1] == nil || got[1].vectorFor(AlgoSRSR, initial.NumSources()) == nil {
+		t.Fatal("second refresh did not receive the first publish's scores")
+	}
+	if store.Current().Set(AlgoSRSR).Stats().Iterations >= initial.Set(AlgoSRSR).Stats().Iterations {
+		t.Errorf("warm refresh on an unchanged graph should converge almost immediately: %d vs %d iterations",
+			store.Current().Set(AlgoSRSR).Stats().Iterations, initial.Set(AlgoSRSR).Stats().Iterations)
+	}
+
+	cold := &Refresher{
+		Store:     store,
+		ColdStart: true,
+		Build: func(ctx context.Context, warm *WarmStart) (*Snapshot, error) {
+			if warm != nil {
+				t.Error("ColdStart refresher passed a non-nil WarmStart")
+			}
+			return BuildSnapshot(ds.Pages, ds.SpamSources, cfg)
+		},
+	}
+	if err := cold.RefreshNow(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSolverMetricsExposition: the /metrics registry emits the solver
+// series for the served snapshot.
+func TestSolverMetricsExposition(t *testing.T) {
+	ds, err := gen.GeneratePreset(gen.UK2002, 0.002, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap, err := BuildSnapshot(ds.Pages, ds.SpamSources, BuildConfig{Name: ds.Name})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	NewMetrics("topk").WriteSolverText(&sb, snap)
+	out := sb.String()
+	for _, want := range []string{
+		`srserve_solver_iterations{algo="srsr"} `,
+		`srserve_solver_residual{algo="pagerank"} `,
+		`srserve_solver_seconds{algo="trustrank"} `,
+		`srserve_solver_warm_start{algo="srsr"} 0`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("solver metrics missing %q in:\n%s", want, out)
+		}
+	}
+	// Nil snapshot writes nothing (pre-first-publish /metrics).
+	sb.Reset()
+	NewMetrics("topk").WriteSolverText(&sb, nil)
+	if sb.Len() != 0 {
+		t.Errorf("nil snapshot wrote %q", sb.String())
+	}
+}

@@ -124,6 +124,11 @@ type ProximityOptions struct {
 	Tol     float64
 	MaxIter int
 	Workers int
+	// X0 optionally warm-starts the walk from a previous proximity
+	// vector (e.g. the last published snapshot's); nil cold-starts from
+	// the seed distribution. Must have one entry per source. The walk
+	// converges to the same fixed point from any starting distribution.
+	X0 linalg.Vector
 }
 
 // SpamProximity computes the spam-proximity score of every source by an
@@ -176,7 +181,10 @@ func SpamProximity(structure *graph.Graph, seeds []int32, opt ProximityOptions) 
 	if beta == 0 {
 		beta = 0.85
 	}
-	return linalg.PowerMethodT(pt, beta, d, nil, linalg.SolverOptions{
+	if opt.X0 != nil && len(opt.X0) != n {
+		return nil, linalg.IterStats{}, linalg.ErrDimension
+	}
+	return linalg.PowerMethodT(pt, beta, d, opt.X0, linalg.SolverOptions{
 		Tol: opt.Tol, MaxIter: opt.MaxIter, Workers: opt.Workers,
 	})
 }
