@@ -144,7 +144,7 @@ func sameSourceGraph(a, b *source.Graph) bool {
 
 func main() {
 	var (
-		mode    = flag.String("mode", "pipeline", "pipeline (stage timings) or refresh (cold vs warm publish)")
+		mode    = flag.String("mode", "pipeline", "pipeline (stage timings), refresh (cold vs warm publish), or stream (delta pipeline vs cold rebuild)")
 		preset  = flag.String("preset", "UK2002", "synthetic corpus preset (UK2002, IT2004, WB2001)")
 		scale   = flag.Float64("scale", 0.02, "fraction of the preset's Table 1 size to generate")
 		seed    = flag.Uint64("seed", 1, "generator seed (pins the corpus)")
@@ -160,12 +160,18 @@ func main() {
 		}
 		runRefresh(*preset, *scale, *seed, *out, *workers)
 		return
+	case "stream":
+		if *out == "" {
+			*out = "BENCH_stream.json"
+		}
+		runStream(*preset, *scale, *seed, *out, *workers)
+		return
 	case "pipeline":
 		if *out == "" {
 			*out = "BENCH_pipeline.json"
 		}
 	default:
-		fatal(fmt.Errorf("unknown -mode %q (want pipeline or refresh)", *mode))
+		fatal(fmt.Errorf("unknown -mode %q (want pipeline, refresh, or stream)", *mode))
 	}
 
 	maxprocs := runtime.GOMAXPROCS(0)

@@ -1,0 +1,444 @@
+// Stream mode: measure the streaming delta pipeline against a cold
+// rebuild across churn shapes and levels. For each level the harness
+// applies crawler-shaped delta batches to a streaming pipeline and times
+// the full delta path — batch apply, incremental re-aggregation,
+// warm/skipped solves, delta-aware publish — then times a cold rebuild
+// over the same mutated graph (full aggregation, cold solves, full
+// publish) and checks equivalence: the streamed source graph must be
+// bitwise identical to the cold one and every algorithm's scores within
+// solver tolerance.
+//
+// The sweep separates churn by what it does to the consensus operator,
+// because that is what decides the achievable speedup:
+//
+//   - touch / duplicate re-crawls leave the consensus matrix unchanged;
+//     every solve is skipped and the delta path is orders of magnitude
+//     under cold. This is the common crawler refresh shape, and these
+//     levels carry the ≥10x gate.
+//   - consensus drift (count bumps inside existing cells) leaves the
+//     sparsity unchanged, so the uniform-weight baselines and Mᵀ are
+//     provably fixed and only the SRSR solve runs.
+//   - rewires move the consensus fixed points; warm stationary solves
+//     re-pay the slow-mode contraction floor (iteration counts match or
+//     exceed cold — see BENCH_refresh.json consensus_drift), so the
+//     delta path is solver-bound and gated only on beating cold.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"slices"
+	"testing"
+	"time"
+
+	"sourcerank/internal/gen"
+	"sourcerank/internal/pagegraph"
+	"sourcerank/internal/server"
+	"sourcerank/internal/source"
+	"sourcerank/internal/stream"
+)
+
+// streamSchema identifies the stream-report layout.
+const streamSchema = "sourcerank/bench-stream/v1"
+
+// streamTol bounds the score divergence allowed between a streamed
+// refresh and a cold rebuild of the same graph.
+const streamTol = 1e-6
+
+// streamGateScale is the smallest corpus scale at which the speedup
+// gates are enforced. Below it, fixed per-cycle costs (publish floor,
+// per-delta apply overhead) no longer amortize against a cheap cold
+// rebuild and the ratios say nothing about serving-scale behavior;
+// correctness gates (bitwise equivalence, score tolerance) always apply.
+const streamGateScale = 0.02
+
+type streamLevel struct {
+	Name string `json:"name"`
+	// Shape names the churn generator: touch, duplicate, drift, rewire.
+	Shape string `json:"shape"`
+	// LinksChanged is the churned link count per refresh cycle;
+	// LinksChangedPct is it as a percentage of the corpus links.
+	LinksChanged    int     `json:"links_changed"`
+	LinksChangedPct float64 `json:"links_changed_pct"`
+	Batches         int     `json:"batches"`
+	Deltas          int     `json:"deltas"`
+	// ApplyNs / RefreshNs split the delta path: batch validation+commit
+	// versus emit+solve+publish. DeltaNs is their sum — the full
+	// "crawler delta in, new snapshot served" latency.
+	ApplyNs   int64 `json:"apply_ns"`
+	RefreshNs int64 `json:"refresh_ns"`
+	DeltaNs   int64 `json:"delta_ns"`
+	// EmitNs/SolveNs/PublishNs split the last measured refresh.
+	EmitNs    int64 `json:"emit_ns"`
+	SolveNs   int64 `json:"solve_ns"`
+	PublishNs int64 `json:"publish_ns"`
+	// ColdNs is a full rebuild+publish over the same mutated graph.
+	ColdNs  int64   `json:"cold_ns"`
+	Speedup float64 `json:"speedup"`
+	// SpeedupGate is the minimum speedup this level must clear: 10 for
+	// consensus-preserving shapes, 1 (just faster than cold) otherwise.
+	SpeedupGate float64 `json:"speedup_gate"`
+	// SolveSkipped / ProximityCold / KappaChanged and the per-baseline
+	// skips describe what the refresh actually did on the last measured
+	// cycle.
+	SolveSkipped     bool `json:"solve_skipped"`
+	PageRankSkipped  bool `json:"pagerank_skipped"`
+	TrustRankSkipped bool `json:"trustrank_skipped"`
+	ProximityCold    bool `json:"proximity_cold"`
+	KappaChanged     int  `json:"kappa_changed"`
+	// Identical: streamed source graph bitwise equal to cold rebuild.
+	// RanksMatchTol: every algorithm's scores within tol of cold.
+	Identical     bool    `json:"identical"`
+	RanksMatchTol bool    `json:"ranks_match_tol"`
+	Tol           float64 `json:"tol"`
+}
+
+type streamReport struct {
+	Schema     string        `json:"schema"`
+	Go         string        `json:"go"`
+	GOMAXPROCS int           `json:"gomaxprocs"`
+	NumCPU     int           `json:"num_cpu"`
+	Graph      graphInfo     `json:"graph"`
+	// ColdBaselineNs is the initial full build+publish, for context.
+	ColdBaselineNs int64         `json:"cold_baseline_ns"`
+	Levels         []streamLevel `json:"levels"`
+}
+
+// churnBatch builds one crawler-shaped batch against pg: mostly edge
+// rewires of existing pages (one remove + one add per churned link),
+// plus a sprinkle of new pages and touches.
+func churnBatch(rng *gen.RNG, pg *pagegraph.Graph, links int) []stream.Delta {
+	var ds []stream.Delta
+	pages := pg.NumPages()
+	removedFrom := map[pagegraph.PageID]bool{}
+	for i := 0; i < links; i++ {
+		switch rng.Intn(10) {
+		case 0: // a new page with one outlink — churn that grows the graph
+			s := pagegraph.SourceID(rng.Intn(pg.NumSources()))
+			ds = append(ds, stream.AddPage(s))
+			case1 := pagegraph.PageID(rng.Intn(pages))
+			ds = append(ds, stream.AddEdge(pagegraph.PageID(pages), case1))
+			pages++
+		case 1: // no-op content re-crawl
+			ds = append(ds, stream.TouchPage(pagegraph.PageID(rng.Intn(pages))))
+		default: // rewire one link of an existing page
+			var p pagegraph.PageID
+			ok := false
+			for tries := 0; tries < 16; tries++ {
+				p = pagegraph.PageID(rng.Intn(pg.NumPages()))
+				if out := pg.OutLinks(p); len(out) > 0 && !removedFrom[p] {
+					ds = append(ds, stream.RemoveEdge(p, out[rng.Intn(len(out))]))
+					removedFrom[p] = true
+					ok = true
+					break
+				}
+			}
+			if !ok {
+				continue
+			}
+			ds = append(ds, stream.AddEdge(p, pagegraph.PageID(rng.Intn(pages))))
+		}
+	}
+	return ds
+}
+
+// dupBatch models a re-crawl that rediscovers links it already knows:
+// parallel re-adds of existing out-links plus content touches. The page
+// graph grows parallel edges but no page's deduped target-source set
+// changes, so the consensus matrix — and every score vector — is
+// provably unchanged.
+func dupBatch(rng *gen.RNG, pg *pagegraph.Graph, links int) []stream.Delta {
+	var ds []stream.Delta
+	pages := pg.NumPages()
+	for i := 0; i < links; i++ {
+		if rng.Intn(10) == 0 {
+			ds = append(ds, stream.TouchPage(pagegraph.PageID(rng.Intn(pages))))
+			continue
+		}
+		for tries := 0; tries < 16; tries++ {
+			p := pagegraph.PageID(rng.Intn(pages))
+			if out := pg.OutLinks(p); len(out) > 0 {
+				ds = append(ds, stream.AddEdge(p, out[rng.Intn(len(out))]))
+				break
+			}
+		}
+	}
+	return ds
+}
+
+// driftBatch models consensus drift: more pages of a source linking
+// into targets the source already endorses. Counts inside existing
+// consensus cells grow but no cell appears or vanishes, so the source
+// topology's sparsity — the operator behind PageRank, TrustRank, and
+// the spam-proximity walk — is unchanged and only SRSR must re-solve.
+func driftBatch(rng *gen.RNG, pg *pagegraph.Graph, links int) []stream.Delta {
+	bySrc := make([][]pagegraph.PageID, pg.NumSources())
+	for p := 0; p < pg.NumPages(); p++ {
+		s := pg.SourceOf(pagegraph.PageID(p))
+		bySrc[s] = append(bySrc[s], pagegraph.PageID(p))
+	}
+	var ds []stream.Delta
+	for i := 0; i < links; i++ {
+	tries:
+		for tries := 0; tries < 16; tries++ {
+			p := pagegraph.PageID(rng.Intn(pg.NumPages()))
+			out := pg.OutLinks(p)
+			if len(out) == 0 {
+				continue
+			}
+			tgt := out[rng.Intn(len(out))]
+			tgtSrc := pg.SourceOf(tgt)
+			// A sibling page of p's source that does not yet link into
+			// tgt's source: adding that link bumps an existing count.
+			sib := bySrc[pg.SourceOf(p)]
+			p2 := sib[rng.Intn(len(sib))]
+			for _, q := range pg.OutLinks(p2) {
+				if pg.SourceOf(q) == tgtSrc {
+					continue tries
+				}
+			}
+			ds = append(ds, stream.AddEdge(p2, tgt))
+			break
+		}
+	}
+	return ds
+}
+
+// coldPublishNs times a full rebuild+publish over pg — the exact work a
+// non-streaming refresher does. Each timed cycle publishes over a store
+// already serving a previous snapshot of the same graph, so the cold
+// side too gets every publish-time reuse it is entitled to; the
+// comparison is conservative for the streaming path.
+func coldPublishNs(pg *pagegraph.Graph, spam []int32, cfg server.BuildConfig) (int64, *server.Snapshot) {
+	var snap *server.Snapshot
+	res := testing.Benchmark(func(b *testing.B) {
+		b.StopTimer()
+		for i := 0; i < b.N; i++ {
+			prev, err := server.BuildSnapshot(pg, spam, cfg)
+			if err != nil {
+				fatal(err)
+			}
+			st := server.NewStore(prev)
+			b.StartTimer()
+			snap, err = server.BuildSnapshot(pg, spam, cfg)
+			if err != nil {
+				fatal(err)
+			}
+			st.Publish(snap)
+			b.StopTimer()
+		}
+	})
+	return res.NsPerOp(), snap
+}
+
+func mustBuild(pg *pagegraph.Graph, workers int) *source.Graph {
+	sg, err := source.Build(pg, source.Options{Workers: workers})
+	if err != nil {
+		fatal(err)
+	}
+	return sg
+}
+
+func runStream(preset string, scale float64, seed uint64, out string, workers int) {
+	fmt.Fprintf(os.Stderr, "bench: generating %s at scale %g (seed %d)\n", preset, scale, seed)
+	ds, err := gen.GeneratePreset(gen.Preset(preset), scale, seed)
+	if err != nil {
+		fatal(err)
+	}
+	base := ds.Pages
+	info := graphInfo{
+		Preset:  preset,
+		Scale:   scale,
+		Seed:    seed,
+		Pages:   base.NumPages(),
+		Links:   base.NumLinks(),
+		Sources: base.NumSources(),
+	}
+	fmt.Fprintf(os.Stderr, "bench: %d pages, %d links, %d sources\n", info.Pages, info.Links, info.Sources)
+
+	cfg := server.BuildConfig{Name: ds.Name, Workers: workers}
+	totalLinks := float64(base.NumLinks())
+	levels := []struct {
+		name  string
+		shape string
+		links int
+		batch func(*gen.RNG, *pagegraph.Graph, int) []stream.Delta
+		gate  float64
+	}{
+		{"touch_only", "touch", 0, nil, 10},
+		{"dup_recrawl_1pct", "duplicate", max(1, int(totalLinks/100)), dupBatch, 10},
+		{"drift_1pct", "drift", max(1, int(totalLinks/100)), driftBatch, 1},
+		{"rewire_0.01pct", "rewire", max(1, int(totalLinks/10000)), churnBatch, 1},
+		{"rewire_0.1pct", "rewire", max(1, int(totalLinks/1000)), churnBatch, 1},
+		{"rewire_1pct", "rewire", max(1, int(totalLinks/100)), churnBatch, 1},
+	}
+
+	rep := streamReport{
+		Schema:     streamSchema,
+		Go:         runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+		Graph:      info,
+	}
+
+	for _, lv := range levels {
+		pg := base.Clone()
+		store := server.NewStore(nil)
+		p, err := stream.NewPipeline(pg, stream.Options{
+			Spam:    ds.SpamSources,
+			Workers: workers,
+			Name:    ds.Name,
+			Store:   store,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		t0 := time.Now()
+		if _, _, err := p.Refresh(); err != nil {
+			fatal(err)
+		}
+		baseline := time.Since(t0).Nanoseconds()
+		if rep.ColdBaselineNs == 0 {
+			rep.ColdBaselineNs = baseline
+		}
+
+		// Warm the lineage: one more quiet refresh cycle so the
+		// measured cycle runs against settled warm state, like a
+		// long-running refresher.
+		if _, err := p.Apply([]stream.Delta{stream.TouchPage(0)}); err != nil {
+			fatal(err)
+		}
+		if _, _, err := p.Refresh(); err != nil {
+			fatal(err)
+		}
+
+		// Measured delta cycles: repeat and keep the median.
+		const cycles = 5
+		rng := gen.NewRNG(seed + 777)
+		var applyNs, refreshNs []int64
+		var row streamLevel
+		row.Name = lv.name
+		row.Shape = lv.shape
+		row.SpeedupGate = lv.gate
+		row.Tol = streamTol
+		for c := 0; c < cycles; c++ {
+			var deltas []stream.Delta
+			if lv.batch == nil {
+				deltas = []stream.Delta{stream.TouchPage(pagegraph.PageID(rng.Intn(pg.NumPages())))}
+			} else {
+				deltas = lv.batch(rng, pg, lv.links)
+			}
+			ta := time.Now()
+			if _, err := p.Apply(deltas); err != nil {
+				fatal(err)
+			}
+			applied := time.Since(ta)
+			tr := time.Now()
+			_, stats, err := p.Refresh()
+			if err != nil {
+				fatal(err)
+			}
+			refreshed := time.Since(tr)
+			applyNs = append(applyNs, applied.Nanoseconds())
+			refreshNs = append(refreshNs, refreshed.Nanoseconds())
+			row.Batches++
+			row.Deltas += len(deltas)
+			row.SolveSkipped = stats.SolveSkipped
+			row.PageRankSkipped = stats.PageRankSkipped
+			row.TrustRankSkipped = stats.TrustRankSkipped
+			row.ProximityCold = stats.ProximityCold
+			row.KappaChanged = stats.KappaChanged
+			row.EmitNs = stats.Emit.Nanoseconds()
+			row.SolveNs = stats.Solve.Nanoseconds()
+			row.PublishNs = stats.Publish.Nanoseconds()
+		}
+		slices.Sort(applyNs)
+		slices.Sort(refreshNs)
+		row.ApplyNs = applyNs[cycles/2]
+		row.RefreshNs = refreshNs[cycles/2]
+		row.DeltaNs = row.ApplyNs + row.RefreshNs
+		row.LinksChanged = lv.links
+		row.LinksChangedPct = 100 * float64(lv.links) / totalLinks
+
+		// Cold comparator over the final mutated graph, and the
+		// equivalence check against the streamed state.
+		coldNs, coldSnap := coldPublishNs(pg, ds.SpamSources, cfg)
+		row.ColdNs = coldNs
+		if row.DeltaNs > 0 {
+			row.Speedup = float64(coldNs) / float64(row.DeltaNs)
+		}
+		coldSG := mustBuild(pg, workers)
+		got := p.Ingestor().Emit()
+		row.Identical = sameSourceGraph(got, coldSG) &&
+			slices.Equal(got.Labels, coldSG.Labels) &&
+			slices.Equal(got.PageCount, coldSG.PageCount)
+		row.RanksMatchTol = true
+		cur := store.Current()
+		for _, algo := range coldSnap.Algos() {
+			warm := cur.Set(algo)
+			if warm == nil {
+				row.RanksMatchTol = false
+				continue
+			}
+			a, b := warm.ScoresView(), coldSnap.Set(algo).ScoresView()
+			if len(a) != len(b) {
+				row.RanksMatchTol = false
+				continue
+			}
+			for i := range a {
+				if d := a[i] - b[i]; d > streamTol || d < -streamTol {
+					row.RanksMatchTol = false
+					break
+				}
+			}
+		}
+		rep.Levels = append(rep.Levels, row)
+		fmt.Fprintf(os.Stderr, "bench: %s (%d links, %.3f%%): delta %s (apply %s + refresh %s) vs cold %s → %.1fx (skip=%v identical=%v ranks=%v)\n",
+			lv.name, lv.links, row.LinksChangedPct,
+			time.Duration(row.DeltaNs), time.Duration(row.ApplyNs), time.Duration(row.RefreshNs),
+			time.Duration(coldNs), row.Speedup, row.SolveSkipped, row.Identical, row.RanksMatchTol)
+	}
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "bench: report in %s\n", out)
+
+	bad := false
+	perfGates := scale >= streamGateScale
+	if !perfGates {
+		fmt.Fprintf(os.Stderr, "bench: speedup gates skipped below reference scale %g\n", streamGateScale)
+	}
+	for _, lv := range rep.Levels {
+		if !lv.Identical {
+			fmt.Fprintf(os.Stderr, "bench: ERROR: %s streamed source graph diverged from cold rebuild\n", lv.Name)
+			bad = true
+		}
+		if !lv.RanksMatchTol {
+			fmt.Fprintf(os.Stderr, "bench: ERROR: %s streamed scores diverged beyond %g\n", lv.Name, streamTol)
+			bad = true
+		}
+		if !perfGates {
+			continue
+		}
+		if lv.DeltaNs >= lv.ColdNs {
+			fmt.Fprintf(os.Stderr, "bench: ERROR: %s delta path (%d ns) not faster than cold rebuild (%d ns)\n",
+				lv.Name, lv.DeltaNs, lv.ColdNs)
+			bad = true
+		}
+		if lv.Speedup < lv.SpeedupGate {
+			fmt.Fprintf(os.Stderr, "bench: ERROR: %s speedup %.1fx below its %.0fx gate\n",
+				lv.Name, lv.Speedup, lv.SpeedupGate)
+			bad = true
+		}
+	}
+	if bad {
+		os.Exit(1)
+	}
+}

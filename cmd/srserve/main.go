@@ -130,6 +130,7 @@ func main() {
 		snap.Version(), time.Since(start).Round(time.Millisecond), snap.Algos(), snap.KappaTopK())
 	logSolverStats(snap)
 
+	var refresher *server.Refresher
 	if *refresh > 0 {
 		ref := &server.Refresher{
 			Store:      store,
@@ -143,9 +144,13 @@ func main() {
 				logSolverStats(s)
 			},
 			OnError: func(err error) { log.Printf("refresh failed (still serving old snapshot): %v", err) },
+			OnWarmFallback: func(have, want int) {
+				log.Printf("warm start discarded: retained vectors cover %d sources, snapshot has %d; solves ran cold", have, want)
+			},
 		}
 		go ref.Run(ctx)
 		log.Printf("background refresh every %v (warm start: %v)", *refresh, !*coldRef)
+		refresher = ref
 	}
 
 	srv := server.New(store, server.Config{
@@ -153,6 +158,7 @@ func main() {
 		RequestTimeout:  *reqTO,
 		StalenessBudget: *staleTO,
 		MaxInFlight:     *maxInFl,
+		Refresher:       refresher,
 	})
 	log.Printf("serving on %s", *addr)
 	if err := srv.Run(ctx); err != nil {

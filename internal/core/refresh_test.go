@@ -1,0 +1,172 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"slices"
+	"testing"
+
+	"sourcerank/internal/pagegraph"
+	"sourcerank/internal/source"
+)
+
+func refreshPageGraph(rng *rand.Rand, sources, pages, links int) *pagegraph.Graph {
+	pg := pagegraph.New()
+	for s := 0; s < sources; s++ {
+		pg.AddSource(fmt.Sprintf("s%03d", s))
+	}
+	for p := 0; p < pages; p++ {
+		pg.AddPage(pagegraph.SourceID(rng.Intn(sources)))
+	}
+	for l := 0; l < links; l++ {
+		pg.AddLink(pagegraph.PageID(rng.Intn(pages)), pagegraph.PageID(rng.Intn(pages)))
+	}
+	return pg
+}
+
+func refreshTargets(pg *pagegraph.Graph, p pagegraph.PageID) []pagegraph.SourceID {
+	var s []pagegraph.SourceID
+	for _, q := range pg.OutLinks(p) {
+		s = append(s, pg.SourceOf(q))
+	}
+	slices.Sort(s)
+	return slices.Compact(s)
+}
+
+func refreshDiff(oldSet, newSet []pagegraph.SourceID) (removed, added []pagegraph.SourceID) {
+	i, j := 0, 0
+	for i < len(oldSet) || j < len(newSet) {
+		switch {
+		case j == len(newSet) || (i < len(oldSet) && oldSet[i] < newSet[j]):
+			removed = append(removed, oldSet[i])
+			i++
+		case i == len(oldSet) || newSet[j] < oldSet[i]:
+			added = append(added, newSet[j])
+			j++
+		default:
+			i++
+			j++
+		}
+	}
+	return removed, added
+}
+
+// TestPipelineRefreshMatchesCold drives random page churn through the
+// incremental source maintainer and checks the refresh contract after
+// every step: κ bitwise identical to a cold pipeline over the same
+// source graph, scores within solver tolerance of the cold scores.
+func TestPipelineRefreshMatchesCold(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	pg := refreshPageGraph(rng, 15, 90, 260)
+	inc, err := source.NewIncremental(pg, source.Options{})
+	if err != nil {
+		t.Fatalf("NewIncremental: %v", err)
+	}
+	cfg := PipelineConfig{
+		SpamSeeds: []int32{0, 3, 7},
+		TopK:      4,
+	}
+	st := &RefreshState{}
+	for step := 0; step < 60; step++ {
+		if step > 0 {
+			for m := 0; m < 1+rng.Intn(3); m++ {
+				switch op := rng.Intn(10); {
+				case op == 0:
+					id := pg.AddSource(fmt.Sprintf("x%03d", step))
+					inc.AddSource(pg.SourceLabel(id))
+				case op == 1:
+					s := pagegraph.SourceID(rng.Intn(pg.NumSources()))
+					pg.AddPage(s)
+					inc.AddPage(s)
+				default:
+					p := pagegraph.PageID(rng.Intn(pg.NumPages()))
+					before := refreshTargets(pg, p)
+					row := slices.Clone(pg.OutLinks(p))
+					if len(row) > 0 && rng.Intn(2) == 0 {
+						row = slices.Delete(row, 0, 1)
+					} else {
+						row = append(row, pagegraph.PageID(rng.Intn(pg.NumPages())))
+					}
+					if err := pg.SetOutLinks(p, row); err != nil {
+						t.Fatalf("SetOutLinks: %v", err)
+					}
+					removed, added := refreshDiff(before, refreshTargets(pg, p))
+					inc.UpdatePage(pg.SourceOf(p), removed, added)
+				}
+			}
+		}
+		sg := inc.Emit()
+		got, info, err := PipelineRefresh(sg, inc.Structure(), cfg, st)
+		if err != nil {
+			t.Fatalf("step %d: PipelineRefresh: %v", step, err)
+		}
+		coldSG, err := source.Build(pg, source.Options{})
+		if err != nil {
+			t.Fatalf("Build: %v", err)
+		}
+		want, err := PipelineFromSourceGraph(coldSG, cfg)
+		if err != nil {
+			t.Fatalf("step %d: cold pipeline: %v", step, err)
+		}
+		if !slices.Equal(got.Kappa, want.Kappa) {
+			t.Fatalf("step %d: κ diverged from cold rebuild (gap=%v cold=%v)",
+				step, info.BoundaryGap, info.ProximityCold)
+		}
+		var maxDiff float64
+		for i := range want.Scores {
+			if d := math.Abs(got.Scores[i] - want.Scores[i]); d > maxDiff {
+				maxDiff = d
+			}
+		}
+		if maxDiff > 1e-6 {
+			t.Fatalf("step %d: scores drifted %v from cold rebuild", step, maxDiff)
+		}
+		inc.CompactStructure(16)
+	}
+}
+
+// TestPipelineRefreshSkipsSolve pins the fast path: an emit with
+// unchanged consensus weights reuses the previous score vector
+// pointer-identically after a one-step residual probe.
+func TestPipelineRefreshSkipsSolve(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	pg := refreshPageGraph(rng, 10, 50, 140)
+	inc, err := source.NewIncremental(pg, source.Options{})
+	if err != nil {
+		t.Fatalf("NewIncremental: %v", err)
+	}
+	cfg := PipelineConfig{SpamSeeds: []int32{1, 2}, TopK: 3}
+	st := &RefreshState{}
+	sg := inc.Emit()
+	first, info, err := PipelineRefresh(sg, inc.Structure(), cfg, st)
+	if err != nil {
+		t.Fatalf("initial refresh: %v", err)
+	}
+	if info.SolveSkipped || !info.ProximityCold {
+		t.Fatalf("initial refresh should run the cold pipeline, got %+v", info)
+	}
+
+	// Page-count-only churn shares T, so the probe must skip the solve.
+	inc.AddPage(0)
+	sg2 := inc.Emit()
+	if sg2.T != sg.T {
+		t.Fatal("page-count churn should share T")
+	}
+	second, info, err := PipelineRefresh(sg2, inc.Structure(), cfg, st)
+	if err != nil {
+		t.Fatalf("skip refresh: %v", err)
+	}
+	if !info.SolveSkipped {
+		t.Fatalf("expected skipped solve, got %+v", info)
+	}
+	if &second.Scores[0] != &first.Scores[0] {
+		t.Fatal("skipped solve must return the identical score vector")
+	}
+	if !second.Stats.Converged || second.Stats.Iterations != 0 {
+		t.Fatalf("skip stats should report converged probe, got %+v", second.Stats)
+	}
+	if second.Proximity == nil || &second.Proximity[0] != &first.Proximity[0] {
+		t.Fatal("skipped refresh must carry the proximity vector over")
+	}
+}

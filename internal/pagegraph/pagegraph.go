@@ -76,6 +76,25 @@ func (g *Graph) AddLink(from, to PageID) {
 	g.numLinks++
 }
 
+// SetOutLinks replaces page p's entire out-link list. The streaming
+// delta pipeline stages edits to a page's row on the side, validates the
+// whole batch, and commits each touched row with one SetOutLinks call —
+// so a rejected batch leaves the graph untouched. links is copied;
+// parallel links are kept, matching AddLink semantics.
+func (g *Graph) SetOutLinks(p PageID, links []PageID) error {
+	if p < 0 || int(p) >= len(g.adj) {
+		return fmt.Errorf("%w: SetOutLinks(%d) with %d pages", ErrUnknownID, p, len(g.adj))
+	}
+	for _, to := range links {
+		if to < 0 || int(to) >= len(g.adj) {
+			return fmt.Errorf("%w: SetOutLinks(%d) target %d with %d pages", ErrUnknownID, p, to, len(g.adj))
+		}
+	}
+	g.numLinks += int64(len(links)) - int64(len(g.adj[p]))
+	g.adj[p] = append(g.adj[p][:0:0], links...)
+	return nil
+}
+
 // SourceOf returns the owning source of page p.
 func (g *Graph) SourceOf(p PageID) SourceID { return g.sourceOf[p] }
 

@@ -62,7 +62,7 @@ type Result struct {
 // transition builds the uniform out-degree transition matrix of g
 // (paper §2): M_ij = 1/o(p_i) for each edge. Dangling rows stay empty;
 // the power method redistributes their mass through the teleport vector.
-func transition(g *graph.Graph) (*linalg.CSR, error) {
+func transition(g graph.Topology) (*linalg.CSR, error) {
 	n := g.NumNodes()
 	entries := make([]linalg.Entry, 0, g.NumEdges())
 	for u := 0; u < n; u++ {
@@ -80,7 +80,7 @@ func transition(g *graph.Graph) (*linalg.CSR, error) {
 
 // PageRank computes the PageRank vector π = αMᵀπ + (1-α)e over the page
 // graph (paper Eq. 1).
-func PageRank(g *graph.Graph, opt Options) (*Result, error) {
+func PageRank(g graph.Topology, opt Options) (*Result, error) {
 	if g.NumNodes() == 0 {
 		return nil, ErrEmptyGraph
 	}
@@ -150,7 +150,7 @@ func stationary(t *linalg.CSR, opt Options) (*Result, error) {
 // view) and L1-normalizes the result. It matches PageRank up to
 // normalization on graphs without dangling mass and serves as a
 // cross-check of the two solver paths.
-func PageRankLinear(g *graph.Graph, opt Options) (*Result, error) {
+func PageRankLinear(g graph.Topology, opt Options) (*Result, error) {
 	if g.NumNodes() == 0 {
 		return nil, ErrEmptyGraph
 	}
@@ -178,7 +178,7 @@ func PageRankLinear(g *graph.Graph, opt Options) (*Result, error) {
 // TrustRank computes a PageRank personalized on a seed set of trusted
 // nodes (Gyöngyi et al., cited as the paper's [22]): teleportation jumps
 // only to trusted seeds, so trust decays with link distance from them.
-func TrustRank(g *graph.Graph, trusted []int32, opt Options) (*Result, error) {
+func TrustRank(g graph.Topology, trusted []int32, opt Options) (*Result, error) {
 	n := g.NumNodes()
 	if n == 0 {
 		return nil, ErrEmptyGraph

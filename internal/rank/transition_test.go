@@ -1,0 +1,38 @@
+package rank
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"sourcerank/internal/graph"
+)
+
+// TestTransitionTMatchesTranspose pins the bitwise contract: the direct
+// build equals transition(g).TransposeParallel, so StationaryT over it
+// reproduces PageRank's iteration exactly.
+func TestTransitionTMatchesTranspose(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 30; trial++ {
+		n := 1 + rng.Intn(40)
+		b := graph.NewBuilder(n)
+		for e := 0; e < rng.Intn(4*n); e++ {
+			b.AddEdge(int32(rng.Intn(n)), int32(rng.Intn(n)))
+		}
+		g := b.Build()
+		m, err := transition(g)
+		if err != nil {
+			t.Fatalf("transition: %v", err)
+		}
+		want := m.TransposeParallel(1)
+		got := TransitionT(g)
+		if !reflect.DeepEqual(got.RowPtr, want.RowPtr) || !reflect.DeepEqual(got.Cols, want.Cols) {
+			t.Fatalf("trial %d: structure differs", trial)
+		}
+		for k := range want.Vals {
+			if got.Vals[k] != want.Vals[k] {
+				t.Fatalf("trial %d: Vals[%d] = %v, want %v", trial, k, got.Vals[k], want.Vals[k])
+			}
+		}
+	}
+}

@@ -39,10 +39,15 @@ type BuildConfig struct {
 	Extra map[Algo]linalg.Vector
 	// WarmStart, if set, seeds each algorithm's solve from the previous
 	// publish's vectors (see WarmStart). Vectors whose shape no longer
-	// matches the source count are ignored, silently falling back to a
-	// cold start; results match cold-start ranks within solver Tol
-	// either way, since the fixed point does not depend on the start.
+	// matches the source count are ignored, falling back to a cold
+	// start; results match cold-start ranks within solver Tol either
+	// way, since the fixed point does not depend on the start.
 	WarmStart *WarmStart
+	// OnWarmFallback, if set, observes each algorithm whose retained
+	// warm-start vector was rejected by the shape guard (have entries
+	// retained, want needed). Refresher surfaces the aggregate per
+	// publish; this hook gives per-algorithm attribution.
+	OnWarmFallback func(algo Algo, have, want int)
 }
 
 func (c BuildConfig) coreConfig() core.Config {
@@ -81,6 +86,11 @@ func BuildSnapshotFromSourceGraph(pg *pagegraph.Graph, sg *source.Graph, spam []
 	sets := make(map[Algo]*ScoreSet, len(algos))
 	for _, algo := range algos {
 		x0 := cfg.WarmStart.vectorFor(algo, n)
+		if x0 == nil && cfg.OnWarmFallback != nil && cfg.WarmStart != nil {
+			if v := cfg.WarmStart.Scores[algo]; v != nil {
+				cfg.OnWarmFallback(algo, len(v), n)
+			}
+		}
 		start := time.Now()
 		switch algo {
 		case AlgoSRSR:

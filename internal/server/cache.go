@@ -34,6 +34,10 @@ type respCache struct {
 	topk    map[Algo]*topkCache
 	rank    map[Algo]*rankCache
 	meta    []byte // full /v1/snapshot body
+	// labels holds the per-source escaped label bytes used by the delta
+	// renderers, retained so the next publish in the lineage can reuse
+	// them (see labelCacheFor). Nil on cold publishes.
+	labels *labelCache
 }
 
 // Fixed byte fragments of the /v1/topk document surrounding the
@@ -123,13 +127,19 @@ func encodeIndented(buf *bytes.Buffer, v any) ([]byte, error) {
 // built cache. publishes is the store's publish counter as of this
 // publish (it equals what Store.Publishes reports while this snapshot
 // is current, which keeps the cached /v1/snapshot body identical to the
-// encoder fallback).
+// encoder fallback). prev is the outgoing snapshot (nil on the first
+// publish); a delta publish reuses its unchanged fragments and renders
+// the changed ones directly instead of round-tripping the whole corpus
+// through the encoder (see cache_delta.go).
 //
 // Every builder is defensive: if the rendered document does not match
 // the expected shape, that piece of the cache is dropped and handlers
-// fall back to per-request encoding. The golden tests assert the cached
-// bytes are identical to the fallback for every algorithm and n.
-func (s *Snapshot) finalize(publishes uint64) {
+// fall back to per-request encoding. The delta renderers additionally
+// probe one encoder-rendered entry against their own output and defer
+// to the cold builder on any mismatch. The golden tests assert the
+// cached bytes are identical to the fallback for every algorithm and n
+// on both the cold and the delta path.
+func (s *Snapshot) finalize(prev *Snapshot, publishes uint64) {
 	initTopKDigits()
 	c := &respCache{
 		etag: `"v` + strconv.FormatUint(s.version, 10) + `"`,
@@ -138,18 +148,34 @@ func (s *Snapshot) finalize(publishes uint64) {
 	}
 	c.etagHdr = []string{c.etag}
 	var buf bytes.Buffer
+	c.labels = labelCacheFor(s, prev)
 	for _, algo := range s.Algos() {
-		if tc := s.buildTopKCache(&buf, algo); tc != nil {
+		tc := s.reuseTopKCache(&buf, prev, algo)
+		if tc == nil && c.labels != nil {
+			tc = s.deltaTopKCache(&buf, algo, c.labels)
+		}
+		if tc == nil {
+			tc = s.buildTopKCache(&buf, algo)
+		}
+		if tc != nil {
 			c.topk[algo] = tc
 		}
 		if s.NumSources() <= maxRankCacheSources {
-			if rc := s.buildRankCache(&buf, algo); rc != nil {
+			rc := s.reuseRankCache(&buf, prev, algo)
+			if rc == nil && c.labels != nil {
+				rc = s.deltaRankCache(&buf, algo, c.labels)
+			}
+			if rc == nil {
+				rc = s.buildRankCache(&buf, algo)
+			}
+			if rc != nil {
 				c.rank[algo] = rc
 			}
 		}
 	}
 	if meta, err := encodeIndented(&buf, snapshotResponse{
 		Version:   s.version,
+		Parent:    s.parent,
 		BuiltAt:   s.builtAt,
 		Corpus:    s.corpus,
 		Algos:     s.Algos(),

@@ -1,0 +1,301 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"strconv"
+
+	"sourcerank/internal/linalg"
+)
+
+// This file is the delta half of the response pre-encoder. The cold
+// builders in cache.go render every document through encoding/json —
+// simple and self-verifying, but on the measured corpus the finalize
+// pass dominates the publish latency. A streamed delta publish instead:
+//
+//   - reuses the previous snapshot's entry/fragment slabs wholesale when
+//     the inputs they were rendered from (score vector, labels, page
+//     counts) are pointer-identical — the skip-solve refresh path — and
+//     only re-renders the tiny version-bearing head; or
+//   - renders the slabs directly with byte-exact appenders (cached
+//     escaped label bytes plus appendJSONFloat, which replicates the
+//     encoder's float formatting) when scores did change.
+//
+// Both paths stay defensive: the head always comes from the encoder,
+// one full entry is probed against an encoder rendering, and any
+// mismatch falls back to the cold builder, whose output is the contract.
+
+// labelCache holds the JSON-escaped (quoted) encoding of every source
+// label. Escapes depend only on the label string, and the incremental
+// source maintainer grows its label slice append-only, so successive
+// publishes in a lineage reuse the shared-prefix escapes and marshal
+// only newly added sources.
+type labelCache struct {
+	labels []string // the label slice the escapes were rendered for
+	esc    [][]byte
+}
+
+// labelCacheFor builds the escaped-label cache for s, reusing the
+// previous publish's cache for the shared backing-array prefix. The
+// first publish of a lineage (prev == nil) returns nil: with no history
+// there is nothing to delta against, and the cold builders keep the
+// first publish's cost profile unchanged.
+func labelCacheFor(s, prev *Snapshot) *labelCache {
+	if prev == nil {
+		return nil
+	}
+	n := len(s.labels)
+	if n == 0 {
+		return nil
+	}
+	esc := make([][]byte, n)
+	reuse := 0
+	if prev.resp != nil && prev.resp.labels != nil {
+		pl := prev.resp.labels
+		if m := min(len(pl.labels), n); m > 0 && &pl.labels[0] == &s.labels[0] {
+			copy(esc, pl.esc[:m])
+			reuse = m
+		}
+	}
+	for i := reuse; i < n; i++ {
+		b, err := json.Marshal(s.labels[i])
+		if err != nil {
+			return nil
+		}
+		esc[i] = b
+	}
+	return &labelCache{labels: s.labels, esc: esc}
+}
+
+// appendJSONFloat appends f exactly as encoding/json renders a float64:
+// shortest representation, 'f' format unless the magnitude calls for
+// scientific notation, with the exponent's leading zero stripped.
+// Callers must reject NaN/Inf beforehand (the encoder errors on them).
+func appendJSONFloat(b []byte, f float64) []byte {
+	abs := math.Abs(f)
+	format := byte('f')
+	if abs != 0 && (abs < 1e-6 || abs >= 1e21) {
+		format = 'e'
+	}
+	b = strconv.AppendFloat(b, f, format, -1, 64)
+	if format == 'e' {
+		// clean up e-09 to e-9
+		n := len(b)
+		if n >= 4 && b[n-4] == 'e' && b[n-3] == '-' && b[n-2] == '0' {
+			b[n-2] = b[n-1]
+			b = b[:n-1]
+		}
+	}
+	return b
+}
+
+// sameVec reports pointer identity of two vectors' backing arrays — the
+// witness that one was carried over from the other unchanged.
+func sameVec(a, b linalg.Vector) bool {
+	return len(a) == len(b) && (len(a) == 0 || &a[0] == &b[0])
+}
+
+func sameLabels(a, b []string) bool {
+	return len(a) == len(b) && (len(a) == 0 || &a[0] == &b[0])
+}
+
+func samePages(a, b []int) bool {
+	return len(a) == len(b) && (len(a) == 0 || &a[0] == &b[0])
+}
+
+// topkHead renders the version/algo head of a top-K document through
+// the encoder (so its formatting is exact by construction) and returns
+// it, or nil on any shape surprise.
+func (s *Snapshot) topkHead(buf *bytes.Buffer, algo Algo) []byte {
+	doc, err := encodeIndented(buf, topKResponse{Version: s.version, Algo: algo, N: 0, Results: []Entry{}})
+	if err != nil {
+		return nil
+	}
+	i := bytes.Index(doc, topkNMarker)
+	if i < 0 {
+		return nil
+	}
+	return append([]byte(nil), doc[:i+len(topkNMarker)]...)
+}
+
+// reuseTopKCache serves the skip-solve publish: when this snapshot's
+// scores and labels are the previous snapshot's very arrays, the entry
+// slab cannot differ, so only the head (which carries the new version)
+// is re-rendered.
+func (s *Snapshot) reuseTopKCache(buf *bytes.Buffer, prev *Snapshot, algo Algo) *topkCache {
+	if prev == nil || prev.resp == nil {
+		return nil
+	}
+	pc, ok := prev.resp.topk[algo]
+	if !ok {
+		return nil
+	}
+	ss, pss := s.sets[algo], prev.sets[algo]
+	if ss == nil || pss == nil || !sameVec(ss.scores, pss.scores) || !sameLabels(s.labels, prev.labels) {
+		return nil
+	}
+	head := s.topkHead(buf, algo)
+	if head == nil {
+		return nil
+	}
+	return &topkCache{head: head, entries: pc.entries, ends: pc.ends}
+}
+
+// deltaTopKCache renders the top-K entry slab directly. The format is
+// pinned by the cold builder's slicing markers; entry 0 is additionally
+// probed against a full encoder rendering, so a formatting divergence
+// degrades to the cold builder instead of serving wrong bytes.
+func (s *Snapshot) deltaTopKCache(buf *bytes.Buffer, algo Algo, lc *labelCache) *topkCache {
+	ss := s.sets[algo]
+	if ss == nil || len(lc.esc) != len(s.labels) {
+		return nil
+	}
+	maxN := s.NumSources()
+	if maxN > maxTopK {
+		maxN = maxTopK
+	}
+	head := s.topkHead(buf, algo)
+	if head == nil {
+		return nil
+	}
+	if maxN == 0 {
+		return &topkCache{head: head}
+	}
+	entries := make([]byte, 0, maxN*96)
+	ends := make([]int, 0, maxN)
+	for pos := 0; pos < maxN; pos++ {
+		id := ss.order[pos]
+		score := ss.scores[id]
+		if math.IsNaN(score) || math.IsInf(score, 0) {
+			return nil
+		}
+		if pos > 0 {
+			entries = append(entries, ',')
+		}
+		entries = append(entries, "\n    {\n      \"source\": "...)
+		entries = strconv.AppendInt(entries, int64(id), 10)
+		entries = append(entries, ",\n      \"label\": "...)
+		entries = append(entries, lc.esc[id]...)
+		entries = append(entries, ",\n      \"score\": "...)
+		entries = appendJSONFloat(entries, score)
+		entries = append(entries, ",\n      \"rank\": "...)
+		entries = strconv.AppendInt(entries, int64(pos+1), 10)
+		entries = append(entries, entryClose...)
+		ends = append(ends, len(entries))
+	}
+	if !s.probeTopKEntry(buf, algo, entries[:ends[0]]) {
+		return nil
+	}
+	return &topkCache{head: head, entries: entries, ends: ends}
+}
+
+// probeTopKEntry checks the hand-rendered first entry against the
+// encoder's rendering of the same entry.
+func (s *Snapshot) probeTopKEntry(buf *bytes.Buffer, algo Algo, want []byte) bool {
+	results, err := s.TopK(algo, 1)
+	if err != nil || len(results) != 1 {
+		return false
+	}
+	doc, err := encodeIndented(buf, topKResponse{Version: s.version, Algo: algo, N: 1, Results: results})
+	if err != nil {
+		return false
+	}
+	i := bytes.Index(doc, topkMid)
+	if i < 0 {
+		return false
+	}
+	rest := doc[i+len(topkMid):]
+	return bytes.HasSuffix(rest, topkTail) && bytes.Equal(rest[:len(rest)-len(topkTail)], want)
+}
+
+// rankHead renders source 0's full document and splits it at the rank
+// marker, returning the encoder-exact head plus the encoder's fragment
+// for source 0 (aliasing buf — consume before the next encode).
+func (s *Snapshot) rankHead(buf *bytes.Buffer, algo Algo) (head, frag0 []byte) {
+	entry, err := s.Entry(algo, 0)
+	if err != nil {
+		return nil, nil
+	}
+	resp := rankResponse{Version: s.version, Algo: algo, Entry: entry, Sources: s.NumSources()}
+	if pc := s.pageCount; len(pc) > 0 {
+		resp.Pages = pc[0]
+	}
+	doc, err := encodeIndented(buf, resp)
+	if err != nil {
+		return nil, nil
+	}
+	i := bytes.Index(doc, rankMarker)
+	if i < 0 {
+		return nil, nil
+	}
+	return append([]byte(nil), doc[:i]...), doc[i:]
+}
+
+// reuseRankCache is reuseTopKCache for the per-source fragments; page
+// counts feed the fragment bodies, so they must be carried over too.
+func (s *Snapshot) reuseRankCache(buf *bytes.Buffer, prev *Snapshot, algo Algo) *rankCache {
+	if prev == nil || prev.resp == nil {
+		return nil
+	}
+	pc, ok := prev.resp.rank[algo]
+	if !ok || pc.numSources() == 0 {
+		return nil
+	}
+	ss, pss := s.sets[algo], prev.sets[algo]
+	if ss == nil || pss == nil || !sameVec(ss.scores, pss.scores) ||
+		!sameLabels(s.labels, prev.labels) || !samePages(s.pageCount, prev.pageCount) {
+		return nil
+	}
+	head, frag0 := s.rankHead(buf, algo)
+	if head == nil || !bytes.Equal(frag0, pc.frags[:pc.offs[1]]) {
+		return nil
+	}
+	return &rankCache{head: head, frags: pc.frags, offs: pc.offs}
+}
+
+// deltaRankCache renders every source's fragment directly, with source
+// 0 pinned to the encoder's rendering.
+func (s *Snapshot) deltaRankCache(buf *bytes.Buffer, algo Algo, lc *labelCache) *rankCache {
+	n := s.NumSources()
+	ss := s.sets[algo]
+	if ss == nil || n == 0 || len(lc.esc) != n {
+		return nil
+	}
+	head, frag0 := s.rankHead(buf, algo)
+	if head == nil {
+		return nil
+	}
+	frags := make([]byte, 0, n*96)
+	offs := make([]int32, 1, n+1)
+	pcs := s.pageCount
+	for id := 0; id < n; id++ {
+		score := ss.scores[id]
+		if math.IsNaN(score) || math.IsInf(score, 0) {
+			return nil
+		}
+		frags = append(frags, rankMarker...)
+		frags = strconv.AppendInt(frags, int64(id), 10)
+		frags = append(frags, ",\n  \"label\": "...)
+		frags = append(frags, lc.esc[id]...)
+		frags = append(frags, ",\n  \"score\": "...)
+		frags = appendJSONFloat(frags, score)
+		frags = append(frags, ",\n  \"rank\": "...)
+		frags = strconv.AppendInt(frags, int64(ss.rank[id])+1, 10)
+		frags = append(frags, ",\n  \"sources\": "...)
+		frags = strconv.AppendInt(frags, int64(n), 10)
+		if id < len(pcs) && pcs[id] != 0 {
+			frags = append(frags, ",\n  \"pages\": "...)
+			frags = strconv.AppendInt(frags, int64(pcs[id]), 10)
+		}
+		frags = append(frags, "\n}\n"...)
+		if len(frags) > 1<<31-1 {
+			return nil
+		}
+		offs = append(offs, int32(len(frags)))
+	}
+	if !bytes.Equal(frag0, frags[:offs[1]]) {
+		return nil
+	}
+	return &rankCache{head: head, frags: frags, offs: offs}
+}

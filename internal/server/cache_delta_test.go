@@ -1,0 +1,308 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"math"
+	"math/rand"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"sourcerank/internal/linalg"
+	"sourcerank/internal/pagegraph"
+)
+
+// TestAppendJSONFloat pins the hand renderer's float formatting to
+// encoding/json across the format-switch boundaries and a random sweep
+// over the full exponent range (including subnormals).
+func TestAppendJSONFloat(t *testing.T) {
+	vals := []float64{
+		0, 1, -1, 0.5, 0.1, 1.0 / 3.0,
+		1e-6, 9.999999e-7, 1e-7, 1.0000001e-6,
+		1e21, 9.999999e20, 1.23456789e21,
+		1e-300, 5e-324, math.MaxFloat64, -math.MaxFloat64,
+		0.0001220703125, 3.141592653589793,
+	}
+	rng := rand.New(rand.NewSource(9))
+	for i := 0; i < 5000; i++ {
+		v := rng.NormFloat64() * math.Pow(10, float64(rng.Intn(640)-320))
+		if !math.IsInf(v, 0) && !math.IsNaN(v) {
+			vals = append(vals, v)
+		}
+	}
+	for _, v := range vals {
+		want, err := json.Marshal(v)
+		if err != nil {
+			t.Fatalf("marshal %v: %v", v, err)
+		}
+		if got := appendJSONFloat(nil, v); string(got) != string(want) {
+			t.Fatalf("appendJSONFloat(%v) = %q, want %q", v, got, want)
+		}
+	}
+}
+
+// deltaSnapshot derives a successor snapshot from prev: same labels
+// slice (shared backing, as the incremental source maintainer emits),
+// same page counts, with each algorithm's scores perturbed — the shape
+// of a streamed delta publish whose solve ran.
+func deltaSnapshot(t *testing.T, prev *Snapshot, rng *rand.Rand) *Snapshot {
+	t.Helper()
+	sets := make(map[Algo]*ScoreSet, len(prev.sets))
+	for algo, ss := range prev.sets {
+		scores := append(linalg.Vector(nil), ss.scores...)
+		for i := range scores {
+			scores[i] *= 1 + 0.01*rng.Float64()
+		}
+		scores.Normalize1()
+		sets[algo] = NewScoreSet(scores, ss.stats)
+	}
+	snap, err := NewSnapshot(prev.corpus, prev.labels, prev.pageCount, prev.kappaTopK, sets, time.Now())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return snap
+}
+
+// TestDeltaPublishByteIdentical is the golden test for the delta
+// renderers: a publish over a live predecessor takes the direct-render
+// path (asserted, not assumed), and every cached body must still equal
+// the encoder fallback byte for byte — including the nasty-label corpus
+// that stresses escaping and marker collisions.
+func TestDeltaPublishByteIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	store := NewStore(nastySnapshot(t))
+	snap := deltaSnapshot(t, store.Current(), rng)
+	store.Publish(snap)
+	if snap.resp.labels == nil {
+		t.Fatal("delta publish did not build the label cache")
+	}
+	cached, fallback := twoServers(store)
+	hc, hf := cached.Handler(), fallback.Handler()
+	total := snap.NumSources()
+	for _, algo := range snap.Algos() {
+		if snap.resp.topk[algo] == nil || snap.resp.rank[algo] == nil {
+			t.Fatalf("missing cache for %s after delta publish", algo)
+		}
+		for _, n := range []int{0, 1, 3, total, total + 1} {
+			path := fmt.Sprintf("/v1/topk?algo=%s&n=%d", algo, n)
+			a, b := rawGet(t, hc, path, nil), rawGet(t, hf, path, nil)
+			if a.Body.String() != b.Body.String() {
+				t.Fatalf("%s: delta-rendered body differs from fallback\ncached:\n%s\nfallback:\n%s",
+					path, a.Body.String(), b.Body.String())
+			}
+		}
+		for id := 0; id < total; id++ {
+			path := fmt.Sprintf("/v1/rank/%d?algo=%s", id, algo)
+			a, b := rawGet(t, hc, path, nil), rawGet(t, hf, path, nil)
+			if a.Body.String() != b.Body.String() {
+				t.Fatalf("%s: delta-rendered body differs from fallback\ncached:\n%s\nfallback:\n%s",
+					path, a.Body.String(), b.Body.String())
+			}
+		}
+	}
+	a, b := rawGet(t, hc, "/v1/snapshot", nil), rawGet(t, hf, "/v1/snapshot", nil)
+	if a.Body.String() != b.Body.String() {
+		t.Fatalf("snapshot meta differs\ncached:\n%s\nfallback:\n%s", a.Body.String(), b.Body.String())
+	}
+	if !strings.Contains(a.Body.String(), `"parent_version": 1`) {
+		t.Fatalf("delta publish missing parent lineage:\n%s", a.Body.String())
+	}
+
+	// A third publish in the lineage reuses the escaped-label bytes.
+	third := deltaSnapshot(t, snap, rng)
+	store.Publish(third)
+	if third.resp.labels == nil {
+		t.Fatal("third publish did not build the label cache")
+	}
+	for i := range snap.resp.labels.esc {
+		if &third.resp.labels.esc[i][0] != &snap.resp.labels.esc[i][0] {
+			t.Fatalf("escaped label %d was re-rendered instead of reused", i)
+		}
+	}
+}
+
+// TestDeltaPublishWholesaleReuse pins the skip-solve path: when a
+// publish carries the previous snapshot's very score/label/page arrays,
+// the entry and fragment slabs are reused (no re-render), only the
+// version-bearing heads change, and the bodies still match the
+// fallback.
+func TestDeltaPublishWholesaleReuse(t *testing.T) {
+	first := nastySnapshot(t)
+	store := NewStore(first)
+	sets := make(map[Algo]*ScoreSet, len(first.sets))
+	for algo, ss := range first.sets {
+		sets[algo] = NewScoreSet(ss.scores, ss.stats) // same vector, pointer-identical
+	}
+	second, err := NewSnapshot(first.corpus, first.labels, first.pageCount, first.kappaTopK, sets, time.Now())
+	if err != nil {
+		t.Fatal(err)
+	}
+	store.Publish(second)
+	for _, algo := range second.Algos() {
+		tc, ptc := second.resp.topk[algo], first.resp.topk[algo]
+		if tc == nil || ptc == nil {
+			t.Fatalf("missing topk cache for %s", algo)
+		}
+		if len(tc.entries) > 0 && &tc.entries[0] != &ptc.entries[0] {
+			t.Fatalf("%s: topk entries were re-rendered, not reused", algo)
+		}
+		rc, prc := second.resp.rank[algo], first.resp.rank[algo]
+		if rc == nil || prc == nil {
+			t.Fatalf("missing rank cache for %s", algo)
+		}
+		if &rc.frags[0] != &prc.frags[0] {
+			t.Fatalf("%s: rank fragments were re-rendered, not reused", algo)
+		}
+	}
+	cached, fallback := twoServers(store)
+	for _, path := range []string{"/v1/topk?n=5", "/v1/rank/2", "/v1/snapshot"} {
+		a := rawGet(t, cached.Handler(), path, nil)
+		b := rawGet(t, fallback.Handler(), path, nil)
+		if a.Code != http.StatusOK || a.Body.String() != b.Body.String() {
+			t.Fatalf("%s: reused body differs from fallback (status %d)\ncached:\n%s\nfallback:\n%s",
+				path, a.Code, a.Body.String(), b.Body.String())
+		}
+		if !strings.Contains(a.Body.String(), `"version": 2`) {
+			t.Fatalf("%s: reused body kept the stale version:\n%s", path, a.Body.String())
+		}
+	}
+}
+
+// TestParentVersionLineage checks the version chain across publishes
+// and that the first publish omits the field entirely.
+func TestParentVersionLineage(t *testing.T) {
+	store := NewStore(nastySnapshot(t))
+	srv := New(store, Config{})
+	body := rawGet(t, srv.Handler(), "/v1/snapshot", nil).Body.String()
+	if strings.Contains(body, "parent_version") {
+		t.Fatalf("first publish should omit parent_version:\n%s", body)
+	}
+	if store.Current().ParentVersion() != 0 {
+		t.Fatal("first publish should have parent 0")
+	}
+	store.Publish(nastySnapshot(t))
+	if got := store.Current().ParentVersion(); got != 1 {
+		t.Fatalf("second publish parent = %d, want 1", got)
+	}
+	store.Publish(nastySnapshot(t))
+	if got := store.Current().ParentVersion(); got != 2 {
+		t.Fatalf("third publish parent = %d, want 2", got)
+	}
+}
+
+// TestRefresherWarmFallbackSurfaced is the regression test for the
+// silent warm-start fallback: a corpus whose source count changed
+// between publishes must bump the counter, fire the callback, and show
+// up in the metrics exposition.
+func TestRefresherWarmFallbackSurfaced(t *testing.T) {
+	sizes := []int{3, 5, 5}
+	build := 0
+	r := &Refresher{
+		Store: NewStore(nil),
+		Build: func(ctx context.Context, warm *WarmStart) (*Snapshot, error) {
+			n := sizes[build]
+			build++
+			scores := make([]float64, n)
+			for i := range scores {
+				scores[i] = 1 / float64(n)
+			}
+			return testSnapshot(t, AlgoSRSR, scores), nil
+		},
+	}
+	var have, want int
+	r.OnWarmFallback = func(h, w int) { have, want = h, w }
+	for i := range sizes {
+		if err := r.RefreshNow(context.Background()); err != nil {
+			t.Fatalf("refresh %d: %v", i, err)
+		}
+	}
+	if got := r.WarmFallbacks(); got != 1 {
+		t.Fatalf("WarmFallbacks = %d, want 1 (only the 3->5 publish)", got)
+	}
+	if have != 3 || want != 5 {
+		t.Fatalf("OnWarmFallback got (%d,%d), want (3,5)", have, want)
+	}
+
+	srv := New(r.Store, Config{Refresher: r})
+	metrics := rawGet(t, srv.Handler(), "/metrics", nil).Body.String()
+	if !strings.Contains(metrics, "srserve_refresh_warm_fallbacks_total 1") {
+		t.Fatalf("metrics missing warm fallback counter:\n%s", metrics)
+	}
+}
+
+// TestBuildOnWarmFallbackPerAlgo drives the real builder's shape guard:
+// a retained vector of the wrong length must fire the per-algorithm
+// hook, while a matching one must not.
+func TestBuildOnWarmFallbackPerAlgo(t *testing.T) {
+	pg := pagegraph.New()
+	for i := 0; i < 3; i++ {
+		pg.AddSource(fmt.Sprintf("s%d", i))
+		pg.AddPage(pagegraph.SourceID(i))
+	}
+	pg.AddLink(0, 1)
+	pg.AddLink(1, 2)
+	var fired []string
+	_, err := BuildSnapshot(pg, nil, BuildConfig{
+		Algos: []Algo{AlgoPageRank},
+		WarmStart: &WarmStart{
+			Sources: 2,
+			Scores:  map[Algo]linalg.Vector{AlgoPageRank: {0.5, 0.5}},
+		},
+		OnWarmFallback: func(algo Algo, have, want int) {
+			fired = append(fired, fmt.Sprintf("%s:%d->%d", algo, have, want))
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fired) != 1 || fired[0] != "pagerank:2->3" {
+		t.Fatalf("per-algo fallback = %v, want [pagerank:2->3]", fired)
+	}
+	fired = nil
+	_, err = BuildSnapshot(pg, nil, BuildConfig{
+		Algos: []Algo{AlgoPageRank},
+		WarmStart: &WarmStart{
+			Sources: 3,
+			Scores:  map[Algo]linalg.Vector{AlgoPageRank: {0.4, 0.3, 0.3}},
+		},
+		OnWarmFallback: func(algo Algo, have, want int) {
+			fired = append(fired, string(algo))
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fired) != 0 {
+		t.Fatalf("matching warm start fired fallback hook: %v", fired)
+	}
+}
+
+// TestRefresherNotify checks that a Notify wakes the refresh loop long
+// before the interval timer would.
+func TestRefresherNotify(t *testing.T) {
+	store := NewStore(nil)
+	r := &Refresher{
+		Store:    store,
+		Interval: time.Hour,
+		Build: func(ctx context.Context, warm *WarmStart) (*Snapshot, error) {
+			return testSnapshot(t, AlgoSRSR, []float64{0.5, 0.5}), nil
+		},
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	done := make(chan struct{})
+	go func() { r.Run(ctx); close(done) }()
+	r.Notify()
+	deadline := time.Now().Add(5 * time.Second)
+	for store.Publishes() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("Notify did not trigger a publish within 5s")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	cancel()
+	<-done
+}

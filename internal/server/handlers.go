@@ -351,7 +351,10 @@ func (s *Server) handleCompare(w http.ResponseWriter, r *http.Request) {
 
 // snapshotResponse is the /v1/snapshot metadata payload.
 type snapshotResponse struct {
-	Version   uint64     `json:"version"`
+	Version uint64 `json:"version"`
+	// Parent records delta lineage: the version served when this
+	// snapshot was published. Omitted on the first publish.
+	Parent    uint64     `json:"parent_version,omitempty"`
 	BuiltAt   time.Time  `json:"built_at"`
 	Corpus    CorpusInfo `json:"corpus"`
 	Algos     []Algo     `json:"algos"`
@@ -375,6 +378,7 @@ func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 	}
 	writeJSON(w, http.StatusOK, snapshotResponse{
 		Version:   snap.Version(),
+		Parent:    snap.ParentVersion(),
 		BuiltAt:   snap.BuiltAt(),
 		Corpus:    snap.Corpus(),
 		Algos:     snap.Algos(),
@@ -419,6 +423,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	s.metrics.WriteText(w, version, s.store.Publishes(), sources, s.store.Staleness().Seconds())
 	s.metrics.WriteSolverText(w, snap)
+	s.metrics.WriteRefreshText(w, s.cfg.Refresher)
 }
 
 // routes wires the instrumented mux.

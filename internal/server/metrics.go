@@ -300,6 +300,24 @@ func (m *Metrics) WriteSolverText(w io.Writer, snap *Snapshot) {
 	}
 }
 
+// WriteRefreshText renders refresher health gauges. It appends to the
+// main exposition (kept separate so the existing series' byte format is
+// untouched); a nil refresher writes nothing.
+func (m *Metrics) WriteRefreshText(w io.Writer, r *Refresher) {
+	if r == nil {
+		return
+	}
+	fmt.Fprintf(w, "# HELP srserve_refresh_warm_fallbacks_total Publishes whose warm-start state was rejected by the shape guard and solved cold.\n")
+	fmt.Fprintf(w, "# TYPE srserve_refresh_warm_fallbacks_total counter\n")
+	fmt.Fprintf(w, "srserve_refresh_warm_fallbacks_total %d\n", r.WarmFallbacks())
+	fmt.Fprintf(w, "# HELP srserve_refresh_consecutive_failures Builds failed in a row since the last successful publish.\n")
+	fmt.Fprintf(w, "# TYPE srserve_refresh_consecutive_failures gauge\n")
+	fmt.Fprintf(w, "srserve_refresh_consecutive_failures %d\n", r.ConsecutiveFailures())
+	fmt.Fprintf(w, "# HELP srserve_refresh_last_build_seconds Wall time of the most recent successful build.\n")
+	fmt.Fprintf(w, "# TYPE srserve_refresh_last_build_seconds gauge\n")
+	fmt.Fprintf(w, "srserve_refresh_last_build_seconds %.6f\n", r.LastBuildDuration().Seconds())
+}
+
 // Requests returns the total request count for one endpoint (all status
 // classes); tests use it to assert instrumentation without parsing the
 // text format.

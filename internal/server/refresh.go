@@ -3,6 +3,7 @@ package server
 import (
 	"context"
 	"math/rand"
+	"sync"
 	"sync/atomic"
 	"time"
 )
@@ -38,9 +39,16 @@ type Refresher struct {
 	// nil WarmStart (srserve -cold-refresh; also useful to bound
 	// worst-case divergence accumulation in long-running fleets).
 	ColdStart bool
+	// OnWarmFallback, if set, observes each publish whose retained
+	// warm-start state could not line up with the built snapshot (the
+	// source count changed under a recrawl or corpus swap), so the
+	// solves silently degraded to cold starts. have is the retained
+	// vector shape, want the published one.
+	OnWarmFallback func(have, want int)
 
-	failures    atomic.Uint64
-	lastBuildNS atomic.Int64
+	failures      atomic.Uint64
+	warmFallbacks atomic.Uint64
+	lastBuildNS   atomic.Int64
 	// warm retains the last published snapshot's solver state for the
 	// next build; falls back to the store's current snapshot when unset
 	// (e.g. a refresher attached to a store seeded by an initial
@@ -50,11 +58,41 @@ type Refresher struct {
 	// rnd supplies the jitter fraction in [0,1); tests pin it for
 	// deterministic delays. Nil means math/rand.
 	rnd func() float64
+
+	// wakeCh delivers Notify signals to Run; lazily created so a zero
+	// Refresher works and Notify before Run is not lost.
+	wakeOnce sync.Once
+	wakeCh   chan struct{}
 }
 
 // ConsecutiveFailures reports how many builds in a row have failed
 // since the last successful publish.
 func (r *Refresher) ConsecutiveFailures() uint64 { return r.failures.Load() }
+
+// WarmFallbacks counts publishes whose warm-start state was discarded
+// because its shape no longer matched the built snapshot. A steadily
+// increasing count under a stable corpus means every refresh is paying
+// full cold-solve cost — exactly the regression this counter surfaces
+// (it used to be silent).
+func (r *Refresher) WarmFallbacks() uint64 { return r.warmFallbacks.Load() }
+
+func (r *Refresher) wake() chan struct{} {
+	r.wakeOnce.Do(func() { r.wakeCh = make(chan struct{}, 1) })
+	return r.wakeCh
+}
+
+// Notify requests a refresh ahead of the interval timer: the streaming
+// delta pipeline calls it after appending batches so a publish follows
+// within one scheduler hop instead of up to Interval later. Signals
+// coalesce (a refresh already pending absorbs further notifies) and are
+// never lost — a Notify before Run starts is served by Run's first
+// cycle.
+func (r *Refresher) Notify() {
+	select {
+	case r.wake() <- struct{}{}:
+	default:
+	}
+}
 
 // LastBuildDuration reports how long the most recent successful build
 // took, or 0 before the first publish.
@@ -78,6 +116,15 @@ func (r *Refresher) Run(ctx context.Context) {
 			return
 		case <-t.C:
 			_ = r.RefreshNow(ctx)
+			t.Reset(r.nextDelay())
+		case <-r.wake():
+			_ = r.RefreshNow(ctx)
+			if !t.Stop() {
+				select {
+				case <-t.C:
+				default:
+				}
+			}
 			t.Reset(r.nextDelay())
 		}
 	}
@@ -105,6 +152,16 @@ func (r *Refresher) RefreshNow(ctx context.Context) error {
 	took := time.Since(start)
 	r.failures.Store(0)
 	r.lastBuildNS.Store(int64(took))
+	if warm != nil && snap.NumSources() != warm.Sources {
+		// The build could not use the retained state: every vectorFor
+		// shape guard rejected it and the solves ran cold. Surface it —
+		// operators watching publish latency need to know the warm path
+		// is dead, not just that builds got slower.
+		r.warmFallbacks.Add(1)
+		if r.OnWarmFallback != nil {
+			r.OnWarmFallback(warm.Sources, snap.NumSources())
+		}
+	}
 	v := r.Store.Publish(snap)
 	if !r.ColdStart {
 		r.warm.Store(WarmStartFrom(snap))

@@ -32,6 +32,10 @@ type Config struct {
 	// (cmd/loadgen -compare-baseline) and for the golden tests that
 	// assert both paths produce identical bytes.
 	DisableResponseCache bool
+	// Refresher, if set, adds the refresher's health gauges (warm-start
+	// fallbacks, consecutive build failures, last build time) to
+	// /metrics.
+	Refresher *Refresher
 }
 
 func (c Config) addr() string {

@@ -122,8 +122,12 @@ type CorpusInfo struct {
 // fixed before the snapshot is published; concurrent readers therefore
 // need no locks. Version is assigned by Store.Publish.
 type Snapshot struct {
-	version   uint64
-	builtAt   time.Time
+	version uint64
+	// parent is the version this snapshot was published over (0 for the
+	// first publish), recording delta-refresh lineage: a streamed delta
+	// publish's parent is the snapshot whose state it patched.
+	parent  uint64
+	builtAt time.Time
 	corpus    CorpusInfo
 	labels    []string
 	byLabel   map[string]int32
@@ -174,6 +178,11 @@ func NewSnapshot(corpus CorpusInfo, labels []string, pageCount []int, kappaTopK 
 // Version is the store-assigned publish sequence number (0 until
 // published).
 func (s *Snapshot) Version() uint64 { return s.version }
+
+// ParentVersion is the version that was being served when this snapshot
+// was published — the snapshot whose state a streamed delta publish
+// patched. 0 for the first publish (no lineage).
+func (s *Snapshot) ParentVersion() uint64 { return s.parent }
 
 // BuiltAt reports when the offline computation finished.
 func (s *Snapshot) BuiltAt() time.Time { return s.builtAt }

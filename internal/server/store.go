@@ -46,9 +46,15 @@ func (s *Store) Current() *Snapshot { return s.cur.Load() }
 func (s *Store) Publish(snap *Snapshot) uint64 {
 	s.publishMu.Lock()
 	defer s.publishMu.Unlock()
+	prev := s.cur.Load()
 	snap.version = s.versions.Add(1)
+	if prev != nil {
+		snap.parent = prev.version
+	}
 	pubs := s.publishes.Add(1)
-	snap.finalize(pubs)
+	// The outgoing snapshot is handed to finalize so a delta publish can
+	// reuse its unchanged pre-encoded fragments (see cache_delta.go).
+	snap.finalize(prev, pubs)
 	s.cur.Store(snap)
 	s.publishedAt.Store(time.Now().UnixNano())
 	return snap.version

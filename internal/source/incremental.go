@@ -1,0 +1,333 @@
+package source
+
+import (
+	"fmt"
+	"slices"
+
+	"sourcerank/internal/graph"
+	"sourcerank/internal/linalg"
+	"sourcerank/internal/pagegraph"
+)
+
+// Incremental maintains the source graph under page-level deltas without
+// re-aggregating the whole page graph. It keeps per-source-row consensus
+// counts; a page edit only touches the row of the page's owning source,
+// and only touched rows re-normalize when the next Graph is emitted. The
+// emitted Graph is byte-for-byte identical to Build over the same page
+// graph — the streaming pipeline's equivalence contract — because every
+// count and transition value is produced by the exact expressions Build
+// uses (float64(count)/float64(total) over int64 counts, structural zero
+// self-edges inserted in sorted position, dangling rows as pure
+// self-loops).
+//
+// Incremental is not safe for concurrent use; the streaming pipeline
+// serializes all mutations.
+type Incremental struct {
+	opt Options
+	n   int
+
+	// labels is append-only, so emitted Labels slices (labels[:n:n])
+	// share one backing array until growth reallocates it; downstream
+	// response caches key fragment reuse on that pointer stability.
+	labels    []string
+	pageCount []int
+	pcDirty   bool
+	pcLast    []int // PageCount slice of the last emitted Graph
+
+	rows      []incRow
+	dirtyRows []int32
+	numEdges  int64
+	changed   bool   // any Counts/T content change since last emit
+	structVer uint64 // bumped on every sparsity-changing mutation
+
+	structure *graph.Overlay
+	prev      *Graph
+}
+
+// incRow is one source row: sorted consensus counts plus the cached,
+// lazily recomputed transition row derived from them.
+type incRow struct {
+	cols    []int32
+	cnt     []int64
+	total   int64
+	hasSelf bool
+	tcols   []int32
+	tvals   []float64
+	dirty   bool
+}
+
+// NewIncremental builds the initial source graph from pg with Build and
+// explodes it into incrementally maintainable row state. The returned
+// maintainer assumes every future page-graph mutation is reported to it
+// via AddSource/AddPage/UpdatePage.
+func NewIncremental(pg *pagegraph.Graph, opt Options) (*Incremental, error) {
+	sg, err := Build(pg, opt)
+	if err != nil {
+		return nil, err
+	}
+	n := sg.NumSources()
+	inc := &Incremental{
+		opt:       opt,
+		n:         n,
+		labels:    append(make([]string, 0, n+16), sg.Labels...),
+		pageCount: append([]int(nil), sg.PageCount...),
+		pcLast:    sg.PageCount,
+		rows:      make([]incRow, n),
+		numEdges:  sg.NumEdges,
+		structure: graph.NewOverlay(sg.Structure()),
+		prev:      sg,
+	}
+	sg.Labels = inc.labels[:n:n]
+	for r := 0; r < n; r++ {
+		row := &inc.rows[r]
+		cols, vals := sg.Counts.Row(r)
+		row.cols = append([]int32(nil), cols...)
+		row.cnt = make([]int64, len(vals))
+		for k, v := range vals {
+			c := int64(v)
+			row.cnt[k] = c
+			row.total += c
+			if cols[k] == int32(r) {
+				row.hasSelf = true
+			}
+		}
+		tcols, tvals := sg.T.Row(r)
+		row.tcols = append([]int32(nil), tcols...)
+		row.tvals = append([]float64(nil), tvals...)
+	}
+	return inc, nil
+}
+
+// NumSources returns the current source count.
+func (inc *Incremental) NumSources() int { return inc.n }
+
+// AddSource registers a new source. Until pages link to or from it, its
+// transition row is the dangling pure self-loop Build emits.
+func (inc *Incremental) AddSource(label string) int32 {
+	id := int32(inc.n)
+	inc.labels = append(inc.labels, label)
+	inc.pageCount = append(inc.pageCount, 0)
+	inc.rows = append(inc.rows, incRow{})
+	inc.n++
+	inc.structure.AddNodes(1)
+	inc.structVer++
+	inc.markDirty(id)
+	inc.changed = true
+	inc.pcDirty = true
+	return id
+}
+
+// StructureVersion counts mutations that changed the unweighted source
+// topology: source additions and consensus edges appearing or vanishing.
+// Count bumps within existing cells do not advance it. Operators that
+// depend only on the sparsity — the uniform-transition baselines and the
+// spam-proximity walk — have provably unchanged fixed points while the
+// version holds still, which the streaming pipeline exploits to skip
+// their solves entirely.
+func (inc *Incremental) StructureVersion() uint64 { return inc.structVer }
+
+// AddPage records a new page in source s. It panics on an unknown
+// source, mirroring pagegraph.AddPage; the streaming layer validates
+// batches before reporting them here.
+func (inc *Incremental) AddPage(s pagegraph.SourceID) {
+	if s < 0 || int(s) >= inc.n {
+		panic(fmt.Sprintf("source: AddPage to unknown source %d", s))
+	}
+	inc.pageCount[s]++
+	inc.pcDirty = true
+}
+
+// UpdatePage records that a page owned by source s changed its deduped
+// target-source set: removed lists sources it no longer links into,
+// added lists sources it newly links into. Both must reflect a real
+// page-graph transition — removing a target no unique page supports
+// panics, as that means the caller's bookkeeping has already diverged
+// from the page graph.
+func (inc *Incremental) UpdatePage(s pagegraph.SourceID, removed, added []pagegraph.SourceID) {
+	if s < 0 || int(s) >= inc.n {
+		panic(fmt.Sprintf("source: UpdatePage for unknown source %d", s))
+	}
+	for _, t := range removed {
+		inc.applyDelta(s, t, -1)
+	}
+	for _, t := range added {
+		inc.applyDelta(s, t, +1)
+	}
+}
+
+func (inc *Incremental) applyDelta(r, c pagegraph.SourceID, d int64) {
+	if c < 0 || int(c) >= inc.n {
+		panic(fmt.Sprintf("source: delta targets unknown source %d", c))
+	}
+	row := &inc.rows[r]
+	k, found := slices.BinarySearch(row.cols, c)
+	switch {
+	case found:
+		row.cnt[k] += d
+		row.total += d
+		if row.cnt[k] < 0 {
+			panic(fmt.Sprintf("source: consensus count (%d,%d) underflow", r, c))
+		}
+		if row.cnt[k] == 0 {
+			row.cols = slices.Delete(row.cols, k, k+1)
+			row.cnt = slices.Delete(row.cnt, k, k+1)
+			if c == r {
+				row.hasSelf = false
+			}
+			inc.numEdges--
+			inc.structVer++
+		}
+	case d > 0:
+		row.cols = slices.Insert(row.cols, k, c)
+		row.cnt = slices.Insert(row.cnt, k, d)
+		row.total += d
+		if c == r {
+			row.hasSelf = true
+		}
+		inc.numEdges++
+		inc.structVer++
+	default:
+		panic(fmt.Sprintf("source: removing absent consensus edge (%d,%d)", r, c))
+	}
+	inc.markDirty(r)
+	inc.changed = true
+}
+
+func (inc *Incremental) markDirty(r int32) {
+	if !inc.rows[r].dirty {
+		inc.rows[r].dirty = true
+		inc.dirtyRows = append(inc.dirtyRows, r)
+	}
+}
+
+// rebuildT recomputes row r's cached transition row with Build's exact
+// value expressions and self-edge placement.
+func (inc *Incremental) rebuildT(r int32) {
+	row := &inc.rows[r]
+	nnz := len(row.cols)
+	if nnz == 0 {
+		row.tcols = append(row.tcols[:0], r)
+		row.tvals = append(row.tvals[:0], 1)
+		return
+	}
+	insertSelf := !row.hasSelf && !inc.opt.OmitSelfEdges
+	row.tcols = row.tcols[:0]
+	row.tvals = row.tvals[:0]
+	var w float64
+	if inc.opt.Weighting == Uniform {
+		w = 1 / float64(nnz)
+	}
+	total := float64(row.total)
+	for k, col := range row.cols {
+		if insertSelf && col > r {
+			row.tcols = append(row.tcols, r)
+			row.tvals = append(row.tvals, 0)
+			insertSelf = false
+		}
+		row.tcols = append(row.tcols, col)
+		if inc.opt.Weighting == Uniform {
+			row.tvals = append(row.tvals, w)
+		} else {
+			row.tvals = append(row.tvals, float64(row.cnt[k])/total)
+		}
+	}
+	if insertSelf {
+		row.tcols = append(row.tcols, r)
+		row.tvals = append(row.tvals, 0)
+	}
+}
+
+// Emit assembles the current state into an immutable Graph, recomputing
+// only rows dirtied since the previous emit. When nothing changed it
+// returns the previous Graph pointer unchanged (preserving its cached
+// Tᵀ); when only page counts changed it shares the previous Counts and T
+// matrices. Callers must treat every emitted Graph as immutable.
+func (inc *Incremental) Emit() *Graph {
+	if !inc.changed {
+		if !inc.pcDirty {
+			return inc.prev
+		}
+		pc := append([]int(nil), inc.pageCount...)
+		sg := &Graph{
+			Labels:    inc.labels[:inc.n:inc.n],
+			Counts:    inc.prev.Counts,
+			T:         inc.prev.T,
+			NumEdges:  inc.prev.NumEdges,
+			PageCount: pc,
+		}
+		inc.pcLast, inc.pcDirty = pc, false
+		inc.prev = sg
+		return sg
+	}
+	n := inc.n
+	for _, r := range inc.dirtyRows {
+		inc.rebuildT(r)
+		inc.rows[r].dirty = false
+		if err := inc.structure.SetRow(r, inc.rows[r].cols); err != nil {
+			panic(fmt.Sprintf("source: structure row update: %v", err))
+		}
+	}
+	inc.dirtyRows = inc.dirtyRows[:0]
+
+	countPtr := make([]int64, n+1)
+	transPtr := make([]int64, n+1)
+	for r := 0; r < n; r++ {
+		countPtr[r+1] = countPtr[r] + int64(len(inc.rows[r].cols))
+		transPtr[r+1] = transPtr[r] + int64(len(inc.rows[r].tcols))
+	}
+	counts := &linalg.CSR{
+		Rows: n, ColsN: n,
+		RowPtr: countPtr,
+		Cols:   make([]int32, countPtr[n]),
+		Vals:   make([]float64, countPtr[n]),
+	}
+	trans := &linalg.CSR{
+		Rows: n, ColsN: n,
+		RowPtr: transPtr,
+		Cols:   make([]int32, transPtr[n]),
+		Vals:   make([]float64, transPtr[n]),
+	}
+	for r := 0; r < n; r++ {
+		row := &inc.rows[r]
+		copy(counts.Cols[countPtr[r]:], row.cols)
+		cv := counts.Vals[countPtr[r]:countPtr[r+1]]
+		for k, c := range row.cnt {
+			cv[k] = float64(c)
+		}
+		copy(trans.Cols[transPtr[r]:], row.tcols)
+		copy(trans.Vals[transPtr[r]:], row.tvals)
+	}
+	pc := inc.pcLast
+	if inc.pcDirty {
+		pc = append([]int(nil), inc.pageCount...)
+	}
+	sg := &Graph{
+		Labels:    inc.labels[:n:n],
+		Counts:    counts,
+		T:         trans,
+		NumEdges:  inc.numEdges,
+		PageCount: pc,
+	}
+	inc.pcLast, inc.pcDirty = pc, false
+	inc.changed = false
+	inc.prev = sg
+	return sg
+}
+
+// Structure returns the incrementally maintained unweighted source
+// topology (the sparsity of Counts), the view Emit keeps in sync for the
+// spam-proximity walk. It reflects state as of the last Emit; pending
+// deltas are folded in at the next Emit.
+func (inc *Incremental) Structure() graph.Topology { return inc.structure }
+
+// CompactStructure folds accumulated structure-row patches into a fresh
+// CSR when the patch set has grown past maxPatched rows, and reports
+// whether it compacted. Proximity walks read identical successor lists
+// either way; compaction only trades patch-map lookups for a rebuild.
+func (inc *Incremental) CompactStructure(maxPatched int) bool {
+	if inc.structure.PatchedRows() <= maxPatched {
+		return false
+	}
+	inc.structure.Compact()
+	return true
+}

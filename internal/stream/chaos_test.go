@@ -1,0 +1,198 @@
+package stream
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http/httptest"
+	"slices"
+	"sync"
+	"testing"
+
+	"sourcerank/internal/faultfs"
+	"sourcerank/internal/server"
+)
+
+// TestChaosWALKillResumeConverges kills the process (a faultfs write
+// budget) at random points inside write-ahead-log appends, restarts from
+// the base corpus plus whatever the log durably holds, reconciles which
+// batches actually landed via the sequence number, and re-submits the
+// ones that did not. After the storm, the recovered state must be
+// bitwise identical to a fault-free pipeline fed exactly the batches
+// that landed, and a refresh over both must agree on κ and scores.
+func TestChaosWALKillResumeConverges(t *testing.T) {
+	baseRNG := rand.New(rand.NewSource(99))
+	base := randomCorpus(baseRNG, 14, 50, 160)
+	spam := []int32{0, 5, 9}
+
+	for _, seed := range []int64{1, 2, 3, 4, 5} {
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(seed))
+			dir := t.TempDir()
+			ffs := faultfs.New(nil)
+			opt := Options{Spam: spam, TopK: 4, WALDir: dir, FS: ffs}
+
+			p, err := NewPipeline(base.Clone(), opt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var applied [][]Delta
+			const batches = 25
+			crashes := 0
+			for len(applied) < batches {
+				deltas := randomDeltas(rng, p.Ingestor().PageGraph())
+				// Arm a crash inside roughly half the appends; later
+				// iterations run clean so the loop always terminates.
+				if crashes < 40 && rng.Intn(2) == 0 {
+					ffs.SetWriteBudget(int64(1 + rng.Intn(120)))
+				}
+				seqBefore := p.LastSeq()
+				_, err := p.Apply(deltas)
+				if err == nil {
+					applied = append(applied, deltas)
+					if rng.Intn(4) == 0 {
+						if _, _, err := p.Refresh(); err != nil {
+							t.Fatalf("refresh: %v", err)
+						}
+					}
+					continue
+				}
+				if !errors.Is(err, faultfs.ErrCrash) {
+					t.Fatalf("non-crash apply failure: %v", err)
+				}
+				crashes++
+				// Process restart: heal the disk, rebuild from the base
+				// corpus, replay the durable log.
+				ffs.Heal()
+				p, err = NewPipeline(base.Clone(), opt)
+				if err != nil {
+					t.Fatalf("recovery: %v", err)
+				}
+				if p.LastSeq() > seqBefore {
+					// The append committed before the crash; the batch
+					// is part of history even though Apply errored.
+					applied = append(applied, deltas)
+				}
+			}
+			ffs.Heal()
+			if crashes == 0 {
+				t.Fatalf("chaos run exercised no crashes")
+			}
+			if p.LastSeq() != uint64(len(applied)) {
+				t.Fatalf("recovered seq %d, want %d landed batches", p.LastSeq(), len(applied))
+			}
+
+			// Fault-free reference: same base, same landed batches, no WAL.
+			ref, err := NewPipeline(base.Clone(), Options{Spam: spam, TopK: 4})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i, deltas := range applied {
+				if _, err := ref.Apply(deltas); err != nil {
+					t.Fatalf("reference batch %d: %v", i, err)
+				}
+			}
+			assertSameSourceGraph(t, p.Ingestor().Emit(), ref.Ingestor().Emit())
+
+			got, _, err := p.Refresh()
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, _, err := ref.Refresh()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !slices.Equal(p.Kappa(), ref.Kappa()) {
+				t.Fatal("recovered κ diverged from fault-free reference")
+			}
+			for _, algo := range want.Algos() {
+				a, b := got.Set(algo).ScoresView(), want.Set(algo).ScoresView()
+				if len(a) != len(b) {
+					t.Fatalf("%s: %d scores vs %d", algo, len(a), len(b))
+				}
+				// Warm-started recovery solves sit within solver
+				// tolerance of the reference's cold solve, not bitwise.
+				if d := maxAbsDiff(a, b); d > 1e-6 {
+					t.Fatalf("%s scores diverged by %g after recovery", algo, d)
+				}
+			}
+		})
+	}
+}
+
+// TestConcurrentApplyRefreshServe runs delta ingest and delta-aware
+// publishes concurrently with HTTP readers hammering the pre-encoded
+// hot path, under the race detector in CI. Readers must always observe
+// a coherent snapshot (monotonic versions, parseable bodies).
+func TestConcurrentApplyRefreshServe(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	pg := randomCorpus(rng, 16, 60, 200)
+	store := server.NewStore(nil)
+	p, err := NewPipeline(pg, Options{Spam: []int32{2, 6}, TopK: 4, Store: store})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := p.Refresh(); err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(server.New(store, server.Config{}).Handler())
+	defer srv.Close()
+
+	done := make(chan struct{})
+	var writer, readers sync.WaitGroup
+	writer.Add(1)
+	go func() {
+		// Writer: batches of churn, each folded into a publish.
+		defer writer.Done()
+		wrng := rand.New(rand.NewSource(22))
+		for i := 0; i < 30; i++ {
+			if _, err := p.Apply(randomDeltas(wrng, p.Ingestor().PageGraph())); err != nil {
+				t.Errorf("apply: %v", err)
+				return
+			}
+			if _, _, err := p.Refresh(); err != nil {
+				t.Errorf("refresh: %v", err)
+				return
+			}
+		}
+	}()
+	for r := 0; r < 4; r++ {
+		readers.Add(1)
+		go func(r int) {
+			defer readers.Done()
+			paths := []string{"/v1/topk?n=10&algo=srsr", "/v1/rank/0", "/v1/snapshot", "/v1/topk?n=3&algo=pagerank"}
+			var last uint64
+			for {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				resp, err := srv.Client().Get(srv.URL + paths[r%len(paths)])
+				if err != nil {
+					t.Errorf("reader: %v", err)
+					return
+				}
+				body, _ := io.ReadAll(resp.Body)
+				resp.Body.Close()
+				if resp.StatusCode != 200 {
+					t.Errorf("reader: status %d: %s", resp.StatusCode, body)
+					return
+				}
+				if cur := store.Current().Version(); cur < last {
+					t.Errorf("version went backwards: %d after %d", cur, last)
+					return
+				} else {
+					last = cur
+				}
+			}
+		}(r)
+	}
+	writer.Wait()
+	close(done)
+	readers.Wait()
+	if pubs := store.Publishes(); pubs != 31 && !t.Failed() {
+		t.Fatalf("publishes = %d, want 31", pubs)
+	}
+}

@@ -1,0 +1,226 @@
+// Package stream is the streaming delta pipeline: it accepts
+// crawler-shaped edge deltas (add/remove links, new pages, new sources,
+// content re-crawls), maintains the page graph and the derived
+// source-consensus state incrementally, and republishes serving
+// snapshots in time proportional to the churn instead of the corpus.
+//
+// The equivalence contract: after any sequence of applied batches, the
+// streamed state is byte-for-byte the state a cold rebuild over the
+// mutated page graph would produce — identical source graph (counts,
+// transition weights, labels, page counts), identical κ assignment, and
+// solver scores within solver tolerance of the cold solve. The
+// metamorphic test suite enforces this against randomized delta
+// sequences.
+package stream
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"sourcerank/internal/pagegraph"
+)
+
+// Op enumerates the delta kinds a crawler emits.
+type Op uint8
+
+const (
+	// OpAddSource registers a new source (Label).
+	OpAddSource Op = iota + 1
+	// OpAddPage registers a new page owned by Source.
+	OpAddPage
+	// OpAddEdge adds one link From → To. Parallel links are kept, as in
+	// pagegraph.AddLink.
+	OpAddEdge
+	// OpRemoveEdge removes one occurrence of the link From → To.
+	// Removing a link the page does not have rejects the whole batch.
+	OpRemoveEdge
+	// OpTouchPage records a content re-crawl of Page that found its
+	// links unchanged. It validates the page exists and counts toward
+	// churn statistics but changes no graph state, so a touch-only batch
+	// lets the refresh take its skip-solve fast path.
+	OpTouchPage
+)
+
+func (o Op) String() string {
+	switch o {
+	case OpAddSource:
+		return "add-source"
+	case OpAddPage:
+		return "add-page"
+	case OpAddEdge:
+		return "add-edge"
+	case OpRemoveEdge:
+		return "remove-edge"
+	case OpTouchPage:
+		return "touch-page"
+	}
+	return fmt.Sprintf("op(%d)", uint8(o))
+}
+
+// Delta is one mutation. Which fields are meaningful depends on Op; the
+// constructors below set exactly the right ones.
+type Delta struct {
+	Op     Op
+	Label  string             // OpAddSource
+	Source pagegraph.SourceID // OpAddPage
+	From   pagegraph.PageID   // OpAddEdge, OpRemoveEdge
+	To     pagegraph.PageID   // OpAddEdge, OpRemoveEdge
+	Page   pagegraph.PageID   // OpTouchPage
+}
+
+// AddSource is a Delta registering a new source.
+func AddSource(label string) Delta { return Delta{Op: OpAddSource, Label: label} }
+
+// AddPage is a Delta registering a new page under source s.
+func AddPage(s pagegraph.SourceID) Delta { return Delta{Op: OpAddPage, Source: s} }
+
+// AddEdge is a Delta adding one from → to link.
+func AddEdge(from, to pagegraph.PageID) Delta { return Delta{Op: OpAddEdge, From: from, To: to} }
+
+// RemoveEdge is a Delta removing one from → to link.
+func RemoveEdge(from, to pagegraph.PageID) Delta {
+	return Delta{Op: OpRemoveEdge, From: from, To: to}
+}
+
+// TouchPage is a Delta recording a no-change re-crawl of p.
+func TouchPage(p pagegraph.PageID) Delta { return Delta{Op: OpTouchPage, Page: p} }
+
+// Batch is an atomically applied group of deltas: either every delta
+// validates and the whole batch commits, or none of it does. Seq orders
+// batches; the write-ahead log stores one batch per sequence number.
+type Batch struct {
+	Seq    uint64
+	Deltas []Delta
+}
+
+// Wire format (little-endian), the payload durable.WriteFile wraps with
+// its CRC trailer:
+//
+//	magic "SRB1" | seq uint64 | count uint32 | count × delta
+//	delta: op uint8 | payload
+//	  add-source:  labelLen uint32 | label bytes
+//	  add-page:    source int32
+//	  add-edge:    from int32 | to int32
+//	  remove-edge: from int32 | to int32
+//	  touch-page:  page int32
+const batchMagic = "SRB1"
+
+// maxBatchDeltas bounds decode allocation against corrupt counts.
+const maxBatchDeltas = 1 << 24
+
+// maxLabelLen bounds decode allocation against corrupt label lengths.
+const maxLabelLen = 1 << 16
+
+// ErrBadBatch reports a malformed encoded batch.
+var ErrBadBatch = errors.New("stream: malformed batch")
+
+// EncodeBatch writes b's wire encoding to w.
+func EncodeBatch(w io.Writer, b Batch) error {
+	buf := AppendBatch(nil, b)
+	_, err := w.Write(buf)
+	return err
+}
+
+// AppendBatch appends b's wire encoding to dst and returns the extended
+// slice.
+func AppendBatch(dst []byte, b Batch) []byte {
+	dst = append(dst, batchMagic...)
+	dst = binary.LittleEndian.AppendUint64(dst, b.Seq)
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(b.Deltas)))
+	for _, d := range b.Deltas {
+		dst = append(dst, byte(d.Op))
+		switch d.Op {
+		case OpAddSource:
+			dst = binary.LittleEndian.AppendUint32(dst, uint32(len(d.Label)))
+			dst = append(dst, d.Label...)
+		case OpAddPage:
+			dst = binary.LittleEndian.AppendUint32(dst, uint32(d.Source))
+		case OpAddEdge, OpRemoveEdge:
+			dst = binary.LittleEndian.AppendUint32(dst, uint32(d.From))
+			dst = binary.LittleEndian.AppendUint32(dst, uint32(d.To))
+		case OpTouchPage:
+			dst = binary.LittleEndian.AppendUint32(dst, uint32(d.Page))
+		default:
+			// Encoding an invalid op produces a batch DecodeBatch
+			// rejects; the ingestor rejects it earlier still.
+		}
+	}
+	return dst
+}
+
+// DecodeBatch parses one wire-encoded batch. Every structural defect —
+// short buffer, bad magic, absurd counts, unknown op, trailing bytes —
+// returns an error wrapping ErrBadBatch; no input can panic.
+func DecodeBatch(data []byte) (Batch, error) {
+	var b Batch
+	if len(data) < len(batchMagic)+12 {
+		return b, fmt.Errorf("%w: %d bytes is shorter than a header", ErrBadBatch, len(data))
+	}
+	if string(data[:4]) != batchMagic {
+		return b, fmt.Errorf("%w: bad magic %q", ErrBadBatch, data[:4])
+	}
+	data = data[4:]
+	b.Seq = binary.LittleEndian.Uint64(data)
+	count := binary.LittleEndian.Uint32(data[8:])
+	data = data[12:]
+	if count > maxBatchDeltas {
+		return Batch{}, fmt.Errorf("%w: delta count %d", ErrBadBatch, count)
+	}
+	b.Deltas = make([]Delta, 0, count)
+	u32 := func() (uint32, bool) {
+		if len(data) < 4 {
+			return 0, false
+		}
+		v := binary.LittleEndian.Uint32(data)
+		data = data[4:]
+		return v, true
+	}
+	for i := uint32(0); i < count; i++ {
+		if len(data) < 1 {
+			return Batch{}, fmt.Errorf("%w: truncated at delta %d", ErrBadBatch, i)
+		}
+		d := Delta{Op: Op(data[0])}
+		data = data[1:]
+		ok := true
+		switch d.Op {
+		case OpAddSource:
+			var n uint32
+			if n, ok = u32(); ok {
+				if n > maxLabelLen || int(n) > len(data) {
+					return Batch{}, fmt.Errorf("%w: label length %d at delta %d", ErrBadBatch, n, i)
+				}
+				d.Label = string(data[:n])
+				data = data[n:]
+			}
+		case OpAddPage:
+			var v uint32
+			if v, ok = u32(); ok {
+				d.Source = pagegraph.SourceID(v)
+			}
+		case OpAddEdge, OpRemoveEdge:
+			var f, t uint32
+			if f, ok = u32(); ok {
+				if t, ok = u32(); ok {
+					d.From, d.To = pagegraph.PageID(f), pagegraph.PageID(t)
+				}
+			}
+		case OpTouchPage:
+			var v uint32
+			if v, ok = u32(); ok {
+				d.Page = pagegraph.PageID(v)
+			}
+		default:
+			return Batch{}, fmt.Errorf("%w: unknown op %d at delta %d", ErrBadBatch, d.Op, i)
+		}
+		if !ok {
+			return Batch{}, fmt.Errorf("%w: truncated payload at delta %d", ErrBadBatch, i)
+		}
+		b.Deltas = append(b.Deltas, d)
+	}
+	if len(data) != 0 {
+		return Batch{}, fmt.Errorf("%w: %d trailing bytes", ErrBadBatch, len(data))
+	}
+	return b, nil
+}

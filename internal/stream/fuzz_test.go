@@ -1,0 +1,89 @@
+package stream
+
+import (
+	"slices"
+	"testing"
+
+	"sourcerank/internal/pagegraph"
+	"sourcerank/internal/source"
+)
+
+// fuzzBase is a small fixed corpus every fuzz iteration mutates: 4
+// sources, 8 pages, a few links including a parallel pair.
+func fuzzBase() *pagegraph.Graph {
+	pg := pagegraph.New()
+	for s := 0; s < 4; s++ {
+		pg.AddSource("s" + string(rune('a'+s)) + ".example")
+	}
+	for p := 0; p < 8; p++ {
+		pg.AddPage(pagegraph.SourceID(p % 4))
+	}
+	for _, e := range [][2]int32{{0, 1}, {1, 2}, {2, 0}, {3, 3}, {4, 5}, {4, 5}, {6, 1}, {7, 4}} {
+		pg.AddLink(e[0], e[1])
+	}
+	return pg
+}
+
+// FuzzApplyDeltas feeds arbitrary bytes through the WAL batch decoder
+// into the ingestor. The invariants: decoding never panics; a batch that
+// fails validation (out-of-range ids, remove-before-add, unknown ops)
+// is rejected with the graphs untouched; and a batch that applies leaves
+// the incremental source state bitwise identical to a cold
+// re-aggregation of the mutated page graph — no input may corrupt the
+// CSR state.
+func FuzzApplyDeltas(f *testing.F) {
+	f.Add(AppendBatch(nil, Batch{Seq: 1, Deltas: []Delta{
+		AddSource("fuzz.example"), AddPage(4), AddEdge(8, 0), AddEdge(0, 8),
+	}}))
+	f.Add(AppendBatch(nil, Batch{Seq: 1, Deltas: []Delta{
+		RemoveEdge(4, 5), RemoveEdge(4, 5), TouchPage(7), AddEdge(3, 3),
+	}}))
+	f.Add(AppendBatch(nil, Batch{Seq: 1, Deltas: []Delta{
+		RemoveEdge(4, 5), RemoveEdge(4, 5), RemoveEdge(4, 5), // one more than exists
+	}}))
+	f.Add(AppendBatch(nil, Batch{Seq: 0, Deltas: []Delta{TouchPage(0)}})) // stale seq
+	f.Add([]byte("SRB1garbage"))
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		b, err := DecodeBatch(data)
+		if err != nil {
+			return
+		}
+		// Round trip: what decoded must re-encode to an equal batch.
+		again, err := DecodeBatch(AppendBatch(nil, b))
+		if err != nil || again.Seq != b.Seq || !slices.Equal(again.Deltas, b.Deltas) {
+			t.Fatalf("re-encode round trip diverged (err=%v)", err)
+		}
+
+		pg := fuzzBase()
+		ing, err := NewIngestor(pg, source.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		pages, links, srcs := pg.NumPages(), pg.NumLinks(), pg.NumSources()
+		before := ing.Emit()
+		if err := ing.Apply(b); err != nil {
+			// Rejected batches must be clean no-ops.
+			if pg.NumPages() != pages || pg.NumLinks() != links || pg.NumSources() != srcs {
+				t.Fatalf("rejected batch mutated the page graph: %v", err)
+			}
+			if ing.Emit() != before {
+				t.Fatalf("rejected batch dirtied the source state: %v", err)
+			}
+			return
+		}
+		if err := pg.Validate(); err != nil {
+			t.Fatalf("applied batch corrupted the page graph: %v", err)
+		}
+		got := ing.Emit()
+		want, err := source.Build(pg, source.Options{})
+		if err != nil {
+			t.Fatalf("cold rebuild after apply: %v", err)
+		}
+		assertSameSourceGraph(t, got, want)
+		if err := got.T.Validate(); err != nil {
+			t.Fatalf("streamed transition CSR invalid: %v", err)
+		}
+	})
+}

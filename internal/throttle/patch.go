@@ -1,0 +1,125 @@
+package throttle
+
+import (
+	"math"
+
+	"sourcerank/internal/linalg"
+)
+
+// PatchTopK updates kappa in place to the TopK assignment for proximity
+// and k, returning how many entries changed and the proximity gap at the
+// top-k boundary (k-th highest score minus (k+1)-th highest, +Inf when k
+// clamps to 0 or len(proximity), i.e. no boundary exists).
+//
+// The selected set is identical to TopK's — same (score desc, index asc)
+// total order — but found by quickselect in O(n) expected time instead
+// of a full sort, and without reallocating kappa. Streaming refreshes
+// use the returned gap to decide whether a warm-started proximity vector
+// is trustworthy near the boundary: warm and cold proximity agree only
+// to within solver tolerance, so when the gap is smaller than that error
+// band the caller must recompute proximity cold before assigning κ, or
+// the streamed κ could diverge from a cold rebuild's.
+func PatchTopK(kappa []float64, proximity linalg.Vector, k int) (changed int, gap float64) {
+	n := len(proximity)
+	if len(kappa) != n {
+		panic("throttle: PatchTopK kappa/proximity length mismatch")
+	}
+	if k < 0 {
+		k = 0
+	}
+	if k > n {
+		k = n
+	}
+	idx := make([]int32, n)
+	for i := range idx {
+		idx[i] = int32(i)
+	}
+	higher := func(a, b int32) bool {
+		if proximity[a] != proximity[b] {
+			return proximity[a] > proximity[b]
+		}
+		return a < b
+	}
+	if k > 0 && k < n {
+		quickselect(idx, k, higher)
+	}
+	gap = math.Inf(1)
+	if k > 0 && k < n {
+		// Boundary gap: lowest score inside the selection minus highest
+		// outside it. Ties across the boundary yield 0.
+		minIn := proximity[idx[0]]
+		for _, i := range idx[1:k] {
+			if proximity[i] < minIn {
+				minIn = proximity[i]
+			}
+		}
+		maxOut := proximity[idx[k]]
+		for _, i := range idx[k+1:] {
+			if proximity[i] > maxOut {
+				maxOut = proximity[i]
+			}
+		}
+		gap = minIn - maxOut
+	}
+	for _, i := range idx[:k] {
+		if kappa[i] != 1 {
+			kappa[i] = 1
+			changed++
+		}
+	}
+	for _, i := range idx[k:] {
+		if kappa[i] != 0 {
+			kappa[i] = 0
+			changed++
+		}
+	}
+	return changed, gap
+}
+
+// quickselect partitions idx so its first k entries are the k smallest
+// under less (in arbitrary order). Deterministic: median-of-three
+// pivoting, no randomness — required so streamed κ assignment never
+// depends on scheduling.
+func quickselect(idx []int32, k int, less func(a, b int32) bool) {
+	lo, hi := 0, len(idx)-1
+	for lo < hi {
+		if hi-lo < 12 {
+			// Insertion sort on small ranges.
+			for i := lo + 1; i <= hi; i++ {
+				for j := i; j > lo && less(idx[j], idx[j-1]); j-- {
+					idx[j], idx[j-1] = idx[j-1], idx[j]
+				}
+			}
+			return
+		}
+		mid := lo + (hi-lo)/2
+		if less(idx[mid], idx[lo]) {
+			idx[lo], idx[mid] = idx[mid], idx[lo]
+		}
+		if less(idx[hi], idx[lo]) {
+			idx[lo], idx[hi] = idx[hi], idx[lo]
+		}
+		if less(idx[hi], idx[mid]) {
+			idx[mid], idx[hi] = idx[hi], idx[mid]
+		}
+		// Median of three is now at mid; use it as the Lomuto pivot.
+		idx[mid], idx[hi] = idx[hi], idx[mid]
+		pivot := idx[hi]
+		store := lo
+		for i := lo; i < hi; i++ {
+			if less(idx[i], pivot) {
+				idx[i], idx[store] = idx[store], idx[i]
+				store++
+			}
+		}
+		idx[store], idx[hi] = idx[hi], idx[store]
+		switch {
+		case store == k || store == k-1:
+			return
+		case store > k:
+			hi = store - 1
+		default:
+			lo = store + 1
+		}
+	}
+}

@@ -1,0 +1,76 @@
+package throttle
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"sourcerank/internal/linalg"
+)
+
+// TestPatchTopKMatchesTopK cross-checks the quickselect assignment
+// against the sort-based reference on random vectors with heavy ties.
+func TestPatchTopKMatchesTopK(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rng.Intn(60)
+		prox := make(linalg.Vector, n)
+		for i := range prox {
+			// Few distinct values force boundary ties.
+			prox[i] = float64(rng.Intn(6)) / 7
+		}
+		k := rng.Intn(n + 2)
+		want := TopK(prox, k)
+		got := make([]float64, n)
+		for i := range got {
+			got[i] = rng.Float64() // garbage prior state
+		}
+		changed, gap := PatchTopK(got, prox, k)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("trial %d (n=%d k=%d): kappa[%d] = %v, want %v", trial, n, k, i, got[i], want[i])
+			}
+		}
+		if changed < 0 || changed > n {
+			t.Fatalf("changed = %d out of range", changed)
+		}
+		if gap < 0 {
+			t.Fatalf("gap = %v negative", gap)
+		}
+	}
+}
+
+func TestPatchTopKGap(t *testing.T) {
+	prox := linalg.Vector{0.5, 0.1, 0.4, 0.1}
+	kappa := make([]float64, 4)
+	changed, gap := PatchTopK(kappa, prox, 2)
+	if changed != 2 {
+		t.Fatalf("changed = %d, want 2", changed)
+	}
+	if math.Abs(gap-0.3) > 1e-15 {
+		t.Fatalf("gap = %v, want 0.3", gap)
+	}
+	// Re-patching with the same inputs changes nothing.
+	changed, _ = PatchTopK(kappa, prox, 2)
+	if changed != 0 {
+		t.Fatalf("idempotent re-patch changed %d entries", changed)
+	}
+	// Boundary tie reports a zero gap.
+	tie := linalg.Vector{0.4, 0.4, 0.1}
+	kappa = make([]float64, 3)
+	_, gap = PatchTopK(kappa, tie, 1)
+	if gap != 0 {
+		t.Fatalf("tie gap = %v, want 0", gap)
+	}
+	if kappa[0] != 1 || kappa[1] != 0 {
+		t.Fatalf("tie must resolve to smaller index: %v", kappa)
+	}
+	// Degenerate k values have no boundary.
+	for _, k := range []int{0, 3, -1, 10} {
+		kappa = make([]float64, 3)
+		_, gap = PatchTopK(kappa, tie, k)
+		if !math.IsInf(gap, 1) {
+			t.Fatalf("k=%d gap = %v, want +Inf", k, gap)
+		}
+	}
+}

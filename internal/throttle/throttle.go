@@ -74,7 +74,16 @@ func Apply(t *linalg.CSR, kappa []float64) (*linalg.CSR, error) {
 	if identity {
 		return t, nil
 	}
-	entries := make([]linalg.Entry, 0, t.NNZ()+t.Rows)
+	// Input rows are sorted and the transforms below preserve column
+	// order (a κ-inserted self-edge replaces an existing sorted diagonal
+	// or stands alone), so the output is assembled directly in CSR form —
+	// no entry buffer, no sort. This runs on every streaming refresh.
+	out := &linalg.CSR{
+		Rows: t.Rows, ColsN: t.ColsN,
+		RowPtr: make([]int64, t.Rows+1),
+		Cols:   make([]int32, 0, t.NNZ()+t.Rows),
+		Vals:   make([]float64, 0, t.NNZ()+t.Rows),
+	}
 	for i := 0; i < t.Rows; i++ {
 		cols, vals := t.Row(i)
 		var self, off float64
@@ -89,30 +98,45 @@ func Apply(t *linalg.CSR, kappa []float64) (*linalg.CSR, error) {
 		switch {
 		case len(cols) == 0:
 			// Structurally empty row: treat as pure self-loop.
-			entries = append(entries, linalg.Entry{Row: i, Col: i, Val: 1})
+			out.Cols = append(out.Cols, int32(i))
+			out.Vals = append(out.Vals, 1)
 		case self >= ki:
 			// Already meets the throttling minimum: copy unchanged.
-			for k, c := range cols {
-				entries = append(entries, linalg.Entry{Row: i, Col: int(c), Val: vals[k]})
-			}
+			out.Cols = append(out.Cols, cols...)
+			out.Vals = append(out.Vals, vals...)
 		case off == 0:
 			// Self-weight below κ but nowhere else to send mass; the row
 			// must stay stochastic, so it becomes a pure self-loop.
-			entries = append(entries, linalg.Entry{Row: i, Col: i, Val: 1})
+			out.Cols = append(out.Cols, int32(i))
+			out.Vals = append(out.Vals, 1)
 		default:
 			scale := (1 - ki) / off
-			entries = append(entries, linalg.Entry{Row: i, Col: i, Val: ki})
-			if ki < 1 {
-				for k, c := range cols {
-					if int(c) == i {
-						continue
-					}
-					entries = append(entries, linalg.Entry{Row: i, Col: int(c), Val: vals[k] * scale})
+			if ki >= 1 {
+				out.Cols = append(out.Cols, int32(i))
+				out.Vals = append(out.Vals, ki)
+				break
+			}
+			placed := false
+			for k, c := range cols {
+				if int(c) == i {
+					continue
 				}
+				if !placed && int(c) > i {
+					out.Cols = append(out.Cols, int32(i))
+					out.Vals = append(out.Vals, ki)
+					placed = true
+				}
+				out.Cols = append(out.Cols, c)
+				out.Vals = append(out.Vals, vals[k]*scale)
+			}
+			if !placed {
+				out.Cols = append(out.Cols, int32(i))
+				out.Vals = append(out.Vals, ki)
 			}
 		}
+		out.RowPtr[i+1] = int64(len(out.Cols))
 	}
-	return linalg.NewCSR(t.Rows, t.ColsN, entries)
+	return out, nil
 }
 
 // ProximityOptions configures the spam-proximity walk of §5.
@@ -137,7 +161,12 @@ type ProximityOptions struct {
 // pre-labeled spam sources (paper Eq. 6, BadRank-style). The returned
 // vector is a probability distribution biased toward spam and toward
 // sources "close" to spam in the forward-link sense.
-func SpamProximity(structure *graph.Graph, seeds []int32, opt ProximityOptions) (linalg.Vector, linalg.IterStats, error) {
+//
+// structure may be an immutable CSR graph or a patched graph.Overlay; the
+// walk iterates successor rows in node order either way, so an overlay
+// produces the exact operator — and hence bitwise-identical scores — its
+// compacted graph would.
+func SpamProximity(structure graph.Topology, seeds []int32, opt ProximityOptions) (linalg.Vector, linalg.IterStats, error) {
 	n := structure.NumNodes()
 	if n == 0 {
 		return nil, linalg.IterStats{}, errors.New("throttle: empty source graph")
@@ -160,22 +189,33 @@ func SpamProximity(structure *graph.Graph, seeds []int32, opt ProximityOptions) 
 	// edge (u, v). Building it directly skips both the graph transpose
 	// and the CSR transpose the solver would otherwise materialize, and
 	// yields the exact matrix — hence bitwise-identical proximity scores
-	// — the transpose-based formulation produced.
+	// — the transpose-based formulation produced. Successor lists are
+	// sorted, so the rows are assembled in CSR order with no entry sort —
+	// this construction runs on every streaming refresh whose source
+	// topology changed, where it is a measurable slice of the delta
+	// budget.
 	indeg := make([]int64, n)
+	nnz := int64(0)
 	for u := 0; u < n; u++ {
 		for _, v := range structure.Successors(int32(u)) {
 			indeg[v]++
+			nnz++
 		}
 	}
-	entries := make([]linalg.Entry, 0, structure.NumEdges())
+	pt := &linalg.CSR{
+		Rows: n, ColsN: n,
+		RowPtr: make([]int64, n+1),
+		Cols:   make([]int32, nnz),
+		Vals:   make([]float64, nnz),
+	}
+	k := int64(0)
 	for u := 0; u < n; u++ {
 		for _, v := range structure.Successors(int32(u)) {
-			entries = append(entries, linalg.Entry{Row: u, Col: int(v), Val: 1 / float64(indeg[v])})
+			pt.Cols[k] = v
+			pt.Vals[k] = 1 / float64(indeg[v])
+			k++
 		}
-	}
-	pt, err := linalg.NewCSR(n, n, entries)
-	if err != nil {
-		return nil, linalg.IterStats{}, err
+		pt.RowPtr[u+1] = k
 	}
 	beta := opt.Beta
 	if beta == 0 {
