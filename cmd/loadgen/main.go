@@ -23,6 +23,16 @@
 // With -churn <interval> a publisher goroutine keeps republishing
 // perturbed snapshots during the mixed-load run, exercising the
 // publish-time pre-encoding while readers hit the cache.
+//
+// Fleet mode: -target may be repeated (or comma-separated) to spread
+// workers round-robin across a builder and its replicas. A tracker
+// samples every target's /v1/snapshot version throughout the runs and
+// the report gains a fleet block with per-target version ranges and the
+// maximum instantaneous version skew observed. With -max-skew >= 0 the
+// run exits nonzero if that skew exceeds the budget — the CI gate that
+// replica propagation keeps up under load.
+//
+//	loadgen -target http://builder:8080 -target http://replica:8081 -max-skew 2
 package main
 
 import (
@@ -53,8 +63,9 @@ import (
 )
 
 func main() {
+	var targets targetList
+	flag.Var(&targets, "target", "base URL of a running srserve; repeat or comma-separate for a fleet (mutually exclusive with -self)")
 	var (
-		target      = flag.String("target", "", "base URL of a running srserve (mutually exclusive with -self)")
 		self        = flag.Bool("self", false, "build the corpus and server in-process")
 		preset      = flag.String("preset", "UK2002", "generator preset for -self")
 		scale       = flag.Float64("scale", 0.02, "generator scale for -self")
@@ -66,12 +77,16 @@ func main() {
 		topkN       = flag.Int("topk-n", 10, "n for /v1/topk requests")
 		churn       = flag.Duration("churn", 0, "republish a perturbed snapshot at this interval during the mixed run (self mode; 0 disables)")
 		compareBase = flag.Bool("compare-baseline", false, "also run topk-only load against the cache-disabled encoder path and report the speedup (self mode)")
+		maxSkew     = flag.Int64("max-skew", -1, "fail the run if the fleet's max instantaneous version skew exceeds this (-1 disables; target mode)")
 		out         = flag.String("out", "BENCH_serving.json", "report path")
 	)
 	flag.Parse()
 
-	if (*target == "") == !*self {
+	if (len(targets) == 0) == !*self {
 		log.Fatal("loadgen: exactly one of -target or -self is required")
+	}
+	if *self && *maxSkew >= 0 {
+		log.Fatal("loadgen: -max-skew needs -target fleets, not -self")
 	}
 	if *self && *transport != "direct" && *transport != "http" {
 		log.Fatalf("loadgen: unknown -transport %q", *transport)
@@ -94,7 +109,7 @@ func main() {
 			Schema:        "sourcerank/bench-serving/v1",
 			GeneratedUnix: time.Now().Unix(),
 			Config: reportConfig{
-				Target: *target, Preset: *preset, Scale: *scale, Seed: *seed,
+				Target: strings.Join(targets, ","), Preset: *preset, Scale: *scale, Seed: *seed,
 				Transport: *transport, DurationS: duration.Seconds(),
 				Mix: *mixSpec, TopKN: *topkN, GoMaxProcs: runtime.GOMAXPROCS(0),
 			},
@@ -108,6 +123,13 @@ func main() {
 		report.Config.Sources = env.store.Current().NumSources()
 	}
 
+	// Fleet tracking spans every run: skew between replicas matters
+	// exactly while load (and builder churn) is in flight.
+	var tracker *fleetTracker
+	if len(targets) > 1 || (*maxSkew >= 0 && len(targets) > 0) {
+		tracker = startFleetTracker(ctx, targets, 100*time.Millisecond)
+	}
+
 	topkOnly := mixTable{{kindTopK, 1}}
 	var hot *hotPath
 	for _, c := range concs {
@@ -115,11 +137,11 @@ func main() {
 			if env == nil {
 				log.Fatal("loadgen: -compare-baseline requires -self")
 			}
-			base := runLoad(ctx, caller(env, *target, false), runSpec{
+			base := runLoad(ctx, caller(env, targets, false), runSpec{
 				name: fmt.Sprintf("topk-baseline-c%d", c), concurrency: c,
 				mix: topkOnly, topkN: *topkN, duration: *duration, cache: false,
 			})
-			cached := runLoad(ctx, caller(env, *target, true), runSpec{
+			cached := runLoad(ctx, caller(env, targets, true), runSpec{
 				name: fmt.Sprintf("topk-cached-c%d", c), concurrency: c,
 				mix: topkOnly, topkN: *topkN, duration: *duration, cache: true,
 			})
@@ -133,7 +155,7 @@ func main() {
 				}
 			}
 		}
-		res := runLoad(ctx, caller(env, *target, true), runSpec{
+		res := runLoad(ctx, caller(env, targets, true), runSpec{
 			name: fmt.Sprintf("mix-c%d", c), concurrency: c,
 			mix: mix, topkN: *topkN, duration: *duration, cache: true,
 		})
@@ -148,7 +170,7 @@ func main() {
 		}
 		c := concs[len(concs)-1]
 		stopChurn, published := env.startChurn(ctx, *churn)
-		res := runLoad(ctx, caller(env, *target, true), runSpec{
+		res := runLoad(ctx, caller(env, targets, true), runSpec{
 			name: fmt.Sprintf("mix-churn-c%d", c), concurrency: c,
 			mix: mix, topkN: *topkN, duration: *duration, cache: true,
 		})
@@ -158,6 +180,11 @@ func main() {
 		log.Printf("c=%d mix+churn: %.0f rps, %d publishes during run", c, res.RPS, res.PublishesDuringRun)
 	}
 	report.HotPath = hot
+	if tracker != nil {
+		report.Fleet = tracker.stop(*maxSkew)
+		log.Printf("fleet: %d targets, %d samples, max version skew %d (budget %d)",
+			len(report.Fleet.PerTarget), report.Fleet.Samples, report.Fleet.MaxSkew, *maxSkew)
+	}
 
 	if env != nil {
 		env.close()
@@ -174,6 +201,27 @@ func main() {
 	if hot != nil {
 		log.Printf("hot path speedup (min across concurrency levels): %.1fx", hot.Speedup)
 	}
+	// The skew gate exits nonzero only after the report is on disk, so a
+	// failed CI run still leaves the evidence behind.
+	if f := report.Fleet; f != nil && !f.SkewOK {
+		log.Fatalf("loadgen: fleet version skew %d exceeds budget %d", f.MaxSkew, *maxSkew)
+	}
+}
+
+// targetList is a repeatable, comma-separable -target flag.
+type targetList []string
+
+func (t *targetList) String() string { return strings.Join(*t, ",") }
+
+func (t *targetList) Set(v string) error {
+	for _, part := range strings.Split(v, ",") {
+		part = strings.TrimRight(strings.TrimSpace(part), "/")
+		if part == "" {
+			continue
+		}
+		*t = append(*t, part)
+	}
+	return nil
 }
 
 // --- report schema ---
@@ -184,6 +232,33 @@ type report struct {
 	Config        reportConfig `json:"config"`
 	Runs          []runResult  `json:"runs"`
 	HotPath       *hotPath     `json:"hot_path,omitempty"`
+	Fleet         *fleetReport `json:"fleet,omitempty"`
+}
+
+// fleetReport summarizes snapshot-version convergence across a fleet of
+// targets sampled throughout the load runs.
+type fleetReport struct {
+	Targets []string `json:"targets"`
+	// Samples is how many sampling rounds saw at least one target.
+	Samples int `json:"samples"`
+	// MaxSkew is the largest spread between the highest and lowest
+	// snapshot version served by any two targets in the same round.
+	MaxSkew uint64 `json:"max_skew"`
+	// SkewBudget echoes -max-skew; -1 means observed but unenforced.
+	SkewBudget int64 `json:"skew_budget"`
+	// SkewOK is false only when a budget was set and exceeded.
+	SkewOK    bool                `json:"skew_ok"`
+	PerTarget []fleetTargetReport `json:"per_target"`
+}
+
+type fleetTargetReport struct {
+	Target      string `json:"target"`
+	MinVersion  uint64 `json:"min_version"`
+	MaxVersion  uint64 `json:"max_version"`
+	LastVersion uint64 `json:"last_version"`
+	// Errors counts sampling probes that failed (unreachable target,
+	// 503 before first sync, bad body).
+	Errors int `json:"errors"`
 }
 
 type reportConfig struct {
@@ -424,6 +499,142 @@ func (e *selfEnv) startChurn(ctx context.Context, interval time.Duration) (stop 
 	return func() { cancel(); <-done }, count.Load
 }
 
+// --- fleet version-skew tracking ---
+
+// fleetTracker samples each target's served snapshot version on a
+// fixed cadence while load runs, recording per-target ranges and the
+// worst instantaneous skew. Probes are cheap (one small JSON GET per
+// target per round) next to the load itself.
+type fleetTracker struct {
+	targets []string
+	cancel  context.CancelFunc
+	done    chan struct{}
+
+	mu      sync.Mutex
+	samples int
+	maxSkew uint64
+	per     []fleetTargetReport
+}
+
+func startFleetTracker(ctx context.Context, targets []string, every time.Duration) *fleetTracker {
+	tctx, cancel := context.WithCancel(ctx)
+	ft := &fleetTracker{
+		targets: targets,
+		cancel:  cancel,
+		done:    make(chan struct{}),
+		per:     make([]fleetTargetReport, len(targets)),
+	}
+	for i, tg := range targets {
+		ft.per[i].Target = tg
+	}
+	client := &http.Client{Timeout: 5 * time.Second}
+	go func() {
+		defer close(ft.done)
+		t := time.NewTicker(every)
+		defer t.Stop()
+		for {
+			ft.sample(tctx, client)
+			select {
+			case <-tctx.Done():
+				return
+			case <-t.C:
+			}
+		}
+	}()
+	return ft
+}
+
+// probeVersion reads one target's served snapshot version.
+func probeVersion(ctx context.Context, client *http.Client, target string) (uint64, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, target+"/v1/snapshot", nil)
+	if err != nil {
+		return 0, err
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, resp.Body)
+		return 0, fmt.Errorf("status %d", resp.StatusCode)
+	}
+	var body struct {
+		Version uint64 `json:"version"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		return 0, err
+	}
+	return body.Version, nil
+}
+
+func (ft *fleetTracker) sample(ctx context.Context, client *http.Client) {
+	versions := make([]uint64, len(ft.targets))
+	oks := make([]bool, len(ft.targets))
+	var wg sync.WaitGroup
+	for i, tg := range ft.targets {
+		wg.Add(1)
+		go func(i int, tg string) {
+			defer wg.Done()
+			v, err := probeVersion(ctx, client, tg)
+			if err == nil {
+				versions[i], oks[i] = v, true
+			}
+		}(i, tg)
+	}
+	wg.Wait()
+
+	ft.mu.Lock()
+	defer ft.mu.Unlock()
+	var lo, hi uint64
+	seen := false
+	for i := range ft.targets {
+		if !oks[i] {
+			ft.per[i].Errors++
+			continue
+		}
+		v := versions[i]
+		p := &ft.per[i]
+		if p.MinVersion == 0 || v < p.MinVersion {
+			p.MinVersion = v
+		}
+		if v > p.MaxVersion {
+			p.MaxVersion = v
+		}
+		p.LastVersion = v
+		if !seen || v < lo {
+			lo = v
+		}
+		if !seen || v > hi {
+			hi = v
+		}
+		seen = true
+	}
+	if !seen {
+		return
+	}
+	ft.samples++
+	if skew := hi - lo; skew > ft.maxSkew {
+		ft.maxSkew = skew
+	}
+}
+
+// stop halts sampling and folds the observations into the report block.
+func (ft *fleetTracker) stop(budget int64) *fleetReport {
+	ft.cancel()
+	<-ft.done
+	ft.mu.Lock()
+	defer ft.mu.Unlock()
+	return &fleetReport{
+		Targets:    ft.targets,
+		Samples:    ft.samples,
+		MaxSkew:    ft.maxSkew,
+		SkewBudget: budget,
+		SkewOK:     budget < 0 || ft.maxSkew <= uint64(budget),
+		PerTarget:  append([]fleetTargetReport(nil), ft.per...),
+	}
+}
+
 // --- request execution ---
 
 // issuer executes one request of the given kind and returns the HTTP
@@ -437,8 +648,10 @@ type issuer interface {
 type callerFactory func(worker int, spec runSpec) issuer
 
 // caller picks the transport: in self+direct mode requests go straight
-// into the handler; otherwise over HTTP to the matching server.
-func caller(env *selfEnv, target string, cache bool) callerFactory {
+// into the handler; otherwise over HTTP. In target mode workers are
+// pinned round-robin across the fleet, so every target carries load and
+// the skew tracker measures replicas that are actually being read.
+func caller(env *selfEnv, targets []string, cache bool) callerFactory {
 	if env != nil && env.transport == "direct" {
 		srv := env.cached
 		if !cache {
@@ -450,17 +663,17 @@ func caller(env *selfEnv, target string, cache bool) callerFactory {
 			return newDirectIssuer(h, n, worker, spec.topkN)
 		}
 	}
-	base := target
-	if env != nil {
-		base = env.cachedURL
-		if !cache {
-			base = env.baselineURL
-		}
-	}
 	return func(worker int, spec runSpec) issuer {
 		n := 0
+		var base string
 		if env != nil {
 			n = env.store.Current().NumSources()
+			base = env.cachedURL
+			if !cache {
+				base = env.baselineURL
+			}
+		} else {
+			base = targets[worker%len(targets)]
 		}
 		return newHTTPIssuer(base, n, worker, spec.topkN)
 	}

@@ -10,6 +10,15 @@
 //	srserve -preset UK2002 -scale 0.01 -addr :8080
 //	srserve -pages corpus.pages -spam corpus.spam -refresh 5m
 //	srserve -preset UK2002 -scale 0.01 -scores mymodel=scores.bin
+//	srserve -replica-of http://builder:8080 -addr :8081
+//
+// In replica mode (-replica-of) no corpus is loaded and nothing is
+// computed locally: the process pulls verified snapshot frames from the
+// builder's /v1/replica/snapshot endpoint (full on first sync, sparse
+// deltas after), hot-swapping each into the local store. A replica that
+// loses its builder keeps serving its last snapshot — flagged
+// X-Snapshot-Stale once past -staleness-budget, with /healthz degraded
+// so load balancers can route around it.
 //
 // Endpoints:
 //
@@ -40,6 +49,7 @@ import (
 	"sourcerank/internal/gen"
 	"sourcerank/internal/linalg"
 	"sourcerank/internal/pagegraph"
+	"sourcerank/internal/replica"
 	"sourcerank/internal/server"
 )
 
@@ -63,6 +73,10 @@ func main() {
 		scores    = flag.String("scores", "", "extra score vectors to serve, as name=path[,name=path...]")
 		dumpDir   = flag.String("dump-scores", "", "write each computed score vector into this directory")
 		pprofAddr = flag.String("pprof-addr", "", "serve net/http/pprof on this address (off when empty; bind loopback only)")
+		replicaOf = flag.String("replica-of", "", "run as a replica of this builder URL (no local corpus or solves)")
+		syncIvl   = flag.Duration("sync-interval", 2*time.Second, "replica: steady-state time between builder pulls")
+		syncTO    = flag.Duration("sync-timeout", 10*time.Second, "replica: per-pull timeout")
+		syncBO    = flag.Duration("sync-max-backoff", 0, "replica: cap on retry delay after failed pulls (0 = 16x sync interval)")
 	)
 	flag.Parse()
 
@@ -75,6 +89,19 @@ func main() {
 				log.Printf("pprof server: %v", err)
 			}
 		}()
+	}
+
+	if *replicaOf != "" {
+		runReplica(*replicaOf, replicaConfig{
+			addr:     *addr,
+			interval: *syncIvl,
+			timeout:  *syncTO,
+			backoff:  *syncBO,
+			staleTO:  *staleTO,
+			maxInFl:  *maxInFl,
+			reqTO:    *reqTO,
+		})
+		return
 	}
 
 	pg, spam, name, err := loadCorpus(*pagesPath, *spamPath, *preset, *scale, *seed)
@@ -159,8 +186,61 @@ func main() {
 		StalenessBudget: *staleTO,
 		MaxInFlight:     *maxInFl,
 		Refresher:       refresher,
+		// Every builder distributes snapshots: replicas pull verified
+		// frames from GET /v1/replica/snapshot (full on first sync,
+		// deltas against the last 8 published versions after).
+		SyncHandler: replica.NewPublisher(store, 8),
 	})
 	log.Printf("serving on %s", *addr)
+	if err := srv.Run(ctx); err != nil {
+		log.Fatalf("srserve: %v", err)
+	}
+	log.Printf("shut down cleanly")
+}
+
+type replicaConfig struct {
+	addr     string
+	interval time.Duration
+	timeout  time.Duration
+	backoff  time.Duration
+	staleTO  time.Duration
+	maxInFl  int
+	reqTO    time.Duration
+}
+
+// runReplica serves as a pull replica: an empty store filled by the
+// sync loop, never by local computation. Data endpoints answer 503
+// until the first successful sync; /healthz reports "starting" and the
+// sync loop's state, so orchestration holds traffic until the replica
+// converges.
+func runReplica(builder string, rc replicaConfig) {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	store := server.NewStore(nil)
+	p := &replica.Puller{
+		Builder:         strings.TrimRight(builder, "/"),
+		Store:           store,
+		Interval:        rc.interval,
+		Timeout:         rc.timeout,
+		MaxBackoff:      rc.backoff,
+		StalenessBudget: rc.staleTO,
+		OnSync: func(version uint64, encoding string, bytes int) {
+			log.Printf("synced snapshot v%d from builder (%s transfer, %d bytes)", version, encoding, bytes)
+		},
+		OnError: func(err error) { log.Printf("sync failed (still serving last snapshot): %v", err) },
+	}
+	go p.Run(ctx)
+	log.Printf("replica of %s: pulling every %v", builder, rc.interval)
+
+	srv := server.New(store, server.Config{
+		Addr:            rc.addr,
+		RequestTimeout:  rc.reqTO,
+		StalenessBudget: rc.staleTO,
+		MaxInFlight:     rc.maxInFl,
+		Replica:         p,
+	})
+	log.Printf("serving on %s", rc.addr)
 	if err := srv.Run(ctx); err != nil {
 		log.Fatalf("srserve: %v", err)
 	}

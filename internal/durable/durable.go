@@ -178,6 +178,23 @@ func (c *crcWriter) Write(p []byte) (int, error) {
 	return n, err
 }
 
+// Frame returns payload with the trailer frame appended, producing bytes
+// that Verify accepts. It is the in-memory half of the commit protocol,
+// used where verified bytes travel over a wire instead of through a
+// rename — e.g. snapshot distribution to replicas — so receivers reject
+// torn or bit-flipped transfers with the same CRC machinery that guards
+// the on-disk artifacts.
+func Frame(payload []byte) []byte {
+	out := make([]byte, len(payload)+TrailerSize)
+	copy(out, payload)
+	le := binary.LittleEndian
+	t := out[len(payload):]
+	le.PutUint32(t[0:4], trailerMagic)
+	le.PutUint64(t[4:12], uint64(len(payload)))
+	le.PutUint32(t[12:16], crc32.Checksum(payload, castagnoli))
+	return out
+}
+
 // Verify checks the trailer frame of data and returns the payload with
 // the trailer stripped. Errors are *CorruptError (Path unset).
 func Verify(data []byte) ([]byte, error) {

@@ -208,3 +208,49 @@ func TestCrashedFSFailsEverythingUntilHeal(t *testing.T) {
 		t.Fatalf("write after heal: %v", err)
 	}
 }
+
+func TestFrameRoundTripAndCorruptionDetection(t *testing.T) {
+	for _, payload := range [][]byte{nil, {}, []byte("x"), bytes.Repeat([]byte{0xAB, 0x00, 0x7F}, 400)} {
+		framed := durable.Frame(payload)
+		got, err := durable.Verify(framed)
+		if err != nil {
+			t.Fatalf("verify of freshly framed payload (%d bytes): %v", len(payload), err)
+		}
+		if !bytes.Equal(got, payload) {
+			t.Fatalf("round trip lost payload: got %d bytes, want %d", len(got), len(payload))
+		}
+		// Every single-byte flip anywhere in the frame must be rejected.
+		for i := range framed {
+			mut := append([]byte(nil), framed...)
+			mut[i] ^= 0x40
+			if _, err := durable.Verify(mut); !errors.Is(err, durable.ErrCorrupt) {
+				t.Fatalf("flip at offset %d: want ErrCorrupt, got %v", i, err)
+			}
+		}
+		// Every truncation too.
+		for n := range framed {
+			if _, err := durable.Verify(framed[:n]); !errors.Is(err, durable.ErrCorrupt) {
+				t.Fatalf("truncate to %d bytes: want ErrCorrupt, got %v", n, err)
+			}
+		}
+	}
+}
+
+func TestFrameMatchesWriteFileBytes(t *testing.T) {
+	// Frame and WriteFile must produce identical bytes for the same
+	// payload: a replica may re-frame its local state and compare against
+	// a builder file or response byte-for-byte.
+	dir := t.TempDir()
+	payload := bytes.Repeat([]byte("snapshot"), 100)
+	path := filepath.Join(dir, "f.bin")
+	if err := durable.WriteFile(nil, path, payloadWriter(payload)); err != nil {
+		t.Fatal(err)
+	}
+	onDisk, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(onDisk, durable.Frame(payload)) {
+		t.Fatal("Frame bytes differ from WriteFile bytes for the same payload")
+	}
+}

@@ -1,0 +1,182 @@
+package replica
+
+import (
+	"fmt"
+	"math/rand"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"sourcerank/internal/durable"
+	"sourcerank/internal/server"
+)
+
+// Publisher is the builder-side snapshot distribution endpoint, mounted
+// at GET /v1/replica/snapshot via server.Config.SyncHandler. Replicas
+// advertise the version they hold with If-None-Match (the serving
+// layer's `"v<N>"` ETags); the publisher answers 304 when they are
+// current, a sparse delta frame when the advertised version is still in
+// its history ring and compatible, and a full frame otherwise. Every
+// body is wrapped by durable.Frame, so receipt verification catches
+// truncation and corruption end to end.
+type Publisher struct {
+	store   *server.Store
+	history int
+	// rnd supplies Retry-After jitter; tests pin it. Nil means math/rand.
+	rnd func() float64
+
+	mu   sync.Mutex
+	ring []pubEntry // most recent last; len <= history
+	// cur caches the framed encodings for the newest observed snapshot,
+	// keyed by (haveVersion) for deltas so a fleet of replicas at the
+	// same version shares one encoding.
+	curVersion uint64
+	curFull    []byte
+	curDeltas  map[uint64][]byte
+
+	fulls       atomic.Uint64
+	deltas      atomic.Uint64
+	notModified atomic.Uint64
+	unavailable atomic.Uint64
+}
+
+type pubEntry struct {
+	snap *server.Snapshot
+}
+
+// NewPublisher serves snapshots from store, keeping the last history
+// published versions available as delta bases (minimum 1).
+func NewPublisher(store *server.Store, history int) *Publisher {
+	if history < 1 {
+		history = 1
+	}
+	return &Publisher{store: store, history: history}
+}
+
+// Fulls counts full-frame responses served.
+func (p *Publisher) Fulls() uint64 { return p.fulls.Load() }
+
+// Deltas counts delta-frame responses served.
+func (p *Publisher) Deltas() uint64 { return p.deltas.Load() }
+
+// NotModified counts 304 responses (replica already current).
+func (p *Publisher) NotModified() uint64 { return p.notModified.Load() }
+
+// observe folds the store's current snapshot into the history ring and
+// returns it. Called under p.mu.
+func (p *Publisher) observe() *server.Snapshot {
+	cur := p.store.Current()
+	if cur == nil {
+		return nil
+	}
+	n := len(p.ring)
+	if n > 0 && p.ring[n-1].snap.Version() >= cur.Version() {
+		return p.ring[n-1].snap
+	}
+	p.ring = append(p.ring, pubEntry{snap: cur})
+	if len(p.ring) > p.history {
+		p.ring = p.ring[len(p.ring)-p.history:]
+	}
+	if cur.Version() != p.curVersion {
+		p.curVersion = cur.Version()
+		p.curFull = nil
+		p.curDeltas = nil
+	}
+	return cur
+}
+
+// haveVersion parses the version a replica advertises via
+// If-None-Match. The serving layer's ETags are strong `"v<N>"` tags;
+// anything else (absent header, `*`, weak tags) reads as 0 — never
+// synced — which degrades to a full transfer, not an error.
+func haveVersion(r *http.Request) uint64 {
+	inm := r.Header.Get("If-None-Match")
+	for _, part := range strings.Split(inm, ",") {
+		part = strings.TrimSpace(part)
+		part = strings.TrimPrefix(part, "W/")
+		if len(part) < 4 || part[0] != '"' || part[len(part)-1] != '"' {
+			continue
+		}
+		tag := part[1 : len(part)-1]
+		if tag == "" || tag[0] != 'v' {
+			continue
+		}
+		if v, err := strconv.ParseUint(tag[1:], 10, 64); err == nil {
+			return v
+		}
+	}
+	return 0
+}
+
+func (p *Publisher) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	p.mu.Lock()
+	cur := p.observe()
+	if cur == nil {
+		p.mu.Unlock()
+		p.unavailable.Add(1)
+		w.Header().Set("Retry-After", retryAfter(p.rnd))
+		http.Error(w, "no snapshot published yet", http.StatusServiceUnavailable)
+		return
+	}
+	have := haveVersion(r)
+	if have == cur.Version() && r.URL.Query().Get("full") == "" {
+		p.mu.Unlock()
+		p.notModified.Add(1)
+		w.Header().Set("Etag", fmt.Sprintf("%q", "v"+strconv.FormatUint(cur.Version(), 10)))
+		w.WriteHeader(http.StatusNotModified)
+		return
+	}
+	body, encoding := p.respond(cur, have, r.URL.Query().Get("full") != "")
+	p.mu.Unlock()
+	if encoding == "delta" {
+		p.deltas.Add(1)
+	} else {
+		p.fulls.Add(1)
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("Etag", fmt.Sprintf("%q", "v"+strconv.FormatUint(cur.Version(), 10)))
+	w.Header().Set("X-Replica-Encoding", encoding)
+	w.Header().Set("Content-Length", strconv.Itoa(len(body)))
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(body)
+}
+
+// respond picks and caches the framed body for a replica holding
+// `have`. Called under p.mu; the returned slice is immutable.
+func (p *Publisher) respond(cur *server.Snapshot, have uint64, forceFull bool) (body []byte, encoding string) {
+	if !forceFull && have != 0 && have < cur.Version() {
+		if b, ok := p.curDeltas[have]; ok {
+			return b, "delta"
+		}
+		for _, e := range p.ring {
+			if e.snap.Version() != have {
+				continue
+			}
+			if payload := EncodeDelta(e.snap, cur); payload != nil {
+				b := durable.Frame(payload)
+				if p.curDeltas == nil {
+					p.curDeltas = make(map[uint64][]byte)
+				}
+				p.curDeltas[have] = b
+				return b, "delta"
+			}
+			break
+		}
+	}
+	if p.curFull == nil {
+		p.curFull = durable.Frame(EncodeFull(cur))
+	}
+	return p.curFull, "full"
+}
+
+// retryAfter returns a small jittered Retry-After value (seconds) so a
+// fleet hitting an empty builder does not re-poll in lockstep.
+func retryAfter(rnd func() float64) string {
+	f := rand.Float64
+	if rnd != nil {
+		f = rnd
+	}
+	return strconv.Itoa(1 + int(f()*3)%3)
+}

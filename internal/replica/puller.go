@@ -1,0 +1,380 @@
+package replica
+
+import (
+	"context"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"sync/atomic"
+	"time"
+
+	"sourcerank/internal/durable"
+	"sourcerank/internal/server"
+)
+
+// maxFrameBytes bounds how much of a sync response a puller will buffer
+// before verification; a builder response past it is treated as torn.
+const maxFrameBytes = 1 << 30
+
+// Puller is the replica-side sync loop: it pulls snapshot frames from a
+// builder's /v1/replica/snapshot endpoint, verifies the durable CRC
+// trailer on the raw bytes before decoding, applies full frames or
+// patches deltas over the current snapshot (proving the patched state
+// byte-identical to a full pull via the frame's post-patch CRCs), and
+// hot-swaps the result into Store with the builder's version number so
+// fleet skew is observable. A failed or torn transfer never disturbs
+// the serving snapshot.
+//
+// Puller implements server.ReplicaStatus, so wiring it into
+// server.Config.Replica makes /healthz judge staleness by sync contact
+// age and /metrics export the srserve_replica_* series.
+type Puller struct {
+	// Builder is the base URL of the builder node (e.g.
+	// "http://builder:8080"); the sync path is appended.
+	Builder string
+	// Store receives verified snapshots.
+	Store *server.Store
+	// Interval is the steady-state time between sync attempts.
+	Interval time.Duration
+	// Timeout bounds each pull attempt; 0 defaults to 10s.
+	Timeout time.Duration
+	// MaxBackoff caps the delay after consecutive sync failures; 0
+	// defaults to 16×Interval (same discipline as server.Refresher).
+	MaxBackoff time.Duration
+	// StalenessBudget is how long the replica may go without builder
+	// contact before Healthz degrades. 0 disables the check here (the
+	// server's own budget still applies to publish age).
+	StalenessBudget time.Duration
+	// Client issues the pulls; nil means a default client. Tests inject
+	// fault-injecting transports here.
+	Client *http.Client
+	// OnSync, if set, observes each applied snapshot (not 304s).
+	OnSync func(version uint64, encoding string, bytes int)
+	// OnError, if set, observes each failed attempt.
+	OnError func(error)
+
+	// rnd supplies backoff jitter; tests pin it. Nil means math/rand.
+	rnd func() float64
+
+	lastSyncNS   atomic.Int64 // wall clock of last successful contact (200 or 304)
+	startNS      atomic.Int64 // wall clock of Run start (or first SyncNow)
+	version      atomic.Uint64
+	failures     atomic.Uint64 // consecutive
+	syncFailures atomic.Uint64 // total
+	bytesTotal   atomic.Uint64
+	fullSyncs    atomic.Uint64
+	deltaSyncs   atomic.Uint64
+	notModified  atomic.Uint64
+	tornRejected atomic.Uint64
+	regressions  atomic.Uint64
+	// forceFull requests an unconditioned full pull on the next attempt;
+	// set after any verification or delta-application failure so a
+	// replica whose local state diverged re-bases instead of looping.
+	forceFull atomic.Bool
+	// retryAfterHint is the builder's parsed Retry-After (seconds) from
+	// the last 503, used as a floor under the backoff delay.
+	retryAfterHint atomic.Int64
+}
+
+func (p *Puller) timeout() time.Duration {
+	if p.Timeout <= 0 {
+		return 10 * time.Second
+	}
+	return p.Timeout
+}
+
+func (p *Puller) client() *http.Client {
+	if p.Client != nil {
+		return p.Client
+	}
+	return http.DefaultClient
+}
+
+// Version is the builder version this replica currently serves (0
+// before the first successful sync).
+func (p *Puller) Version() uint64 { return p.version.Load() }
+
+// ConsecutiveFailures reports failed attempts since the last successful
+// contact.
+func (p *Puller) ConsecutiveFailures() uint64 { return p.failures.Load() }
+
+// TornRejected counts transfers rejected by CRC/structure verification
+// before reaching the store.
+func (p *Puller) TornRejected() uint64 { return p.tornRejected.Load() }
+
+// FullSyncs, DeltaSyncs, and NotModified count sync outcomes.
+func (p *Puller) FullSyncs() uint64   { return p.fullSyncs.Load() }
+func (p *Puller) DeltaSyncs() uint64  { return p.deltaSyncs.Load() }
+func (p *Puller) NotModified() uint64 { return p.notModified.Load() }
+
+// SyncAge is the time since the last successful builder contact; before
+// any contact it is the time since the loop started, so a replica that
+// never reaches its builder ages into degradation rather than looking
+// forever fresh.
+func (p *Puller) SyncAge() time.Duration {
+	if ns := p.lastSyncNS.Load(); ns != 0 {
+		return time.Since(time.Unix(0, ns))
+	}
+	if ns := p.startNS.Load(); ns != 0 {
+		return time.Since(time.Unix(0, ns))
+	}
+	return 0
+}
+
+// Healthz returns the replica block for /healthz. The serving layer
+// turns the response 503 when SyncAge exceeds the server's staleness
+// budget; this block tells operators why.
+func (p *Puller) Healthz() map[string]any {
+	h := map[string]any{
+		"builder":              p.Builder,
+		"version":              p.version.Load(),
+		"lag_seconds":          p.SyncAge().Seconds(),
+		"consecutive_failures": p.failures.Load(),
+		"sync_failures_total":  p.syncFailures.Load(),
+		"torn_rejected_total":  p.tornRejected.Load(),
+		"bytes_transferred":    p.bytesTotal.Load(),
+		"full_syncs":           p.fullSyncs.Load(),
+		"delta_syncs":          p.deltaSyncs.Load(),
+		"not_modified":         p.notModified.Load(),
+	}
+	if p.StalenessBudget > 0 {
+		h["staleness_budget_seconds"] = p.StalenessBudget.Seconds()
+		h["within_budget"] = p.SyncAge() <= p.StalenessBudget
+	}
+	return h
+}
+
+// WriteMetricsText appends the srserve_replica_* series to the /metrics
+// exposition.
+func (p *Puller) WriteMetricsText(w io.Writer) {
+	fmt.Fprintf(w, "# HELP srserve_replica_lag_seconds Time since last successful builder contact.\n")
+	fmt.Fprintf(w, "# TYPE srserve_replica_lag_seconds gauge\n")
+	fmt.Fprintf(w, "srserve_replica_lag_seconds %g\n", p.SyncAge().Seconds())
+	fmt.Fprintf(w, "# HELP srserve_replica_version Builder snapshot version currently served.\n")
+	fmt.Fprintf(w, "# TYPE srserve_replica_version gauge\n")
+	fmt.Fprintf(w, "srserve_replica_version %d\n", p.version.Load())
+	fmt.Fprintf(w, "# HELP srserve_replica_sync_failures Total failed sync attempts.\n")
+	fmt.Fprintf(w, "# TYPE srserve_replica_sync_failures counter\n")
+	fmt.Fprintf(w, "srserve_replica_sync_failures %d\n", p.syncFailures.Load())
+	fmt.Fprintf(w, "# HELP srserve_replica_torn_rejected Transfers rejected by verification before publish.\n")
+	fmt.Fprintf(w, "# TYPE srserve_replica_torn_rejected counter\n")
+	fmt.Fprintf(w, "srserve_replica_torn_rejected %d\n", p.tornRejected.Load())
+	fmt.Fprintf(w, "# HELP srserve_replica_bytes_transferred Total snapshot bytes received.\n")
+	fmt.Fprintf(w, "# TYPE srserve_replica_bytes_transferred counter\n")
+	fmt.Fprintf(w, "srserve_replica_bytes_transferred %d\n", p.bytesTotal.Load())
+	fmt.Fprintf(w, "# HELP srserve_replica_syncs Applied syncs by transfer encoding.\n")
+	fmt.Fprintf(w, "# TYPE srserve_replica_syncs counter\n")
+	fmt.Fprintf(w, "srserve_replica_syncs{encoding=\"full\"} %d\n", p.fullSyncs.Load())
+	fmt.Fprintf(w, "srserve_replica_syncs{encoding=\"delta\"} %d\n", p.deltaSyncs.Load())
+	fmt.Fprintf(w, "srserve_replica_syncs{encoding=\"not_modified\"} %d\n", p.notModified.Load())
+}
+
+// Run pulls until ctx is canceled: an immediate first sync, then
+// Interval-paced attempts stretching into jittered exponential backoff
+// after consecutive failures (a builder Retry-After hint floors the
+// delay). Mirrors server.Refresher's loop discipline.
+func (p *Puller) Run(ctx context.Context) {
+	if p.Interval <= 0 {
+		return
+	}
+	p.startNS.CompareAndSwap(0, time.Now().UnixNano())
+	_ = p.SyncNow(ctx)
+	t := time.NewTimer(p.nextDelay())
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+			_ = p.SyncNow(ctx)
+			t.Reset(p.nextDelay())
+		}
+	}
+}
+
+// nextDelay is Interval while syncs succeed; after f consecutive
+// failures it is Interval·2^f capped at MaxBackoff, jittered ±20%, and
+// floored by the builder's last Retry-After hint.
+func (p *Puller) nextDelay() time.Duration {
+	f := p.failures.Load()
+	d := p.Interval
+	if f > 0 {
+		max := p.MaxBackoff
+		if max <= 0 {
+			max = 16 * p.Interval
+		}
+		for i := uint64(0); i < f; i++ {
+			d *= 2
+			if d >= max {
+				d = max
+				break
+			}
+		}
+	}
+	d = server.Jitter(d, p.rnd)
+	if hint := time.Duration(p.retryAfterHint.Swap(0)) * time.Second; hint > d {
+		d = hint
+	}
+	return d
+}
+
+func (p *Puller) fail(err error) error {
+	p.failures.Add(1)
+	p.syncFailures.Add(1)
+	if p.OnError != nil {
+		p.OnError(err)
+	}
+	return err
+}
+
+// SyncNow performs one pull attempt synchronously. On success (a
+// publish or a 304) the consecutive-failure counter resets and the sync
+// clock is touched; on any failure — transport, HTTP, verification,
+// decode, application — the serving snapshot is untouched and the error
+// is returned.
+func (p *Puller) SyncNow(ctx context.Context) error {
+	p.startNS.CompareAndSwap(0, time.Now().UnixNano())
+	ctx, cancel := context.WithTimeout(ctx, p.timeout())
+	defer cancel()
+
+	url := p.Builder + "/v1/replica/snapshot"
+	force := p.forceFull.Load()
+	if force {
+		url += "?full=1"
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return p.fail(fmt.Errorf("replica: build sync request: %w", err))
+	}
+	cur := p.Store.Current()
+	if cur != nil && !force {
+		req.Header.Set("If-None-Match", fmt.Sprintf("%q", "v"+strconv.FormatUint(cur.Version(), 10)))
+	}
+	resp, err := p.client().Do(req)
+	if err != nil {
+		return p.fail(fmt.Errorf("replica: pull %s: %w", p.Builder, err))
+	}
+	defer resp.Body.Close()
+
+	switch resp.StatusCode {
+	case http.StatusNotModified:
+		p.touch()
+		p.notModified.Add(1)
+		return nil
+	case http.StatusOK:
+		// fall through to transfer handling
+	default:
+		if ra := resp.Header.Get("Retry-After"); ra != "" {
+			if secs, err := strconv.ParseInt(ra, 10, 64); err == nil && secs > 0 {
+				p.retryAfterHint.Store(secs)
+			}
+		}
+		_, _ = io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+		return p.fail(fmt.Errorf("replica: builder returned %s", resp.Status))
+	}
+
+	framed, err := io.ReadAll(io.LimitReader(resp.Body, maxFrameBytes+1))
+	if err != nil {
+		return p.fail(fmt.Errorf("replica: read sync body: %w", err))
+	}
+	if len(framed) > maxFrameBytes {
+		p.tornRejected.Add(1)
+		return p.fail(fmt.Errorf("replica: sync body exceeds %d bytes", maxFrameBytes))
+	}
+	// Verify the CRC frame on the raw received bytes before any decoding
+	// touches them: truncation, bit flips, and torn writes all die here.
+	payload, err := durable.Verify(framed)
+	if err != nil {
+		p.tornRejected.Add(1)
+		p.forceFull.Store(true)
+		return p.fail(fmt.Errorf("replica: transfer verification: %w", err))
+	}
+	snap, encoding, err := p.decode(payload, cur)
+	if err != nil {
+		if errors.Is(err, ErrFrame) {
+			p.tornRejected.Add(1)
+		}
+		p.forceFull.Store(true)
+		return p.fail(err)
+	}
+	version := snapVersionOf(payload)
+	if err := p.Store.PublishExternal(snap, version); err != nil {
+		// A version regression (builder restarted behind us) is not
+		// recoverable by re-pulling the same version; count it and wait
+		// for the builder to pass us again.
+		p.regressions.Add(1)
+		return p.fail(fmt.Errorf("replica: publish: %w", err))
+	}
+	p.forceFull.Store(false)
+	p.touch()
+	p.version.Store(version)
+	p.bytesTotal.Add(uint64(len(framed)))
+	if encoding == "delta" {
+		p.deltaSyncs.Add(1)
+	} else {
+		p.fullSyncs.Add(1)
+	}
+	if p.OnSync != nil {
+		p.OnSync(version, encoding, len(framed))
+	}
+	return nil
+}
+
+func (p *Puller) touch() {
+	p.failures.Store(0)
+	p.lastSyncNS.Store(time.Now().UnixNano())
+}
+
+// decode turns a verified payload into a publishable snapshot.
+func (p *Puller) decode(payload []byte, cur *server.Snapshot) (*server.Snapshot, string, error) {
+	kind, err := FrameKind(payload)
+	if err != nil {
+		return nil, "", err
+	}
+	switch kind {
+	case KindFull:
+		f, err := DecodeFull(payload)
+		if err != nil {
+			return nil, "", err
+		}
+		snap, err := f.Snapshot()
+		if err != nil {
+			return nil, "", err
+		}
+		return snap, "full", nil
+	default:
+		d, err := DecodeDelta(payload)
+		if err != nil {
+			return nil, "", err
+		}
+		if cur == nil {
+			return nil, "", badFrame("delta frame received with no local snapshot")
+		}
+		snap, err := d.Apply(cur)
+		if err != nil {
+			return nil, "", err
+		}
+		return snap, "delta", nil
+	}
+}
+
+// snapVersionOf reads the version field out of a verified payload
+// (offset 6 for full frames; deltas carry fromVersion first, then the
+// body's version at offset 14).
+func snapVersionOf(payload []byte) uint64 {
+	kind, err := FrameKind(payload)
+	if err != nil {
+		return 0
+	}
+	off := 6
+	if kind == KindDelta {
+		off = 14
+	}
+	if len(payload) < off+8 {
+		return 0
+	}
+	return binary.LittleEndian.Uint64(payload[off:])
+}

@@ -4,6 +4,7 @@ import (
 	"context"
 	"encoding/json"
 	"errors"
+	"math/rand"
 	"net/http"
 	"strconv"
 	"strings"
@@ -19,9 +20,10 @@ const (
 	epSnapshot = "snapshot"
 	epHealthz  = "healthz"
 	epMetrics  = "metrics"
+	epSync     = "sync"
 )
 
-var allEndpoints = []string{epRank, epTopK, epCompare, epSnapshot, epHealthz, epMetrics}
+var allEndpoints = []string{epRank, epTopK, epCompare, epSnapshot, epHealthz, epMetrics, epSync}
 
 // apiError is the JSON error envelope.
 type apiError struct {
@@ -67,7 +69,7 @@ func (s *Server) instrument(endpoint string, capped bool, h http.HandlerFunc) ht
 			ctr := s.inflight[endpoint]
 			if ctr.Add(1) > int64(s.cfg.MaxInFlight) {
 				ctr.Add(-1)
-				w.Header().Set("Retry-After", "1")
+				w.Header().Set("Retry-After", retryAfterValue(nil))
 				writeError(w, http.StatusServiceUnavailable, "over capacity, retry shortly")
 				s.metrics.ObserveShed(endpoint)
 				s.metrics.Observe(endpoint, http.StatusServiceUnavailable, time.Since(start))
@@ -90,14 +92,40 @@ func (s *Server) instrument(endpoint string, capped bool, h http.HandlerFunc) ht
 	})
 }
 
+// retryAfterValues spreads 503 retries over a small window: a herd of
+// replicas (or shed clients) that all hit a restarting builder in the
+// same instant must not all come back in the same instant. rnd is only
+// pinned by tests; nil uses math/rand.
+var retryAfterValues = [...]string{"1", "2", "3"}
+
+func retryAfterValue(rnd func() float64) string {
+	f := rand.Float64
+	if rnd != nil {
+		f = rnd
+	}
+	i := int(f() * float64(len(retryAfterValues)))
+	if i >= len(retryAfterValues) {
+		i = len(retryAfterValues) - 1
+	}
+	return retryAfterValues[i]
+}
+
 // staleness reports the serving snapshot's age and whether it exceeds
 // the staleness budget. Always fresh when no budget is configured or
-// nothing is published yet.
+// nothing is published yet. On a replica the age is the sync-contact
+// age, not the local publish age: a builder that publishes rarely keeps
+// its replicas fresh with 304s, while an unreachable builder makes them
+// stale even though nothing was locally republished.
 func (s *Server) staleness() (time.Duration, bool) {
 	if s.cfg.StalenessBudget <= 0 {
 		return 0, false
 	}
-	age := s.store.Staleness()
+	var age time.Duration
+	if s.cfg.Replica != nil {
+		age = s.cfg.Replica.SyncAge()
+	} else {
+		age = s.store.Staleness()
+	}
 	return age, age > s.cfg.StalenessBudget
 }
 
@@ -399,10 +427,13 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	status["snapshot_version"] = snap.Version()
+	if s.cfg.Replica != nil {
+		status["replica"] = s.cfg.Replica.Healthz()
+	}
 	if age, stale := s.staleness(); stale {
 		// Degraded: data endpoints still answer (from the stale
-		// snapshot), but the refresh pipeline is not keeping up and
-		// orchestration should know.
+		// snapshot), but the refresh pipeline — or on a replica, the
+		// sync loop — is not keeping up and orchestration should know.
 		status["status"] = "degraded"
 		status["stale_seconds"] = age.Seconds()
 		status["staleness_budget_seconds"] = s.cfg.StalenessBudget.Seconds()
@@ -424,6 +455,9 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	s.metrics.WriteText(w, version, s.store.Publishes(), sources, s.store.Staleness().Seconds())
 	s.metrics.WriteSolverText(w, snap)
 	s.metrics.WriteRefreshText(w, s.cfg.Refresher)
+	if s.cfg.Replica != nil {
+		s.cfg.Replica.WriteMetricsText(w)
+	}
 }
 
 // routes wires the instrumented mux.
@@ -437,5 +471,10 @@ func (s *Server) routes() *http.ServeMux {
 	// need when the data path is saturated.
 	mux.Handle("GET /healthz", s.instrument(epHealthz, false, s.handleHealthz))
 	mux.Handle("GET /metrics", s.instrument(epMetrics, false, s.handleMetrics))
+	if s.cfg.SyncHandler != nil {
+		// The replica sync endpoint is control-plane traffic: rare,
+		// large responses, never shed.
+		mux.Handle("GET /v1/replica/snapshot", s.instrument(epSync, false, s.cfg.SyncHandler.ServeHTTP))
+	}
 	return mux
 }

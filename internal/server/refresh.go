@@ -198,6 +198,14 @@ func (r *Refresher) backoffDelay(f uint64) time.Duration {
 	return d
 }
 
+// Jitter spreads d uniformly over [0.8d, 1.2d]; a nil rnd uses
+// math/rand. Exported for the replica sync loop, which applies the same
+// fleet de-synchronization discipline as the refresher so a builder
+// restart is not followed by every replica re-syncing in lockstep.
+func Jitter(d time.Duration, rnd func() float64) time.Duration {
+	return jitter(d, rnd)
+}
+
 // jitter spreads d uniformly over [0.8d, 1.2d].
 func jitter(d time.Duration, rnd func() float64) time.Duration {
 	if d <= 0 {

@@ -3,11 +3,30 @@ package server
 import (
 	"context"
 	"errors"
+	"io"
 	"net"
 	"net/http"
 	"sync/atomic"
 	"time"
 )
+
+// ReplicaStatus is the server's view of a replica sync loop
+// (internal/replica.Puller implements it; an interface here keeps the
+// dependency one-way). When Config.Replica is set, the staleness budget
+// is judged against SyncAge — how long since the replica last confirmed
+// it holds the builder's current snapshot — instead of the local
+// publish age, /healthz carries the Healthz block, and /metrics appends
+// the srserve_replica_* series.
+type ReplicaStatus interface {
+	// SyncAge is the time since the last successful sync contact with
+	// the builder (a 200 publish or a 304 confirming freshness).
+	SyncAge() time.Duration
+	// Healthz returns the replica block merged into the /healthz payload.
+	Healthz() map[string]any
+	// WriteMetricsText appends the replica series to the /metrics
+	// exposition.
+	WriteMetricsText(w io.Writer)
+}
 
 // Config tunes the HTTP server. The zero value is serviceable.
 type Config struct {
@@ -36,6 +55,15 @@ type Config struct {
 	// fallbacks, consecutive build failures, last build time) to
 	// /metrics.
 	Refresher *Refresher
+	// Replica, if set, marks this server as a replica: staleness is
+	// judged by sync contact age, /healthz reports the sync loop's
+	// health, and /metrics carries the srserve_replica_* series.
+	Replica ReplicaStatus
+	// SyncHandler, if set, is mounted at GET /v1/replica/snapshot — the
+	// builder-side snapshot distribution endpoint
+	// (internal/replica.Publisher) that replicas pull verified frames
+	// from. Nil leaves the route unregistered (404).
+	SyncHandler http.Handler
 }
 
 func (c Config) addr() string {

@@ -78,6 +78,16 @@ func NewScoreSet(scores linalg.Vector, stats linalg.IterStats) *ScoreSet {
 	return &ScoreSet{scores: scores, order: order, rank: rank, stats: stats}
 }
 
+// NewScoreSetSolved is NewScoreSet with solve provenance attached. The
+// replica sync path uses it to reconstruct a transferred snapshot whose
+// solve ran on the builder, so /metrics on a replica reports the
+// builder's convergence rather than zeros.
+func NewScoreSetSolved(scores linalg.Vector, stats linalg.IterStats, solveTime time.Duration, warm bool) *ScoreSet {
+	ss := NewScoreSet(scores, stats)
+	ss.setSolve(solveTime, warm)
+	return ss
+}
+
 // Stats reports the solver convergence of this score set.
 func (ss *ScoreSet) Stats() linalg.IterStats { return ss.stats }
 
@@ -195,6 +205,17 @@ func (s *Snapshot) KappaTopK() int { return s.kappaTopK }
 
 // NumSources is the number of sources served.
 func (s *Snapshot) NumSources() int { return len(s.labels) }
+
+// LabelsView returns the source labels without copying. Callers must
+// treat it as read-only: it is shared with every concurrent reader of
+// the snapshot. The replica codec reads it to encode transfer frames,
+// and the delta sync path threads it unchanged into the next snapshot
+// so the pre-encoder's pointer-identity reuse keeps working.
+func (s *Snapshot) LabelsView() []string { return s.labels }
+
+// PageCountsView returns the per-source page counts without copying;
+// read-only, same contract as LabelsView.
+func (s *Snapshot) PageCountsView() []int { return s.pageCount }
 
 // Algos lists the available algorithms in stable order.
 func (s *Snapshot) Algos() []Algo {

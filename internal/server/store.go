@@ -1,6 +1,7 @@
 package server
 
 import (
+	"fmt"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -58,6 +59,41 @@ func (s *Store) Publish(snap *Snapshot) uint64 {
 	s.cur.Store(snap)
 	s.publishedAt.Store(time.Now().UnixNano())
 	return snap.version
+}
+
+// PublishExternal is Publish for snapshots whose version was assigned
+// elsewhere — a replica adopting its builder's version numbers so fleet
+// version skew is directly observable. The version must move forward;
+// a regression (e.g. a builder that restarted without recovering its
+// publish counter) is rejected so readers never observe versions going
+// backwards, and the caller surfaces it as a sync failure instead.
+// Local Publish calls interleaved with external ones stay monotonic:
+// the internal counter is advanced to at least the adopted version.
+func (s *Store) PublishExternal(snap *Snapshot, version uint64) error {
+	s.publishMu.Lock()
+	defer s.publishMu.Unlock()
+	if version == 0 {
+		return fmt.Errorf("server: external publish needs a nonzero version")
+	}
+	prev := s.cur.Load()
+	if prev != nil && version <= prev.version {
+		return fmt.Errorf("server: external publish version %d not past served version %d", version, prev.version)
+	}
+	for {
+		cur := s.versions.Load()
+		if cur >= version || s.versions.CompareAndSwap(cur, version) {
+			break
+		}
+	}
+	snap.version = version
+	if prev != nil {
+		snap.parent = prev.version
+	}
+	pubs := s.publishes.Add(1)
+	snap.finalize(prev, pubs)
+	s.cur.Store(snap)
+	s.publishedAt.Store(time.Now().UnixNano())
+	return nil
 }
 
 // Publishes counts successful Publish calls since creation.

@@ -1,0 +1,196 @@
+package stream
+
+import (
+	"errors"
+	"testing"
+
+	"sourcerank/internal/durable"
+	"sourcerank/internal/faultfs"
+)
+
+// These tests drive the WAL's commit protocol through injected disk
+// faults: a failed fsync, a failed directory fsync after the rename, a
+// crash mid-write, and read corruption during recovery. The invariant
+// throughout is durable.WriteFile's: an Append either leaves a
+// verifiable committed entry or (at worst, for a post-rename dir-fsync
+// failure) an entry recovery handles idempotently — never a torn one.
+
+func walBatch(seq uint64) Batch {
+	return Batch{Seq: seq, Deltas: []Delta{
+		AddSource("wal-fault.example"),
+		AddPage(0),
+		AddEdge(0, 0),
+	}}
+}
+
+func TestWALAppendFsyncFailureCommitsNothing(t *testing.T) {
+	dir := t.TempDir()
+	ffs := faultfs.New(nil)
+	w, recovered, err := OpenWAL(ffs, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recovered) != 0 {
+		t.Fatalf("fresh wal recovered %d batches", len(recovered))
+	}
+
+	// The first Sync in WriteFile's protocol is the data-file fsync,
+	// before the rename: failing it must abort the commit entirely.
+	ffs.FailNextSyncs(1)
+	if err := w.Append(walBatch(1)); !errors.Is(err, faultfs.ErrSync) {
+		t.Fatalf("append under fsync failure: %v, want ErrSync", err)
+	}
+	if w.LastSeq() != 0 {
+		t.Fatalf("LastSeq advanced to %d after failed append", w.LastSeq())
+	}
+	if _, recovered, err := OpenWAL(ffs, dir); err != nil || len(recovered) != 0 {
+		t.Fatalf("reopen after failed append: %d batches, err %v; want empty", len(recovered), err)
+	}
+
+	// The disk recovers: retrying the same sequence number succeeds and
+	// the entry is durably recovered.
+	if err := w.Append(walBatch(1)); err != nil {
+		t.Fatalf("retry append: %v", err)
+	}
+	_, recovered, err = OpenWAL(ffs, dir)
+	if err != nil || len(recovered) != 1 || recovered[0].Seq != 1 {
+		t.Fatalf("reopen after retry: %+v, err %v; want seq 1", recovered, err)
+	}
+}
+
+// dirSyncFailFS fails SyncDir (the post-rename directory fsync) while
+// letting file-level Syncs through — the one window in WriteFile's
+// protocol where an Append error can leave a committed entry behind.
+type dirSyncFailFS struct {
+	durable.FS
+	fail int
+}
+
+var errDirSync = errors.New("injected directory fsync failure")
+
+func (d *dirSyncFailFS) SyncDir(name string) error {
+	if d.fail > 0 {
+		d.fail--
+		return errDirSync
+	}
+	return d.FS.SyncDir(name)
+}
+
+func TestWALAppendDirSyncFailureIsRecoverable(t *testing.T) {
+	dir := t.TempDir()
+	dfs := &dirSyncFailFS{FS: durable.OS{}}
+	w, _, err := OpenWAL(dfs, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	dfs.fail = 1
+	if err := w.Append(walBatch(1)); !errors.Is(err, errDirSync) {
+		t.Fatalf("append under dir-fsync failure: %v", err)
+	}
+	if w.LastSeq() != 0 {
+		t.Fatalf("LastSeq advanced to %d after failed append", w.LastSeq())
+	}
+
+	// The rename had already committed, so the entry may be visible on
+	// reopen — the documented crash window. Recovery must either see
+	// nothing or see the complete, verifiable entry; the caller's retry
+	// of the same sequence number must then be handled idempotently.
+	_, recovered, err := OpenWAL(dfs, dir)
+	if err != nil {
+		t.Fatalf("reopen after dir-fsync failure: %v", err)
+	}
+	switch len(recovered) {
+	case 0:
+		if err := w.Append(walBatch(1)); err != nil {
+			t.Fatalf("retry append: %v", err)
+		}
+	case 1:
+		if recovered[0].Seq != 1 {
+			t.Fatalf("recovered seq %d, want 1", recovered[0].Seq)
+		}
+		// The writer (which never saw the commit) retries seq 1: the
+		// rewrite replaces the identical entry, converging, not
+		// corrupting.
+		if err := w.Append(walBatch(1)); err != nil {
+			t.Fatalf("idempotent rewrite of seq 1: %v", err)
+		}
+	default:
+		t.Fatalf("recovered %d entries from one append", len(recovered))
+	}
+	_, recovered, err = OpenWAL(dfs, dir)
+	if err != nil || len(recovered) != 1 || recovered[0].Seq != 1 {
+		t.Fatalf("final state: %d entries, err %v; want exactly seq 1", len(recovered), err)
+	}
+}
+
+func TestWALAppendCrashMidWriteLeavesNoEntry(t *testing.T) {
+	dir := t.TempDir()
+	ffs := faultfs.New(nil)
+	w, _, err := OpenWAL(ffs, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Append(walBatch(1)); err != nil {
+		t.Fatal(err)
+	}
+
+	// Crash a few bytes into the next entry's write: the temp file is
+	// torn on disk, but it was never renamed, so recovery ignores it.
+	ffs.SetWriteBudget(5)
+	if err := w.Append(walBatch(2)); !errors.Is(err, faultfs.ErrCrash) {
+		t.Fatalf("append past write budget: %v, want ErrCrash", err)
+	}
+	if w.LastSeq() != 1 {
+		t.Fatalf("LastSeq = %d after crashed append, want 1", w.LastSeq())
+	}
+
+	ffs.Heal()
+	w2, recovered, err := OpenWAL(ffs, dir)
+	if err != nil {
+		t.Fatalf("recovery after crash: %v", err)
+	}
+	if len(recovered) != 1 || recovered[0].Seq != 1 {
+		t.Fatalf("recovered %+v, want only seq 1", recovered)
+	}
+	// The restarted process replays and appends where it left off.
+	if err := w2.Append(walBatch(2)); err != nil {
+		t.Fatalf("append after recovery: %v", err)
+	}
+	if _, recovered, _ := OpenWAL(ffs, dir); len(recovered) != 2 {
+		t.Fatalf("recovered %d entries after healed retry, want 2", len(recovered))
+	}
+}
+
+func TestWALRecoveryRejectsCorruptedEntries(t *testing.T) {
+	dir := t.TempDir()
+	ffs := faultfs.New(nil)
+	w, _, err := OpenWAL(ffs, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Append(walBatch(1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Append(walBatch(2)); err != nil {
+		t.Fatal(err)
+	}
+
+	// Bit-rot in a committed entry: recovery must fail loudly with the
+	// corruption sentinel, not replay a damaged batch.
+	ffs.CorruptReads(func(name string, off int64, p []byte) {
+		if off == 0 && len(p) > 12 {
+			p[12] ^= 0x20
+		}
+	})
+	if _, _, err := OpenWAL(ffs, dir); !errors.Is(err, durable.ErrCorrupt) {
+		t.Fatalf("recovery over corrupted entry: %v, want ErrCorrupt", err)
+	}
+
+	// The rot was transient (a bad read, not bad data): a clean reopen
+	// still recovers both entries.
+	ffs.CorruptReads(nil)
+	if _, recovered, err := OpenWAL(ffs, dir); err != nil || len(recovered) != 2 {
+		t.Fatalf("clean reopen: %d entries, err %v; want 2", len(recovered), err)
+	}
+}
