@@ -48,6 +48,10 @@ type stageResult struct {
 	AllocsPerOp     int64   `json:"allocs_per_op"`
 	BytesPerOp      int64   `json:"bytes_per_op"`
 	SpeedupVsSerial float64 `json:"speedup_vs_serial"`
+	// GBPerSec is the achieved memory throughput under the
+	// compulsory-traffic model (see cmd/bench/bandwidth.go); only set for
+	// stages whose traffic the model prices (multvec, solve).
+	GBPerSec float64 `json:"gb_per_s,omitempty"`
 }
 
 type coldPath struct {
@@ -144,7 +148,7 @@ func sameSourceGraph(a, b *source.Graph) bool {
 
 func main() {
 	var (
-		mode    = flag.String("mode", "pipeline", "pipeline (stage timings), refresh (cold vs warm publish), or stream (delta pipeline vs cold rebuild)")
+		mode    = flag.String("mode", "pipeline", "pipeline (stage timings), refresh (cold vs warm publish), stream (delta pipeline vs cold rebuild), or bandwidth (float32 vs float64 kernel throughput)")
 		preset  = flag.String("preset", "UK2002", "synthetic corpus preset (UK2002, IT2004, WB2001)")
 		scale   = flag.Float64("scale", 0.02, "fraction of the preset's Table 1 size to generate")
 		seed    = flag.Uint64("seed", 1, "generator seed (pins the corpus)")
@@ -165,6 +169,12 @@ func main() {
 			*out = "BENCH_stream.json"
 		}
 		runStream(*preset, *scale, *seed, *out, *workers)
+		return
+	case "bandwidth":
+		if *out == "" {
+			*out = "BENCH_bandwidth.json"
+		}
+		runBandwidth(*preset, *scale, *seed, *out, *workers)
 		return
 	case "pipeline":
 		if *out == "" {
@@ -298,9 +308,11 @@ func main() {
 	// materialized transpose is available).
 	x := linalg.NewUniformVector(sg.T.Rows)
 	dst := linalg.NewVector(sg.T.ColsN)
+	mulBytes := multvecModelBytes(sg.T.Rows, sg.T.ColsN, sg.T.NNZ(), 8, 8)
 	mulRow := measure("multvec", "serial", 1, 0, func() {
 		linalg.MulTVec(sg.T, x, dst)
 	})
+	mulRow.GBPerSec = gbPerSec(mulBytes, mulRow.NsPerOp)
 	stages = append(stages, mulRow)
 	ref := linalg.NewVector(sg.T.ColsN)
 	linalg.MulTVecParallel(sg.T, x, ref, 1)
@@ -309,6 +321,7 @@ func main() {
 		row := measure("multvec", "striped", w, mulRow.NsPerOp, func() {
 			linalg.MulTVecParallel(sg.T, x, dst, w)
 		})
+		row.GBPerSec = gbPerSec(mulBytes, row.NsPerOp)
 		stages = append(stages, row)
 		for i := range dst {
 			if dst[i] != ref[i] {
@@ -333,13 +346,22 @@ func main() {
 		}
 	}))
 
-	// Stage: the SRSR stationary solve with throttling.
+	// Stage: the SRSR stationary solve with throttling. Achieved GB/s
+	// prices the iterations' fused-step traffic against the measured wall
+	// time (which also absorbs throttle application and transpose, so the
+	// figure is a lower bound on kernel throughput).
 	kappa := throttle.TopK(prox, len(seeds))
-	stages = append(stages, measure("solve", "power", 1, 0, func() {
-		if _, err := core.Rank(sg, kappa, core.Config{}); err != nil {
+	var solveRes *core.Result
+	solve := measure("solve", "power", 1, 0, func() {
+		var err error
+		if solveRes, err = core.Rank(sg, kappa, core.Config{}); err != nil {
 			fatal(err)
 		}
-	}))
+	})
+	solve.GBPerSec = gbPerSec(
+		fusedPowerModelBytes(solveRes.Throttled.Rows, solveRes.Throttled.NNZ(), 8, 8)*int64(solveRes.Stats.Iterations),
+		solve.NsPerOp)
+	stages = append(stages, solve)
 
 	identical := decodeIdentical && buildIdentical && transIdentical && mulIdentical
 	serialCold := decodeRow.NsPerOp + buildRow.NsPerOp + transRow.NsPerOp

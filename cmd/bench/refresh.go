@@ -43,6 +43,12 @@ type refreshSide struct {
 	BuildNs    int64          `json:"build_ns"`
 	Iterations map[string]int `json:"iterations"`
 	Converged  bool           `json:"converged"`
+	// SolveGBPerSec is each algorithm's achieved solve throughput under
+	// the compulsory-traffic model (see cmd/bench/bandwidth.go): the
+	// iterations' fused-step bytes divided by the measured solve wall
+	// time. The srsr figure also absorbs the proximity walk and throttle
+	// application inside its solve time, so it reads low.
+	SolveGBPerSec map[string]float64 `json:"solve_gb_per_s"`
 }
 
 type refreshScenario struct {
@@ -118,14 +124,29 @@ func timeBuild(pg *pagegraph.Graph, sg *source.Graph, spam []int32, cfg server.B
 		}
 	})
 	side := refreshSide{
-		BuildNs:    res.NsPerOp(),
-		Iterations: map[string]int{},
-		Converged:  true,
+		BuildNs:       res.NsPerOp(),
+		Iterations:    map[string]int{},
+		Converged:     true,
+		SolveGBPerSec: map[string]float64{},
 	}
+	rows := sg.NumSources()
+	structureNNZ := int(sg.Structure().NumEdges())
 	for _, algo := range snap.Algos() {
-		st := snap.Set(algo).Stats()
+		set := snap.Set(algo)
+		st := set.Stats()
 		side.Iterations[string(algo)] = st.Iterations
 		side.Converged = side.Converged && st.Converged
+		// srsr iterates the throttled source transition (same nnz as sg.T
+		// up to self-edge rewrites); pagerank/trustrank iterate the
+		// structure-graph transition, one entry per structure edge.
+		nnz := structureNNZ
+		if algo == server.AlgoSRSR {
+			nnz = sg.T.NNZ()
+		}
+		if ns := set.SolveTime().Nanoseconds(); ns > 0 {
+			side.SolveGBPerSec[string(algo)] = gbPerSec(
+				fusedPowerModelBytes(rows, nnz, 8, 8)*int64(st.Iterations), ns)
+		}
 	}
 	return side, snap
 }

@@ -41,6 +41,7 @@ func main() {
 		top       = flag.Int("top", 10, "show this many top-ranked entries")
 		topK      = flag.Int("throttle-topk", 0, "sources to throttle fully (0 = 2.7% of sources)")
 		workers   = flag.Int("workers", 0, "solver goroutines (0 = GOMAXPROCS)")
+		precision = flag.String("precision", "float64", "stationary-solve arithmetic: float64 (reference) | float32 (bandwidth kernels; published scores stay float64)")
 		savePath  = flag.String("save", "", "write the score vector to this file (binary)")
 		ckptDir   = flag.String("checkpoint-dir", "", "persist solver iterates here and resume from the newest valid checkpoint (srsr only)")
 		ckptEvery = flag.Int("checkpoint-every", 10, "iterations between checkpoints")
@@ -74,6 +75,11 @@ func main() {
 		}()
 	}
 
+	prec, err := linalg.ParsePrecision(*precision)
+	if err != nil {
+		fatal(err)
+	}
+
 	pg, spamSources, err := loadCorpus(*pagesPath, *spamPath, *preset, *scale, *seed)
 	if err != nil {
 		fatal(err)
@@ -83,7 +89,7 @@ func main() {
 
 	switch *algo {
 	case "pagerank":
-		res, err := rank.PageRank(pg.ToGraph(), rank.Options{Alpha: *alpha, Workers: *workers})
+		res, err := rank.PageRank(pg.ToGraph(), rank.Options{Alpha: *alpha, Workers: *workers, Precision: prec})
 		if err != nil {
 			fatal(err)
 		}
@@ -119,7 +125,7 @@ func main() {
 			}
 			ck = &core.CheckpointConfig{Dir: *ckptDir, Every: *ckptEvery}
 		}
-		scores, err := sourceLevelScores(*algo, pg, sg, spamSources, *alpha, *topK, *workers, ck)
+		scores, err := sourceLevelScores(*algo, pg, sg, spamSources, *alpha, *topK, *workers, prec, ck)
 		if err != nil {
 			fatal(err)
 		}
@@ -135,10 +141,10 @@ func main() {
 	}
 }
 
-func sourceLevelScores(algo string, pg *pagegraph.Graph, sg *source.Graph, spamSources []int32, alpha float64, topK, workers int, ck *core.CheckpointConfig) (linalg.Vector, error) {
+func sourceLevelScores(algo string, pg *pagegraph.Graph, sg *source.Graph, spamSources []int32, alpha float64, topK, workers int, prec linalg.Precision, ck *core.CheckpointConfig) (linalg.Vector, error) {
 	switch algo {
 	case "sourcerank":
-		res, err := core.BaselineSourceRank(sg, core.Config{Alpha: alpha, Workers: workers})
+		res, err := core.BaselineSourceRank(sg, core.Config{Alpha: alpha, Workers: workers, Precision: prec})
 		if err != nil {
 			return nil, err
 		}
@@ -148,7 +154,7 @@ func sourceLevelScores(algo string, pg *pagegraph.Graph, sg *source.Graph, spamS
 		// Trust the sources NOT labeled as spam... seeds must be given;
 		// fall back to the highest-page-count sources as trusted.
 		trusted := topPageCountSources(sg, 10, spamSources)
-		res, err := rank.TrustRank(sg.Structure(), trusted, rank.Options{Alpha: alpha, Workers: workers})
+		res, err := rank.TrustRank(sg.Structure(), trusted, rank.Options{Alpha: alpha, Workers: workers, Precision: prec})
 		if err != nil {
 			return nil, err
 		}
@@ -172,7 +178,7 @@ func sourceLevelScores(algo string, pg *pagegraph.Graph, sg *source.Graph, spamS
 			topK = int(0.027*float64(sg.NumSources()) + 0.5)
 		}
 		res, err := core.PipelineFromSourceGraph(sg, core.PipelineConfig{
-			Config:     core.Config{Alpha: alpha, Workers: workers},
+			Config:     core.Config{Alpha: alpha, Workers: workers, Precision: prec},
 			SpamSeeds:  spamSources,
 			TopK:       topK,
 			Checkpoint: ck,

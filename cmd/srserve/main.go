@@ -64,6 +64,7 @@ func main() {
 		alpha     = flag.Float64("alpha", 0.85, "mixing parameter α")
 		topK      = flag.Int("throttle-topk", 0, "sources to throttle fully (0 = 2.7% of sources)")
 		workers   = flag.Int("workers", 0, "solver goroutines (0 = GOMAXPROCS)")
+		precision = flag.String("precision", "float64", "stationary-solve arithmetic: float64 (reference) | float32 (bandwidth kernels; served scores stay float64)")
 		refresh   = flag.Duration("refresh", 0, "recompute+republish interval (0 disables)")
 		coldRef   = flag.Bool("cold-refresh", false, "disable warm-starting refresh solves from the previous snapshot")
 		maxBO     = flag.Duration("max-backoff", 0, "cap on the retry delay after failed refreshes (0 = 16x refresh interval)")
@@ -115,12 +116,17 @@ func main() {
 	if err != nil {
 		log.Fatalf("srserve: %v", err)
 	}
+	prec, err := linalg.ParsePrecision(*precision)
+	if err != nil {
+		log.Fatalf("srserve: %v", err)
+	}
 	cfg := server.BuildConfig{
-		Alpha:   *alpha,
-		TopK:    *topK,
-		Workers: *workers,
-		Name:    name,
-		Extra:   extra,
+		Alpha:     *alpha,
+		TopK:      *topK,
+		Workers:   *workers,
+		Precision: prec,
+		Name:      name,
+		Extra:     extra,
 	}
 
 	build := func(ctx context.Context, warm *server.WarmStart) (*server.Snapshot, error) {

@@ -297,6 +297,13 @@ func RankCheckpointed(sg *source.Graph, kappa []float64, cfg Config, ck Checkpoi
 	if ck.Dir == "" {
 		return nil, info, errors.New("core: checkpoint directory not set")
 	}
+	if cfg.Precision == linalg.Float32 {
+		// Checkpointing persists and fingerprints float64 iterates through
+		// the solver's Progress hook, which the float32 kernels never
+		// materialize; rejecting here keeps checkpoint fingerprints and
+		// resume semantics byte-identical to the reference path.
+		return nil, info, errors.New("core: checkpointing requires the float64 solve (Config.Precision)")
+	}
 	fsys := ck.fs()
 	tpp, err := throttle.Apply(sg.T, kappa)
 	if err != nil {

@@ -64,11 +64,21 @@ type Config struct {
 	// iteration (see linalg.SolverOptions.CheckEvery); <= 1 checks
 	// every iteration.
 	CheckEvery int
+	// Precision selects the arithmetic of the stationary solve. The
+	// default, linalg.Float64, is the reference path; linalg.Float32 runs
+	// the solve on the bandwidth-oriented float32 kernels (float32
+	// storage, float64 accumulation, tolerances clamped to
+	// linalg.Float32Tol) and widens the result. Only the stationary solve
+	// honors this: the spam-proximity walk always runs in float64, so the
+	// κ assignment — whose top-k boundary is rank-sensitive — is identical
+	// under either precision. Incompatible with Checkpointing, which must
+	// observe float64 iterates (RankCheckpointed rejects Float32).
+	Precision linalg.Precision
 }
 
 func (c Config) rankOptions() rank.Options {
 	return rank.Options{Alpha: c.Alpha, Tol: c.Tol, MaxIter: c.MaxIter, Workers: c.Workers,
-		X0: sanitizeWarmStart(c.X0), CheckEvery: c.CheckEvery}
+		X0: sanitizeWarmStart(c.X0), CheckEvery: c.CheckEvery, Precision: c.Precision}
 }
 
 // sanitizeWarmStart clones and L1-normalizes a warm-start vector so the
@@ -103,6 +113,9 @@ type Result struct {
 	Throttled *linalg.CSR
 	// Stats reports solver convergence.
 	Stats linalg.IterStats
+	// Precision records which arithmetic produced Scores (provenance for
+	// published score sets; Scores itself is always float64).
+	Precision linalg.Precision
 }
 
 // throttledTranspose materializes the transpose of the throttled matrix
@@ -129,15 +142,22 @@ func Rank(sg *source.Graph, kappa []float64, cfg Config) (*Result, error) {
 		return nil, fmt.Errorf("core: applying throttle: %w", err)
 	}
 	tppT := throttledTranspose(sg, tpp, cfg.Workers)
-	res := &Result{Kappa: append([]float64(nil), kappa...), Throttled: tpp}
+	res := &Result{Kappa: append([]float64(nil), kappa...), Throttled: tpp, Precision: cfg.Precision}
 	switch cfg.Solver {
 	case Jacobi:
 		n := tpp.Rows
 		b := linalg.NewUniformVector(n)
 		b.Scale(1 - cfg.alpha())
-		scores, stats, err := linalg.JacobiAffineT(tppT, cfg.alpha(), b, linalg.SolverOptions{
+		sopt := linalg.SolverOptions{
 			Tol: cfg.Tol, MaxIter: cfg.MaxIter, Workers: cfg.Workers, CheckEvery: cfg.CheckEvery,
-		})
+		}
+		var scores linalg.Vector
+		var stats linalg.IterStats
+		if cfg.Precision == linalg.Float32 {
+			scores, stats, err = linalg.JacobiAffineT32(linalg.NewCSR32(tppT), cfg.alpha(), b, sopt)
+		} else {
+			scores, stats, err = linalg.JacobiAffineT(tppT, cfg.alpha(), b, sopt)
+		}
 		if err != nil {
 			return nil, err
 		}

@@ -1,0 +1,132 @@
+package linalg
+
+// CSR32 is the float32-valued mirror of a CSR matrix: it shares the
+// source matrix's index arrays (RowPtr, Cols) and stores only the values
+// at half width. The sparsity structure is therefore identical by
+// construction, and the memory cost of the mirror is 4·NNZ bytes on top
+// of the shared indices. The float32 fused kernels (fused32.go) iterate
+// over it; everything else in the pipeline keeps using the float64 CSR.
+type CSR32 struct {
+	Rows   int
+	ColsN  int
+	RowPtr []int64 // shared with the source CSR; do not mutate
+	Cols   []int32 // shared with the source CSR; do not mutate
+	Vals   []float32
+}
+
+// NewCSR32 narrows m's values entrywise (round to nearest even), sharing
+// its index arrays. m must not be mutated afterwards (CSR is immutable by
+// convention already).
+func NewCSR32(m *CSR) *CSR32 {
+	vals := make([]float32, len(m.Vals))
+	for i, v := range m.Vals {
+		vals[i] = float32(v)
+	}
+	return &CSR32{Rows: m.Rows, ColsN: m.ColsN, RowPtr: m.RowPtr, Cols: m.Cols, Vals: vals}
+}
+
+// NNZ returns the number of stored nonzeros.
+func (m *CSR32) NNZ() int { return len(m.Vals) }
+
+// csr32ColBlockCols is the column width of one cache block in the
+// blocked entry layout: 1<<16 float32 source-vector entries = 256 KiB,
+// sized so the slice of src a block gathers from stays resident in L2
+// while a stripe streams its entries. Variable so tests can force
+// multi-block layouts on small fixtures.
+var csr32ColBlockCols = 1 << 16
+
+// csr32BlockedMinRun gates the blocked layout on entry density: regrouping
+// only pays when a row's entries cluster several-per-block, so the
+// per-run bookkeeping (row lookup, pointer walk, accumulator add)
+// amortizes over a sequential partial sum. Web-scale transition rows are
+// sparse (a handful of entries strewn across many blocks), where the
+// blocked walk measures ~2x slower than row-major; requiring an average
+// run of at least this many entries keeps the layout for operands that
+// actually benefit. Variable so tests can force the layout on small
+// fixtures.
+var csr32BlockedMinRun = 8
+
+// csr32Blocked is the cache-blocked entry layout of a CSR32 under a fixed
+// stripe partition: within each row stripe, entries are regrouped into
+// column-block-major order — all of the stripe's entries whose columns
+// fall in block 0 first (in (row, col) order), then block 1, and so on —
+// so the gather from src touches one 256 KiB window of the source vector
+// at a time instead of striding across all of it. Entries of one row
+// within one block stay contiguous; each such maximal segment is a "run"
+// (runRow/runPtr), and a kernel accumulates a run into the row's float64
+// accumulator with one sequential partial sum.
+//
+// The layout is a function of the matrix and the stripe partition alone —
+// never of the worker count — so kernels that process runs in layout
+// order within a stripe, and rows' run partials in block order, produce
+// bitwise identical results at every worker count.
+type csr32Blocked struct {
+	stripeRun []int32 // per-stripe run boundaries into runRow; len stripes+1
+	runRow    []int32 // row of each run
+	runPtr    []int64 // entry boundaries of each run into cols/vals; len runs+1
+	cols      []int32 // permuted column indices
+	vals      []float32
+}
+
+// buildCSR32Blocked builds the blocked layout of m under the stripe
+// partition bounds. It returns nil when the whole source vector fits one
+// column block — the layout would then be the CSR order itself, and the
+// kernels' plain row-major path is strictly cheaper — or when the
+// operand's entries are too scattered for blocking to pay (average run
+// shorter than csr32BlockedMinRun).
+func buildCSR32Blocked(m *CSR32, bounds []int) *csr32Blocked {
+	if m.ColsN <= csr32ColBlockCols {
+		return nil
+	}
+	nblk := (m.ColsN + csr32ColBlockCols - 1) / csr32ColBlockCols
+	if csr32BlockedMinRun > 1 {
+		runs := 0
+		for i := 0; i < m.Rows; i++ {
+			last := int32(-1)
+			for p := m.RowPtr[i]; p < m.RowPtr[i+1]; p++ {
+				if b := m.Cols[p] / int32(csr32ColBlockCols); b != last {
+					runs++
+					last = b
+				}
+			}
+		}
+		if runs == 0 || m.NNZ() < csr32BlockedMinRun*runs {
+			return nil
+		}
+	}
+	stripes := len(bounds) - 1
+	b := &csr32Blocked{
+		stripeRun: make([]int32, stripes+1),
+		cols:      make([]int32, len(m.Cols)),
+		vals:      make([]float32, len(m.Vals)),
+	}
+	pos := 0
+	var cur []int64 // per-row read cursor within the current stripe
+	for s := 0; s < stripes; s++ {
+		lo, hi := bounds[s], bounds[s+1]
+		cur = append(cur[:0], m.RowPtr[lo:hi]...)
+		for blk := 0; blk < nblk; blk++ {
+			limit := int32((blk + 1) * csr32ColBlockCols)
+			for i := lo; i < hi; i++ {
+				p, end := cur[i-lo], m.RowPtr[i+1]
+				start := p
+				// Columns within a row are strictly increasing, so the
+				// block's segment is a prefix of the remaining entries.
+				for p < end && m.Cols[p] < limit {
+					p++
+				}
+				if p > start {
+					b.runRow = append(b.runRow, int32(i))
+					b.runPtr = append(b.runPtr, int64(pos))
+					n := copy(b.cols[pos:], m.Cols[start:p])
+					copy(b.vals[pos:pos+n], m.Vals[start:p])
+					pos += n
+					cur[i-lo] = p
+				}
+			}
+		}
+		b.stripeRun[s+1] = int32(len(b.runRow))
+	}
+	b.runPtr = append(b.runPtr, int64(pos))
+	return b
+}

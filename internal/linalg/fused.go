@@ -50,16 +50,21 @@ var fusedNNZPerStripe = 4096
 // residual, bit for bit — is identical for every worker count. Unlike
 // MulTVecParallel there is no per-stripe accumulator vector — only one
 // partial float — so stripes are cheap and the cap is generous.
-func fusedStripeCount(m *CSR) int {
-	s := m.NNZ() / fusedNNZPerStripe
+func fusedStripeCount(m *CSR) int { return stripeCountFor(m.NNZ(), m.Rows) }
+
+// stripeCountFor is fusedStripeCount on bare dimensions, shared with the
+// float32 kernels so both precisions partition a given sparsity structure
+// identically.
+func stripeCountFor(nnz, rows int) int {
+	s := nnz / fusedNNZPerStripe
 	if s < 1 {
 		s = 1
 	}
 	if s > 128 {
 		s = 128
 	}
-	if s > m.Rows {
-		s = m.Rows
+	if s > rows {
+		s = rows
 	}
 	if s < 1 {
 		s = 1
@@ -231,15 +236,18 @@ func (k *fusedKernel) runStripe(s int) {
 // tree reduce — (0,1)(2,3) → (0,2) → … — so the summation order never
 // depends on scheduling or worker count, then applies the norm's final
 // map. It mutates k.partial (rewritten by the next residual pass).
-func (k *fusedKernel) reduceResidual() float64 {
-	p := k.partial
+func (k *fusedKernel) reduceResidual() float64 { return reducePartials(k.partial, k.norm) }
+
+// reducePartials is the fixed-pairing tree reduce shared by the float64
+// and float32 kernels; it mutates p.
+func reducePartials(p []float64, norm ResidualNorm) float64 {
 	for stride := 1; stride < len(p); stride *= 2 {
 		for i := 0; i+stride < len(p); i += 2 * stride {
 			p[i] += p[i+stride]
 		}
 	}
 	r := p[0]
-	if k.norm == ResidualL2 {
+	if norm == ResidualL2 {
 		r = math.Sqrt(r)
 	}
 	return r

@@ -1,0 +1,533 @@
+package linalg
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// forceBlocked32 shrinks the cache-block width and disables the run-length
+// density gate so small fixtures exercise the multi-block layout,
+// restoring both on cleanup.
+func forceBlocked32(t testing.TB, cols int) {
+	t.Helper()
+	old, oldMin := csr32ColBlockCols, csr32BlockedMinRun
+	csr32ColBlockCols = cols
+	csr32BlockedMinRun = 1
+	t.Cleanup(func() { csr32ColBlockCols, csr32BlockedMinRun = old, oldMin })
+}
+
+// refPowerStep32 is the float32 power step computed the slow, obvious
+// way from the same float32 operands: per-row float64 dot products under
+// the documented four-lane accumulation scheme (entry p of a row feeds
+// lane p mod 4 in groups of four, the tail feeds lane 0, lanes combine as
+// (s0+s1)+(s2+s3)), float32 rounding per output, serial lost-mass sum.
+// The scheme is re-implemented here independently of dotRow32 so the
+// bitwise comparison checks the kernel's actual summation order, not
+// just its plumbing.
+func refPowerStep32(pt *CSR32, c float64, tel Vector32, src, dst Vector32) {
+	for i := 0; i < pt.Rows; i++ {
+		start := pt.RowPtr[i]
+		rowLen := int(pt.RowPtr[i+1] - start)
+		full := rowLen - rowLen%4 // entries past this point are the tail
+		var lane [4]float64
+		for q := 0; q < rowLen; q++ {
+			p := start + int64(q)
+			prod := float64(pt.Vals[p]) * float64(src[pt.Cols[p]])
+			if q < full {
+				lane[q%4] += prod
+			} else {
+				lane[0] += prod
+			}
+		}
+		sum := (lane[0] + lane[1]) + (lane[2] + lane[3])
+		dst[i] = float32(sum * c)
+	}
+	var s float64
+	for _, v := range dst {
+		s += float64(v)
+	}
+	lost := 1 - s
+	if lost < 0 {
+		lost = 0
+	}
+	for i := range dst {
+		dst[i] = float32(float64(dst[i]) + lost*float64(tel[i]))
+	}
+}
+
+// TestFusedPower32WorkerInvariance is the core determinism claim: the
+// float32 power Step's iterate and residual are bitwise identical at
+// every worker count from 1 through 16, on both the row-major and the
+// cache-blocked layouts, and the row-major path matches the reference
+// step bit for bit.
+func TestFusedPower32WorkerInvariance(t *testing.T) {
+	forceFusedParallel(t)
+	for _, blocked := range []bool{false, true} {
+		if blocked {
+			forceBlocked32(t, 16)
+		}
+		for _, n := range []int{1, 2, 17, 97, 256} {
+			pt := NewCSR32(randChain(t, int64(n), n).Transpose())
+			tel := ToVector32(NewUniformVector(n))
+			src := NewVector32(n)
+			rng := rand.New(rand.NewSource(42))
+			var sum float64
+			for i := range src {
+				src[i] = rng.Float32()
+				sum += float64(src[i])
+			}
+			for i := range src {
+				src[i] = float32(float64(src[i]) / sum)
+			}
+
+			var want Vector32
+			if !blocked {
+				want = NewVector32(n)
+				refPowerStep32(pt, 0.85, tel, src, want)
+			}
+
+			var first Vector32
+			var res1 float64
+			for workers := 1; workers <= 16; workers++ {
+				k, err := NewFusedPower32(pt, 0.85, tel, ResidualL2, workers)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if blocked && n > csr32ColBlockCols && k.k.blk == nil {
+					t.Fatalf("n=%d: expected blocked layout", n)
+				}
+				dst := NewVector32(n)
+				res := k.Step(dst, src, true)
+				k.Close()
+				if workers == 1 {
+					first, res1 = dst, res
+					if want != nil {
+						for i := range dst {
+							if dst[i] != want[i] {
+								t.Fatalf("n=%d: dst[%d] = %v, reference %v", n, i, dst[i], want[i])
+							}
+						}
+					}
+					continue
+				}
+				if res != res1 {
+					t.Fatalf("blocked=%v n=%d workers=%d: residual %v != workers=1 %v", blocked, n, workers, res, res1)
+				}
+				for i := range dst {
+					if dst[i] != first[i] {
+						t.Fatalf("blocked=%v n=%d workers=%d: dst[%d] = %v != workers=1 %v", blocked, n, workers, i, dst[i], first[i])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestFusedAffine32WorkerInvariance is the affine counterpart, again on
+// both layouts.
+func TestFusedAffine32WorkerInvariance(t *testing.T) {
+	forceFusedParallel(t)
+	for _, blocked := range []bool{false, true} {
+		if blocked {
+			forceBlocked32(t, 16)
+		}
+		for _, n := range []int{1, 17, 97, 256} {
+			at := NewCSR32(randChain(t, 1000+int64(n), n).Transpose())
+			rng := rand.New(rand.NewSource(43))
+			b := NewVector32(n)
+			src := NewVector32(n)
+			for i := range b {
+				b[i] = rng.Float32() * 0.15
+				src[i] = rng.Float32()
+			}
+			var first Vector32
+			var res1 float64
+			for workers := 1; workers <= 16; workers++ {
+				k, err := NewFusedAffine32(at, 0.85, b, ResidualL2, workers)
+				if err != nil {
+					t.Fatal(err)
+				}
+				dst := NewVector32(n)
+				res := k.Step(dst, src, true)
+				k.Close()
+				if workers == 1 {
+					first, res1 = dst, res
+					continue
+				}
+				if res != res1 {
+					t.Fatalf("blocked=%v n=%d workers=%d: residual %v != workers=1 %v", blocked, n, workers, res, res1)
+				}
+				for i := range dst {
+					if dst[i] != first[i] {
+						t.Fatalf("blocked=%v n=%d workers=%d: dst[%d] = %v != workers=1 %v", blocked, n, workers, i, dst[i], first[i])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestCSR32BlockedMatchesRowMajor checks that the cache-blocked layout
+// computes the same step as the row-major float32 path up to float64
+// addition reassociation: each row's dot product sums identical float64
+// products in a different order, so outputs agree to a tight relative
+// tolerance (and often exactly).
+func TestCSR32BlockedMatchesRowMajor(t *testing.T) {
+	forceFusedParallel(t)
+	n := 256
+	pt := NewCSR32(randChain(t, 7, n).Transpose())
+	tel := ToVector32(NewUniformVector(n))
+	src := tel.Clone()
+
+	plain := NewVector32(n)
+	refPowerStep32(pt, 0.85, tel, src, plain)
+
+	forceBlocked32(t, 16)
+	k, err := NewFusedPower32(pt, 0.85, tel, ResidualL2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer k.Close()
+	if k.k.blk == nil {
+		t.Fatal("expected blocked layout")
+	}
+	dst := NewVector32(n)
+	k.Step(dst, src, true)
+	for i := range dst {
+		d := math.Abs(float64(dst[i]) - float64(plain[i]))
+		if d > 1e-9*(1+math.Abs(float64(plain[i]))) {
+			t.Fatalf("dst[%d] = %v blocked, %v row-major", i, dst[i], plain[i])
+		}
+	}
+}
+
+// TestCSR32BlockedLayoutPermutation checks the blocked layout is an
+// exact permutation of each stripe's entries: per row, the multiset of
+// (col, val) pairs must survive, with columns ascending within each run
+// and runs covering ascending column blocks.
+func TestCSR32BlockedLayoutPermutation(t *testing.T) {
+	forceBlocked32(t, 8)
+	m := NewCSR32(randChain(t, 29, 100).Transpose())
+	bounds := []int{0, 33, 66, 100}
+	blk := buildCSR32Blocked(m, bounds)
+	if blk == nil {
+		t.Fatal("expected blocked layout")
+	}
+	got := map[int32]map[int32]float32{}
+	for s := 0; s < len(bounds)-1; s++ {
+		for r := blk.stripeRun[s]; r < blk.stripeRun[s+1]; r++ {
+			row := blk.runRow[r]
+			if int(row) < bounds[s] || int(row) >= bounds[s+1] {
+				t.Fatalf("run %d: row %d outside stripe [%d,%d)", r, row, bounds[s], bounds[s+1])
+			}
+			if got[row] == nil {
+				got[row] = map[int32]float32{}
+			}
+			for p := blk.runPtr[r]; p < blk.runPtr[r+1]; p++ {
+				if _, dup := got[row][blk.cols[p]]; dup {
+					t.Fatalf("row %d col %d appears twice in blocked layout", row, blk.cols[p])
+				}
+				got[row][blk.cols[p]] = blk.vals[p]
+			}
+		}
+	}
+	for i := 0; i < m.Rows; i++ {
+		for p := m.RowPtr[i]; p < m.RowPtr[i+1]; p++ {
+			v, ok := got[int32(i)][m.Cols[p]]
+			if !ok || v != m.Vals[p] {
+				t.Fatalf("row %d col %d: blocked has %v,%v want %v", i, m.Cols[p], v, ok, m.Vals[p])
+			}
+			delete(got[int32(i)], m.Cols[p])
+		}
+	}
+	for row, rest := range got {
+		if len(rest) != 0 {
+			t.Fatalf("row %d: %d extra entries in blocked layout", row, len(rest))
+		}
+	}
+}
+
+// TestPowerMethodT32MatchesFloat64 checks the float32 solve lands within
+// float32 rounding of the float64 fixed point and stays a probability
+// distribution.
+func TestPowerMethodT32MatchesFloat64(t *testing.T) {
+	forceFusedParallel(t)
+	p := randChain(t, 11, 200)
+	pt := p.Transpose()
+	tel := NewUniformVector(200)
+	x64, st64, err := PowerMethodT(pt, 0.85, tel, nil, SolverOptions{})
+	if err != nil || !st64.Converged {
+		t.Fatalf("float64 solve: %v %+v", err, st64)
+	}
+	x32, st32, err := PowerMethodT32(NewCSR32(pt), 0.85, tel, nil, SolverOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st32.Converged {
+		t.Fatalf("float32 solve did not converge: %+v", st32)
+	}
+	if s := x32.Sum(); math.Abs(s-1) > 1e-5 {
+		t.Fatalf("float32 solution sums to %v", s)
+	}
+	for i := range x32 {
+		if d := math.Abs(x32[i] - x64[i]); d > 1e-6 {
+			t.Fatalf("x[%d]: float32 %v vs float64 %v (Δ %v)", i, x32[i], x64[i], d)
+		}
+	}
+}
+
+// TestSolver32TolClampAndRejects pins the float32 solver contract: Tol
+// below Float32Tol is clamped (the solve still converges rather than
+// spinning to MaxIter), and custom Dist / Progress are rejected with
+// ErrFloat32Solver.
+func TestSolver32TolClampAndRejects(t *testing.T) {
+	p := randChain(t, 17, 80)
+	pt32 := NewCSR32(p.Transpose())
+	tel := NewUniformVector(80)
+	x, st, err := PowerMethodT32(pt32, 0.85, tel, nil, SolverOptions{Tol: 1e-15})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.Converged {
+		t.Fatalf("clamped solve did not converge: %+v", st)
+	}
+	if len(x) != 80 {
+		t.Fatalf("solution length %d", len(x))
+	}
+	if st.Residual >= Float32Tol {
+		t.Fatalf("converged residual %v not below Float32Tol", st.Residual)
+	}
+	if _, _, err := PowerMethodT32(pt32, 0.85, tel, nil, SolverOptions{Dist: L2Distance}); !errors.Is(err, ErrFloat32Solver) {
+		t.Fatalf("custom Dist: err=%v", err)
+	}
+	if _, _, err := PowerMethodT32(pt32, 0.85, tel, nil, SolverOptions{Progress: func(int, Vector) error { return nil }}); !errors.Is(err, ErrFloat32Solver) {
+		t.Fatalf("Progress: err=%v", err)
+	}
+	if _, _, err := JacobiAffineT32(pt32, 0.85, tel, SolverOptions{Dist: L2Distance}); !errors.Is(err, ErrFloat32Solver) {
+		t.Fatalf("affine custom Dist: err=%v", err)
+	}
+	if _, _, err := PowerMethodT32(pt32, 0.85, NewUniformVector(7), nil, SolverOptions{}); err != ErrDimension {
+		t.Fatalf("bad teleport: err=%v", err)
+	}
+}
+
+// TestJacobiAffineT32MatchesFloat64 checks the float32 Jacobi solve
+// against the float64 one.
+func TestJacobiAffineT32MatchesFloat64(t *testing.T) {
+	forceFusedParallel(t)
+	a := randChain(t, 13, 150)
+	at := a.Transpose()
+	b := NewUniformVector(150)
+	b.Scale(0.15)
+	x64, st64, err := JacobiAffineT(at, 0.85, b, SolverOptions{})
+	if err != nil || !st64.Converged {
+		t.Fatalf("float64 solve: %v %+v", err, st64)
+	}
+	x32, st32, err := JacobiAffineT32(NewCSR32(at), 0.85, b, SolverOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st32.Converged {
+		t.Fatalf("float32 solve did not converge: %+v", st32)
+	}
+	for i := range x32 {
+		if d := math.Abs(x32[i] - x64[i]); d > 1e-6 {
+			t.Fatalf("x[%d]: float32 %v vs float64 %v", i, x32[i], x64[i])
+		}
+	}
+}
+
+// TestMulTVecParallel32 checks worker invariance and agreement with the
+// serial float32 scatter.
+func TestMulTVecParallel32(t *testing.T) {
+	old := mulTVecParallelMinNNZ
+	mulTVecParallelMinNNZ = 1
+	t.Cleanup(func() { mulTVecParallelMinNNZ = old })
+	m := NewCSR32(randChain(t, 31, 120))
+	x := NewVector32(m.Rows)
+	rng := rand.New(rand.NewSource(5))
+	for i := range x {
+		x[i] = rng.Float32()
+	}
+	serial := NewVector32(m.ColsN)
+	MulTVec32(m, x, serial)
+	var first Vector32
+	for workers := 1; workers <= 16; workers++ {
+		dst := NewVector32(m.ColsN)
+		MulTVecParallel32(m, x, dst, workers)
+		if workers == 1 {
+			first = dst
+			for i := range dst {
+				if d := math.Abs(float64(dst[i]) - float64(serial[i])); d > 1e-9*(1+math.Abs(float64(serial[i]))) {
+					t.Fatalf("dst[%d] = %v, serial %v", i, dst[i], serial[i])
+				}
+			}
+			continue
+		}
+		for i := range dst {
+			if dst[i] != first[i] {
+				t.Fatalf("workers=%d: dst[%d] = %v != workers=1 %v", workers, i, dst[i], first[i])
+			}
+		}
+	}
+}
+
+// TestFused32StepZeroAlloc asserts the float32 kernels' core promise on
+// both layouts: after warm-up, Step allocates nothing.
+func TestFused32StepZeroAlloc(t *testing.T) {
+	forceFusedParallel(t)
+	for _, blocked := range []bool{false, true} {
+		if blocked {
+			forceBlocked32(t, 64)
+		}
+		pt := NewCSR32(randChain(t, 21, 512).Transpose())
+		tel := ToVector32(NewUniformVector(512))
+		k, err := NewFusedPower32(pt, 0.85, tel, ResidualL2, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if blocked && k.k.blk == nil {
+			t.Fatal("expected blocked layout")
+		}
+		src, dst := tel.Clone(), NewVector32(512)
+		k.Step(dst, src, true)
+		if n := testing.AllocsPerRun(50, func() {
+			k.Step(dst, src, true)
+			k.Step(src, dst, false)
+		}); n != 0 {
+			t.Fatalf("blocked=%v: fused power32 Step allocated %v times per run", blocked, n)
+		}
+		k.Close()
+
+		ka, err := NewFusedAffine32(pt, 0.85, tel, ResidualL2, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ka.Step(dst, src, true)
+		if n := testing.AllocsPerRun(50, func() {
+			ka.Step(dst, src, true)
+		}); n != 0 {
+			t.Fatalf("blocked=%v: fused affine32 Step allocated %v times per run", blocked, n)
+		}
+		ka.Close()
+	}
+}
+
+// TestFused32CloseIdempotent mirrors the float64 kernel's Close contract.
+func TestFused32CloseIdempotent(t *testing.T) {
+	forceFusedParallel(t)
+	pt := NewCSR32(randChain(t, 23, 64).Transpose())
+	tel := ToVector32(NewUniformVector(64))
+	k, err := NewFusedPower32(pt, 0.85, tel, ResidualL2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst := NewVector32(64)
+	k.Step(dst, tel, true)
+	want := dst.Clone()
+	k.Close()
+	k.Close()
+	k.Step(dst, tel, true)
+	for i := range dst {
+		if dst[i] != want[i] {
+			t.Fatalf("post-Close Step diverged at %d: %v != %v", i, dst[i], want[i])
+		}
+	}
+}
+
+// BenchmarkFusedPower32Step measures one float32 fused iteration (with
+// residual) on the same 20000-node fixture as BenchmarkFusedPowerStep,
+// so the two report the float32 speedup directly. CI gates this
+// benchmark's -benchmem output at 0 allocs/op.
+func BenchmarkFusedPower32Step(b *testing.B) {
+	pt, tel := benchChain(b, 20000)
+	pt32, tel32 := NewCSR32(pt), ToVector32(tel)
+	k, err := NewFusedPower32(pt32, 0.85, tel32, ResidualL2, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer k.Close()
+	src, dst := tel32.Clone(), NewVector32(len(tel32))
+	k.Step(dst, src, true)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k.Step(dst, src, true)
+		src, dst = dst, src
+	}
+}
+
+// BenchmarkFusedAffine32Step is the affine counterpart, CI-gated at
+// 0 allocs/op alongside the power benchmark.
+func BenchmarkFusedAffine32Step(b *testing.B) {
+	pt, tel := benchChain(b, 20000)
+	at32, b32 := NewCSR32(pt), ToVector32(tel)
+	k, err := NewFusedAffine32(at32, 0.85, b32, ResidualL2, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer k.Close()
+	src, dst := b32.Clone(), NewVector32(len(b32))
+	k.Step(dst, src, true)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k.Step(dst, src, true)
+		src, dst = dst, src
+	}
+}
+
+// TestRowSums32Dispatch cross-checks the row-sum pass used by the
+// row-major float32 kernels against the portable reference on rows of
+// adversarial lengths (empty, tail-only, exact groups, long), bitwise.
+// On amd64 hosts with AVX2 this pits the assembly kernel against
+// rowSums32Go; elsewhere it degenerates to self-consistency.
+func TestRowSums32Dispatch(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	n := 500
+	src := NewVector32(n)
+	for i := range src {
+		src[i] = rng.Float32()
+	}
+	var entries []Entry
+	for i := 0; i < n; i++ {
+		rowLen := []int{0, 1, 2, 3, 4, 5, 7, 8, 9, 15, 16, 31, 64}[i%13]
+		for j := 0; j < rowLen; j++ {
+			entries = append(entries, Entry{Row: i, Col: rng.Intn(n), Val: rng.Float64()})
+		}
+	}
+	csr, err := NewCSR(n, n, entries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := NewCSR32(csr)
+	want := make([]float64, n)
+	rowSums32Go(m.RowPtr, m.Vals, m.Cols, src, want, 0, n)
+	got := make([]float64, n)
+	for i := range got {
+		got[i] = math.NaN() // ensure every slot is written
+	}
+	rowSums32(m, src, got, 0, n)
+	for i := range got {
+		if math.Float64bits(got[i]) != math.Float64bits(want[i]) {
+			t.Fatalf("acc[%d] = %v (bits %#x), reference %v (bits %#x)",
+				i, got[i], math.Float64bits(got[i]), want[i], math.Float64bits(want[i]))
+		}
+	}
+	// Partial ranges must leave rows outside [lo, hi) untouched.
+	for i := range got {
+		got[i] = -1
+	}
+	rowSums32(m, src, got, 100, 200)
+	for i := range got {
+		if i >= 100 && i < 200 {
+			if math.Float64bits(got[i]) != math.Float64bits(want[i]) {
+				t.Fatalf("partial acc[%d] = %v, reference %v", i, got[i], want[i])
+			}
+		} else if got[i] != -1 {
+			t.Fatalf("acc[%d] written outside [100,200)", i)
+		}
+	}
+}

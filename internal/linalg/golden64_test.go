@@ -1,0 +1,104 @@
+package linalg
+
+import (
+	"encoding/binary"
+	"hash/fnv"
+	"math"
+	"testing"
+)
+
+// hashVectorBits folds the exact bit patterns of v into an FNV-64a hash.
+// Any change to the float64 solver pipeline's arithmetic — summation
+// order, stripe structure, kernel fusion — changes the hash.
+func hashVectorBits(v Vector) uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	for _, x := range v {
+		binary.LittleEndian.PutUint64(buf[:], math.Float64bits(x))
+		h.Write(buf[:])
+	}
+	return h.Sum64()
+}
+
+// goldenSolve64 lists bitwise-pinned float64 solver outputs on fixed
+// fixtures. The float32 scoring path added in this PR must leave the
+// float64 path untouched; these constants were recorded before wiring it
+// in and fail if any refactor perturbs a single output bit. An
+// intentional numeric change must update them to the "got" hashes from
+// the failure messages.
+var goldenSolve64 = []struct {
+	name string
+	hash uint64
+	run  func(t *testing.T) Vector
+}{
+	{
+		name: "power-n200",
+		hash: 0x311061ff4e0a19,
+		run: func(t *testing.T) Vector {
+			pt := randChain(t, 11, 200).Transpose()
+			x, st, err := PowerMethodT(pt, 0.85, NewUniformVector(200), nil, SolverOptions{Workers: 3})
+			if err != nil || !st.Converged {
+				t.Fatalf("solve: %v %+v", err, st)
+			}
+			return x
+		},
+	},
+	{
+		name: "power-n200-checkevery5",
+		hash: 0x301c74d31a7f8dd0,
+		run: func(t *testing.T) Vector {
+			pt := randChain(t, 11, 200).Transpose()
+			x, st, err := PowerMethodT(pt, 0.85, NewUniformVector(200), nil, SolverOptions{Workers: 2, CheckEvery: 5})
+			if err != nil || !st.Converged {
+				t.Fatalf("solve: %v %+v", err, st)
+			}
+			return x
+		},
+	},
+	{
+		name: "jacobi-n150",
+		hash: 0xdc0f5b6cc6c053e7,
+		run: func(t *testing.T) Vector {
+			at := randChain(t, 13, 150).Transpose()
+			b := NewUniformVector(150)
+			b.Scale(0.15)
+			x, st, err := JacobiAffineT(at, 0.85, b, SolverOptions{Workers: 3})
+			if err != nil || !st.Converged {
+				t.Fatalf("solve: %v %+v", err, st)
+			}
+			return x
+		},
+	},
+	{
+		name: "multvec-n300",
+		hash: 0x49b9bf5bfb812a60,
+		run: func(t *testing.T) Vector {
+			m := randChain(t, 19, 300)
+			x := NewUniformVector(300)
+			dst := NewVector(300)
+			MulTVecParallel(m, x, dst, 4)
+			return dst
+		},
+	},
+}
+
+// TestGoldenFloat64Solves pins the float64 solver outputs bit for bit
+// against hashes recorded before the float32 path existed, proving the
+// reference path is unchanged by the mixed-precision refactor.
+func TestGoldenFloat64Solves(t *testing.T) {
+	// The fused thresholds must be at their production values: the golden
+	// bits include the stripe structure they imply.
+	if fusedMinNNZ != 4096 || fusedNNZPerStripe != 4096 {
+		t.Fatal("fused thresholds not at production values")
+	}
+	for _, g := range goldenSolve64 {
+		g := g
+		t.Run(g.name, func(t *testing.T) {
+			got := hashVectorBits(g.run(t))
+			if got != g.hash {
+				t.Errorf("%s: output bits hash %#x, golden %#x — the float64 solver path changed",
+					g.name, got, g.hash)
+			}
+		})
+	}
+}

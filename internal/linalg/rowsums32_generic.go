@@ -1,0 +1,8 @@
+//go:build !amd64
+
+package linalg
+
+// rowSums32 on non-amd64 hosts is the portable four-lane kernel.
+func rowSums32(m *CSR32, src Vector32, acc []float64, lo, hi int) {
+	rowSums32Go(m.RowPtr, m.Vals, m.Cols, src, acc, lo, hi)
+}

@@ -1,0 +1,88 @@
+package linalg
+
+import "errors"
+
+// Float32Tol is the tightest convergence threshold the float32 solvers
+// accept. Successive float32 iterates cannot separate below the storage
+// rounding noise (≈ 2⁻²⁴·‖x‖ per entry, ~6e-8·‖x‖₂ in aggregate), so a
+// requested tolerance below this floor would spin to MaxIter without
+// converging; the solvers clamp up to it instead.
+const Float32Tol = 1e-7
+
+// ErrFloat32Solver reports a solver feature that the float32 path does
+// not support: custom Dist measures and Progress callbacks both operate
+// on float64 iterates the fused float32 kernels never materialize.
+// Callers needing them (e.g. checkpointed solves) must use the float64
+// solvers.
+var ErrFloat32Solver = errors.New("linalg: custom Dist/Progress not supported by float32 solvers")
+
+// clampOptions32 applies defaults and the float32 tolerance floor, and
+// rejects options the float32 path cannot honor.
+func clampOptions32(opt SolverOptions) (SolverOptions, error) {
+	if opt.Dist != nil || opt.Progress != nil {
+		return opt, ErrFloat32Solver
+	}
+	if opt.Tol <= 0 {
+		opt.Tol = 1e-9
+	}
+	if opt.Tol < Float32Tol {
+		opt.Tol = Float32Tol
+	}
+	return opt, nil
+}
+
+// PowerMethodT32 is PowerMethodT on the float32 mirror: the iterate,
+// matrix values, and teleport vector are stored at float32 while every
+// accumulation runs in float64 (see FusedPower32). t and x0 are narrowed
+// once on entry; the converged iterate is widened exactly back to a
+// float64 Vector, so downstream ranking code is precision-agnostic.
+//
+// Tolerances below Float32Tol are clamped up to it; custom Dist and
+// Progress are rejected with ErrFloat32Solver. Results are bitwise
+// identical across worker counts but differ from the float64 solver in
+// low-order bits — rank fidelity between the two is certified by
+// internal/rankeval, not by bit equality.
+func PowerMethodT32(pt *CSR32, c float64, t Vector, x0 Vector, opt SolverOptions) (Vector, IterStats, error) {
+	if pt.Rows != pt.ColsN || len(t) != pt.Rows {
+		return nil, IterStats{}, ErrDimension
+	}
+	if x0 == nil {
+		x0 = t
+	}
+	if len(x0) != pt.Rows {
+		return nil, IterStats{}, ErrDimension
+	}
+	opt, err := clampOptions32(opt)
+	if err != nil {
+		return nil, IterStats{}, err
+	}
+	k, err := NewFusedPower32(pt, c, ToVector32(t), ResidualL2, opt.Workers)
+	if err != nil {
+		return nil, IterStats{}, err
+	}
+	defer k.Close()
+	x, st := iterateFused32(k, ToVector32(x0), opt)
+	return x.Vector(), st, nil
+}
+
+// JacobiAffineT32 is JacobiAffineT on the float32 mirror, solving
+// x = c·Aᵀx + b with float32 storage and float64 accumulation (see
+// FusedAffine32). Same option clamping, widening, and determinism
+// contract as PowerMethodT32.
+func JacobiAffineT32(at *CSR32, c float64, b Vector, opt SolverOptions) (Vector, IterStats, error) {
+	if at.Rows != at.ColsN || len(b) != at.Rows {
+		return nil, IterStats{}, ErrDimension
+	}
+	opt, err := clampOptions32(opt)
+	if err != nil {
+		return nil, IterStats{}, err
+	}
+	b32 := ToVector32(b)
+	k, err := NewFusedAffine32(at, c, b32, ResidualL2, opt.Workers)
+	if err != nil {
+		return nil, IterStats{}, err
+	}
+	defer k.Close()
+	x, st := iterateFused32(k, b32, opt)
+	return x.Vector(), st, nil
+}

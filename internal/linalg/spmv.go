@@ -64,20 +64,27 @@ func MulVecParallel(m *CSR, x, dst Vector, workers int) {
 // partitionRowsByNNZ splits [0, m.Rows) into workers contiguous ranges of
 // approximately equal nonzero count. It returns workers+1 boundaries.
 func partitionRowsByNNZ(m *CSR, workers int) []int {
+	return partitionPtrByNNZ(m.RowPtr, m.Rows, workers)
+}
+
+// partitionPtrByNNZ is partitionRowsByNNZ on a bare row-pointer array,
+// shared with the float32 mirror (which reuses its source CSR's RowPtr,
+// so both precisions see identical stripe boundaries).
+func partitionPtrByNNZ(rowPtr []int64, rows, workers int) []int {
 	bounds := make([]int, workers+1)
-	bounds[workers] = m.Rows
-	total := int64(m.NNZ())
+	bounds[workers] = rows
+	total := rowPtr[rows]
 	if total == 0 {
 		// Degenerate: balance by rows.
 		for w := 1; w < workers; w++ {
-			bounds[w] = w * m.Rows / workers
+			bounds[w] = w * rows / workers
 		}
 		return bounds
 	}
 	row := 0
 	for w := 1; w < workers; w++ {
 		target := total * int64(w) / int64(workers)
-		for row < m.Rows && m.RowPtr[row] < target {
+		for row < rows && rowPtr[row] < target {
 			row++
 		}
 		bounds[w] = row

@@ -1,0 +1,111 @@
+package linalg
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+func checkMulTDims32(m *CSR32, x, dst Vector32) {
+	if len(x) != m.Rows {
+		panic(fmt.Sprintf("linalg: MulTVec32 x length %d, want %d", len(x), m.Rows))
+	}
+	if len(dst) != m.ColsN {
+		panic(fmt.Sprintf("linalg: MulTVec32 dst length %d, want %d", len(dst), m.ColsN))
+	}
+}
+
+// MulTVec32 computes dst = Mᵀ·x serially from the float32 mirror, using
+// a scatter over the rows of M. Accumulation happens in a float64 buffer
+// and is narrowed into dst once at the end, so dst carries a single
+// rounding per entry regardless of how many row contributions it sums.
+func MulTVec32(m *CSR32, x, dst Vector32) {
+	checkMulTDims32(m, x, dst)
+	acc := make([]float64, m.ColsN)
+	for i := 0; i < m.Rows; i++ {
+		xi := float64(x[i])
+		if xi == 0 {
+			continue
+		}
+		lo, hi := m.RowPtr[i], m.RowPtr[i+1]
+		for k := lo; k < hi; k++ {
+			acc[m.Cols[k]] += float64(m.Vals[k]) * xi
+		}
+	}
+	for i, v := range acc {
+		dst[i] = float32(v)
+	}
+}
+
+// MulTVecParallel32 computes dst = Mᵀ·x from the float32 mirror with the
+// same structure as MulTVecParallel: a fixed, matrix-derived set of
+// NNZ-balanced stripes, one float64 accumulator per stripe, and a tree
+// reduce in fixed pairing order, followed by a single narrowing pass into
+// dst. workers only bounds concurrency; the summation structure — and
+// therefore the result, bit for bit — is identical at every worker count.
+func MulTVecParallel32(m *CSR32, x, dst Vector32, workers int) {
+	checkMulTDims32(m, x, dst)
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if m.NNZ() < mulTVecParallelMinNNZ || m.Rows < 2 {
+		MulTVec32(m, x, dst)
+		return
+	}
+	// Same stripe-count rule as mulTVecStripes, computed from the mirror's
+	// identical sparsity structure.
+	stripes := m.NNZ() / 65536
+	if stripes < 2 {
+		stripes = 2
+	}
+	if stripes > 8 {
+		stripes = 8
+	}
+	if stripes > m.Rows {
+		stripes = m.Rows
+	}
+	bounds := partitionPtrByNNZ(m.RowPtr, m.Rows, stripes)
+	accs := make([]Vector, stripes)
+	sem := make(chan struct{}, workers)
+	var wg sync.WaitGroup
+	for s := 0; s < stripes; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			acc := NewVector(m.ColsN)
+			for i := bounds[s]; i < bounds[s+1]; i++ {
+				xi := float64(x[i])
+				if xi == 0 {
+					continue
+				}
+				lo, hi := m.RowPtr[i], m.RowPtr[i+1]
+				for k := lo; k < hi; k++ {
+					acc[m.Cols[k]] += float64(m.Vals[k]) * xi
+				}
+			}
+			accs[s] = acc
+		}(s)
+	}
+	wg.Wait()
+	// Fixed-pairing tree reduce, as in MulTVecParallel.
+	for stride := 1; stride < stripes; stride *= 2 {
+		var rwg sync.WaitGroup
+		for i := 0; i+stride < stripes; i += 2 * stride {
+			rwg.Add(1)
+			go func(a, b Vector) {
+				defer rwg.Done()
+				sem <- struct{}{}
+				defer func() { <-sem }()
+				for j := range a {
+					a[j] += b[j]
+				}
+			}(accs[i], accs[i+stride])
+		}
+		rwg.Wait()
+	}
+	for i, v := range accs[0] {
+		dst[i] = float32(v)
+	}
+}

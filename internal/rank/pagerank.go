@@ -37,6 +37,14 @@ type Options struct {
 	// CheckEvery thins residual computation to every k-th iteration
 	// (see linalg.SolverOptions.CheckEvery). <= 1 checks every iteration.
 	CheckEvery int
+	// Precision selects the arithmetic of the power iteration. The
+	// default, linalg.Float64, is the reference path. linalg.Float32 runs
+	// the iteration on the float32 fused kernels — the matrix values and
+	// iterate are stored at half width (roughly doubling effective memory
+	// bandwidth) while all accumulation stays in float64 — and widens the
+	// converged iterate back to float64. Tolerances below
+	// linalg.Float32Tol are clamped up to it on that path.
+	Precision linalg.Precision
 }
 
 func (o Options) alpha() float64 {
@@ -120,11 +128,21 @@ func StationaryT(tt *linalg.CSR, opt Options) (*Result, error) {
 	if opt.X0 != nil && len(opt.X0) != tt.Rows {
 		return nil, linalg.ErrDimension
 	}
-	scores, stats, err := linalg.PowerMethodT(tt, opt.alpha(), tele, opt.X0, opt.solver())
+	scores, stats, err := powerMethodT(tt, opt.alpha(), tele, opt.X0, opt)
 	if err != nil {
 		return nil, err
 	}
 	return &Result{Scores: scores, Stats: stats}, nil
+}
+
+// powerMethodT routes the power iteration by opt.Precision: the float64
+// reference solver, or the float32 bandwidth path (which narrows the
+// operand once per call and widens the result back).
+func powerMethodT(tt *linalg.CSR, alpha float64, tele, x0 linalg.Vector, opt Options) (linalg.Vector, linalg.IterStats, error) {
+	if opt.Precision == linalg.Float32 {
+		return linalg.PowerMethodT32(linalg.NewCSR32(tt), alpha, tele, x0, opt.solver())
+	}
+	return linalg.PowerMethodT(tt, alpha, tele, x0, opt.solver())
 }
 
 func stationary(t *linalg.CSR, opt Options) (*Result, error) {
@@ -138,7 +156,7 @@ func stationary(t *linalg.CSR, opt Options) (*Result, error) {
 	if opt.X0 != nil && len(opt.X0) != t.Rows {
 		return nil, linalg.ErrDimension
 	}
-	scores, stats, err := linalg.PowerMethod(t, opt.alpha(), tele, opt.X0, opt.solver())
+	scores, stats, err := powerMethodT(t.TransposeParallel(opt.Workers), opt.alpha(), tele, opt.X0, opt)
 	if err != nil {
 		return nil, err
 	}

@@ -31,6 +31,13 @@ type BuildConfig struct {
 	Tol     float64
 	MaxIter int
 	Workers int
+	// Precision selects the stationary-solve arithmetic for every
+	// computed algorithm: the default linalg.Float64 reference path, or
+	// linalg.Float32 for the bandwidth-oriented kernels (published scores
+	// stay float64 either way; each ScoreSet records the precision that
+	// produced it). The SRSR spam-proximity walk always runs float64, so
+	// κ assignment is precision-invariant.
+	Precision linalg.Precision
 	// Name labels the corpus in CorpusInfo.
 	Name string
 	// Extra injects precomputed score vectors (e.g. loaded with
@@ -51,11 +58,11 @@ type BuildConfig struct {
 }
 
 func (c BuildConfig) coreConfig() core.Config {
-	return core.Config{Alpha: c.Alpha, Tol: c.Tol, MaxIter: c.MaxIter, Workers: c.Workers}
+	return core.Config{Alpha: c.Alpha, Tol: c.Tol, MaxIter: c.MaxIter, Workers: c.Workers, Precision: c.Precision}
 }
 
 func (c BuildConfig) rankOptions(x0 linalg.Vector) rank.Options {
-	return rank.Options{Alpha: c.Alpha, Tol: c.Tol, MaxIter: c.MaxIter, Workers: c.Workers, X0: x0}
+	return rank.Options{Alpha: c.Alpha, Tol: c.Tol, MaxIter: c.MaxIter, Workers: c.Workers, X0: x0, Precision: c.Precision}
 }
 
 // BuildSnapshot runs the offline stage: derive the source graph once,
@@ -128,6 +135,7 @@ func BuildSnapshotFromSourceGraph(pg *pagegraph.Graph, sg *source.Graph, spam []
 		}
 		if ss := sets[algo]; ss != nil {
 			ss.setSolve(time.Since(start), x0 != nil)
+			ss.setPrecision(cfg.Precision)
 		}
 	}
 	for algo, vec := range cfg.Extra {

@@ -7,6 +7,8 @@ import (
 	"sort"
 	"sync/atomic"
 	"time"
+
+	"sourcerank/internal/linalg"
 )
 
 // latencyBounds are the histogram bucket upper bounds in seconds,
@@ -297,6 +299,15 @@ func (m *Metrics) WriteSolverText(w io.Writer, snap *Snapshot) {
 			v = 1
 		}
 		fmt.Fprintf(w, "srserve_solver_warm_start{algo=%q} %d\n", a, v)
+	}
+	fmt.Fprintf(w, "# HELP srserve_solver_float32 Whether the solve ran on the float32 bandwidth kernels (1) or the float64 reference path (0).\n")
+	fmt.Fprintf(w, "# TYPE srserve_solver_float32 gauge\n")
+	for _, a := range algos {
+		v := 0
+		if snap.Set(a).SolvePrecision() == linalg.Float32 {
+			v = 1
+		}
+		fmt.Fprintf(w, "srserve_solver_float32{algo=%q} %d\n", a, v)
 	}
 }
 

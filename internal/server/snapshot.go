@@ -49,6 +49,10 @@ type ScoreSet struct {
 	// Solve observability, set by the snapshot builder via setSolve.
 	solveTime   time.Duration
 	warmStarted bool
+	// solvePrec records which arithmetic produced the scores (provenance:
+	// the published vector is always float64, but a float32 solve carries
+	// float32 rounding in its low-order bits).
+	solvePrec linalg.Precision
 }
 
 // NewScoreSet indexes a score vector for serving. The vector is retained
@@ -101,6 +105,14 @@ func (ss *ScoreSet) setSolve(d time.Duration, warm bool) {
 // SolveTime reports the wall time of the solve that produced this score
 // set (0 for injected/precomputed vectors).
 func (ss *ScoreSet) SolveTime() time.Duration { return ss.solveTime }
+
+// SolvePrecision reports the arithmetic of the solve that produced this
+// score set (linalg.Float64 for injected/precomputed vectors).
+func (ss *ScoreSet) SolvePrecision() linalg.Precision { return ss.solvePrec }
+
+// setPrecision records the solve arithmetic; the snapshot builder calls
+// it before the set becomes visible to readers.
+func (ss *ScoreSet) setPrecision(p linalg.Precision) { ss.solvePrec = p }
 
 // WarmStarted reports whether the solve was warm-started from a
 // previous snapshot's scores.
