@@ -102,6 +102,9 @@ type bandwidthReport struct {
 	Solves     []solveRow       `json:"solves"`
 	Fidelity   fidelityResult   `json:"fidelity"`
 	Summary    bandwidthSummary `json:"summary"`
+	// MaxRSSBytes is the process peak RSS at report time (0 where the
+	// platform doesn't expose it).
+	MaxRSSBytes int64 `json:"max_rss_bytes"`
 }
 
 func matrixModelBytes(rows, nnz int, valW int64) int64 {
@@ -364,6 +367,7 @@ func runBandwidth(preset string, scale float64, seed uint64, out string, workers
 		KendallTau:         tau,
 		Top100Overlap:      overlap,
 	}
+	rep.MaxRSSBytes = peakRSS()
 
 	data, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {

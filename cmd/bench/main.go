@@ -24,6 +24,7 @@ import (
 	"sourcerank/internal/graph"
 	"sourcerank/internal/linalg"
 	"sourcerank/internal/source"
+	"sourcerank/internal/sysmem"
 	"sourcerank/internal/throttle"
 	"sourcerank/internal/webgraph"
 )
@@ -69,6 +70,17 @@ type report struct {
 	Graph      graphInfo     `json:"graph"`
 	Stages     []stageResult `json:"stages"`
 	ColdPath   coldPath      `json:"cold_path"`
+	// MaxRSSBytes is the process peak resident set size at report time
+	// (0 where the platform doesn't expose it), so memory trajectory is
+	// tracked alongside ns/op across commits.
+	MaxRSSBytes int64 `json:"max_rss_bytes"`
+}
+
+// peakRSS reads the process high-water mark for the bench reports,
+// 0 where unsupported.
+func peakRSS() int64 {
+	peak, _ := sysmem.PeakRSSBytes()
+	return peak
 }
 
 func fatal(err error) {
@@ -148,12 +160,15 @@ func sameSourceGraph(a, b *source.Graph) bool {
 
 func main() {
 	var (
-		mode    = flag.String("mode", "pipeline", "pipeline (stage timings), refresh (cold vs warm publish), stream (delta pipeline vs cold rebuild), or bandwidth (float32 vs float64 kernel throughput)")
+		mode    = flag.String("mode", "pipeline", "pipeline (stage timings), refresh (cold vs warm publish), stream (delta pipeline vs cold rebuild), bandwidth (float32 vs float64 kernel throughput), or outofcore (slab-backed solve under an RSS cap)")
 		preset  = flag.String("preset", "UK2002", "synthetic corpus preset (UK2002, IT2004, WB2001)")
 		scale   = flag.Float64("scale", 0.02, "fraction of the preset's Table 1 size to generate")
 		seed    = flag.Uint64("seed", 1, "generator seed (pins the corpus)")
 		out     = flag.String("out", "", "report output path (default BENCH_<mode>.json)")
 		workers = flag.Int("workers", 4, "worker count for the mid tier (1 and GOMAXPROCS always run)")
+
+		residencyCap = flag.String("residency-cap", "",
+			"outofcore mode: artificial peak-RSS cap for the slab solve, e.g. 300m (default: slab bytes / 4)")
 	)
 	flag.Parse()
 
@@ -176,12 +191,18 @@ func main() {
 		}
 		runBandwidth(*preset, *scale, *seed, *out, *workers)
 		return
+	case "outofcore":
+		if *out == "" {
+			*out = "BENCH_outofcore.json"
+		}
+		runOutOfCore(*preset, *scale, *seed, *out, *workers, *residencyCap)
+		return
 	case "pipeline":
 		if *out == "" {
 			*out = "BENCH_pipeline.json"
 		}
 	default:
-		fatal(fmt.Errorf("unknown -mode %q (want pipeline, refresh, or stream)", *mode))
+		fatal(fmt.Errorf("unknown -mode %q (want pipeline, refresh, stream, bandwidth, or outofcore)", *mode))
 	}
 
 	maxprocs := runtime.GOMAXPROCS(0)
@@ -382,6 +403,7 @@ func main() {
 	if parallelCold > 0 {
 		rep.ColdPath.Speedup = float64(serialCold) / float64(parallelCold)
 	}
+	rep.MaxRSSBytes = peakRSS()
 
 	data, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {

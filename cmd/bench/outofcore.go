@@ -1,0 +1,295 @@
+// Out-of-core bench: solve PageRank on a graph whose on-disk slabs are
+// several times larger than an artificial residency cap, and prove the
+// slab-backed fused kernel stays under the cap while producing scores
+// bitwise identical to the fully in-memory solve at every worker count.
+//
+// Flow: generate → compress → build transition slabs on disk → solve
+// in-memory once per worker tier (recording an FNV-64a hash of the raw
+// score bits) → drop every in-heap operand and reset the kernel's RSS
+// high-water mark → re-solve each tier from the memory-mapped slab with
+// MaxResident set to the cap → compare hashes and the measured VmHWM.
+package main
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"math"
+	"os"
+	"runtime"
+	"runtime/debug"
+	"sort"
+	"time"
+
+	"sourcerank/internal/gen"
+	"sourcerank/internal/linalg"
+	"sourcerank/internal/rank"
+	"sourcerank/internal/sysmem"
+	"sourcerank/internal/webgraph"
+)
+
+const outOfCoreSchema = "sourcerank/bench-outofcore/v1"
+
+// outOfCoreAlpha is the damping factor for the benchmark solve (the
+// paper's PageRank default).
+const outOfCoreAlpha = 0.85
+
+type outOfCoreBuild struct {
+	GenNs       int64 `json:"gen_ns"`
+	CompressNs  int64 `json:"compress_ns"`
+	SlabBuildNs int64 `json:"slab_build_ns"`
+	PSlabBytes  int64 `json:"p_slab_bytes"`
+	PTSlabBytes int64 `json:"pt_slab_bytes"`
+}
+
+type outOfCoreSolve struct {
+	Workers int `json:"workers"`
+	// OpenNs covers mmap + the open-time CRC/structural sweep (release-
+	// behind, so it doesn't inflate residency); WallNs is the solve alone.
+	OpenNs     int64 `json:"open_ns"`
+	WallNs     int64 `json:"wall_ns"`
+	Iterations int   `json:"iterations"`
+	// GBPerSec prices the fused uniform-teleport traffic (matrix stream +
+	// 6 dense-vector passes per iteration) against WallNs.
+	GBPerSec    float64 `json:"gb_per_s"`
+	MaxRSSBytes int64   `json:"max_rss_bytes"`
+	UnderCap    bool    `json:"under_cap"`
+	// Identical: score bits and iteration count match the in-memory solve
+	// at the same worker count.
+	Identical bool   `json:"identical"`
+	ScoreHash string `json:"score_hash"`
+}
+
+type outOfCoreSummary struct {
+	CapBytes  int64 `json:"cap_bytes"`
+	SlabBytes int64 `json:"slab_bytes"`
+	// CapRatio is SlabBytes/CapBytes; the committed report keeps it >= 4.
+	CapRatio float64 `json:"cap_ratio"`
+	// MaxRSSBytes is the worst VmHWM across the out-of-core tiers, each
+	// measured from a freshly reset high-water mark.
+	MaxRSSBytes int64 `json:"max_rss_bytes"`
+	UnderCap    bool  `json:"under_cap"`
+	Identical   bool  `json:"identical"`
+	// RSSSupported is false where /proc/self/status isn't available; the
+	// RSS columns are then zero and UnderCap is vacuously false.
+	RSSSupported bool `json:"rss_supported"`
+}
+
+type outOfCoreReport struct {
+	Schema     string           `json:"schema"`
+	Go         string           `json:"go"`
+	GOMAXPROCS int              `json:"gomaxprocs"`
+	NumCPU     int              `json:"num_cpu"`
+	Graph      graphInfo        `json:"graph"`
+	Build      outOfCoreBuild   `json:"build"`
+	Solves     []outOfCoreSolve `json:"solves"`
+	Summary    outOfCoreSummary `json:"summary"`
+}
+
+// fusedUniformModelBytes is the compulsory traffic of one fused
+// power-uniform iteration: the matrix stream plus six dense float64
+// vector passes (mul read+write, finish read+write, residual two reads).
+func fusedUniformModelBytes(rows, nnz int) int64 {
+	return matrixModelBytes(rows, nnz, 8) + 6*8*int64(rows)
+}
+
+func scoreHash(x linalg.Vector) string {
+	h := fnv.New64a()
+	var buf [8]byte
+	for _, v := range x {
+		binary.LittleEndian.PutUint64(buf[:], math.Float64bits(v))
+		h.Write(buf[:])
+	}
+	return fmt.Sprintf("%016x", h.Sum64())
+}
+
+// dropHeap releases everything the caller has already nil'ed so the
+// subsequent VmHWM reset measures only the out-of-core working set.
+func dropHeap() {
+	runtime.GC()
+	debug.FreeOSMemory()
+}
+
+func runOutOfCore(preset string, scale float64, seed uint64, out string, workers int, capSpec string) {
+	tiers := []int{1, 2, workers}
+	sort.Ints(tiers)
+	uniq := tiers[:0]
+	for _, w := range tiers {
+		if w >= 1 && (len(uniq) == 0 || uniq[len(uniq)-1] != w) {
+			uniq = append(uniq, w)
+		}
+	}
+	tiers = uniq
+
+	fmt.Fprintf(os.Stderr, "bench: generating %s at scale %g (seed %d)\n", preset, scale, seed)
+	t0 := time.Now()
+	ds, err := gen.GeneratePreset(gen.Preset(preset), scale, seed)
+	if err != nil {
+		fatal(err)
+	}
+	genNs := time.Since(t0).Nanoseconds()
+	pg := ds.Pages
+	info := graphInfo{
+		Preset:  preset,
+		Scale:   scale,
+		Seed:    seed,
+		Pages:   pg.NumPages(),
+		Links:   pg.NumLinks(),
+		Sources: pg.NumSources(),
+	}
+	fmt.Fprintf(os.Stderr, "bench: %d pages, %d links, %d sources\n", info.Pages, info.Links, info.Sources)
+
+	pageGraph := pg.ToGraph()
+	ds, pg = nil, nil
+	t0 = time.Now()
+	compressed, err := webgraph.Compress(pageGraph)
+	if err != nil {
+		fatal(err)
+	}
+	compressNs := time.Since(t0).Nanoseconds()
+
+	// Build the slabs straight from the compressed stream — the decoded
+	// CSR never exists in RAM on this path.
+	slabDir, err := os.MkdirTemp("", "srank-outofcore-")
+	if err != nil {
+		fatal(err)
+	}
+	defer os.RemoveAll(slabDir)
+	t0 = time.Now()
+	paths, err := webgraph.BuildTransitionSlabs(nil, slabDir, compressed, webgraph.SlabOptions{})
+	if err != nil {
+		fatal(err)
+	}
+	slabBuildNs := time.Since(t0).Nanoseconds()
+	statSize := func(p string) int64 {
+		fi, err := os.Stat(p)
+		if err != nil {
+			fatal(err)
+		}
+		return fi.Size()
+	}
+	build := outOfCoreBuild{
+		GenNs:       genNs,
+		CompressNs:  compressNs,
+		SlabBuildNs: slabBuildNs,
+		PSlabBytes:  statSize(paths.P),
+		PTSlabBytes: statSize(paths.PT),
+	}
+	slabBytes := build.PSlabBytes + build.PTSlabBytes
+
+	capBytes := slabBytes / 4
+	if capSpec != "" {
+		if capBytes, err = sysmem.ParseBytes(capSpec); err != nil {
+			fatal(fmt.Errorf("-residency-cap: %w", err))
+		}
+	}
+	fmt.Fprintf(os.Stderr, "bench: slabs %s on disk, residency cap %s (ratio %.2f)\n",
+		sysmem.FormatBytes(slabBytes), sysmem.FormatBytes(capBytes),
+		float64(slabBytes)/float64(capBytes))
+
+	// In-memory reference: the classic dense-operand solve with a
+	// materialized uniform teleport vector, once per worker tier.
+	tt := rank.TransitionT(pageGraph)
+	pageGraph, compressed = nil, nil
+	tele := linalg.NewUniformVector(tt.Rows)
+	refHash := make(map[int]string, len(tiers))
+	refIters := make(map[int]int, len(tiers))
+	for _, w := range tiers {
+		t0 = time.Now()
+		x, stats, err := linalg.PowerMethodT(tt, outOfCoreAlpha, tele, nil, linalg.SolverOptions{Workers: w})
+		if err != nil {
+			fatal(err)
+		}
+		refHash[w] = scoreHash(x)
+		refIters[w] = stats.Iterations
+		fmt.Fprintf(os.Stderr, "bench: in-memory w=%d: %s, %d iters, hash %s\n",
+			w, time.Since(t0).Round(time.Millisecond), stats.Iterations, refHash[w])
+	}
+	tt, tele = nil, nil
+	dropHeap()
+
+	rep := outOfCoreReport{
+		Schema:     outOfCoreSchema,
+		Go:         runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+		Graph:      info,
+		Build:      build,
+	}
+	rssSupported := true
+	if _, ok := sysmem.PeakRSSBytes(); !ok {
+		rssSupported = false
+	}
+	identicalAll, underCapAll := true, true
+	var worstRSS int64
+	for _, w := range tiers {
+		sysmem.ResetPeakRSS()
+		t0 = time.Now()
+		s, err := linalg.OpenSlabCSR(paths.PT, linalg.SlabOpenOptions{MaxResident: capBytes})
+		if err != nil {
+			fatal(err)
+		}
+		openNs := time.Since(t0).Nanoseconds()
+		m := s.Matrix()
+		t0 = time.Now()
+		x, stats, err := linalg.PowerMethodTUniform(m, outOfCoreAlpha, linalg.SolverOptions{Workers: w})
+		if err != nil {
+			fatal(err)
+		}
+		wallNs := time.Since(t0).Nanoseconds()
+		row := outOfCoreSolve{
+			Workers:    w,
+			OpenNs:     openNs,
+			WallNs:     wallNs,
+			Iterations: stats.Iterations,
+			ScoreHash:  scoreHash(x),
+		}
+		row.GBPerSec = gbPerSec(fusedUniformModelBytes(m.Rows, m.NNZ())*int64(stats.Iterations), wallNs)
+		row.Identical = row.ScoreHash == refHash[w] && stats.Iterations == refIters[w]
+		if peak, ok := sysmem.PeakRSSBytes(); ok {
+			row.MaxRSSBytes = peak
+			row.UnderCap = peak <= capBytes
+			if peak > worstRSS {
+				worstRSS = peak
+			}
+		}
+		if err := s.Close(); err != nil {
+			fatal(err)
+		}
+		x = nil
+		dropHeap()
+		identicalAll = identicalAll && row.Identical
+		underCapAll = underCapAll && row.UnderCap
+		rep.Solves = append(rep.Solves, row)
+		fmt.Fprintf(os.Stderr, "bench: out-of-core w=%d: %s, %d iters, %.2f GB/s, peak RSS %s (cap %s, under=%v, identical=%v)\n",
+			w, time.Duration(wallNs).Round(time.Millisecond), stats.Iterations, row.GBPerSec,
+			sysmem.FormatBytes(row.MaxRSSBytes), sysmem.FormatBytes(capBytes), row.UnderCap, row.Identical)
+	}
+
+	rep.Summary = outOfCoreSummary{
+		CapBytes:     capBytes,
+		SlabBytes:    slabBytes,
+		MaxRSSBytes:  worstRSS,
+		UnderCap:     underCapAll,
+		Identical:    identicalAll,
+		RSSSupported: rssSupported,
+	}
+	if capBytes > 0 {
+		rep.Summary.CapRatio = float64(slabBytes) / float64(capBytes)
+	}
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "bench: identical=%v under_cap=%v cap_ratio=%.2f; report in %s\n",
+		identicalAll, underCapAll, rep.Summary.CapRatio, out)
+	if !identicalAll {
+		fmt.Fprintln(os.Stderr, "bench: ERROR: slab-backed scores diverged from the in-memory solve")
+		os.Exit(1)
+	}
+}

@@ -96,14 +96,17 @@ type streamLevel struct {
 }
 
 type streamReport struct {
-	Schema     string        `json:"schema"`
-	Go         string        `json:"go"`
-	GOMAXPROCS int           `json:"gomaxprocs"`
-	NumCPU     int           `json:"num_cpu"`
-	Graph      graphInfo     `json:"graph"`
+	Schema     string    `json:"schema"`
+	Go         string    `json:"go"`
+	GOMAXPROCS int       `json:"gomaxprocs"`
+	NumCPU     int       `json:"num_cpu"`
+	Graph      graphInfo `json:"graph"`
 	// ColdBaselineNs is the initial full build+publish, for context.
 	ColdBaselineNs int64         `json:"cold_baseline_ns"`
 	Levels         []streamLevel `json:"levels"`
+	// MaxRSSBytes is the process peak RSS at report time (0 where the
+	// platform doesn't expose it).
+	MaxRSSBytes int64 `json:"max_rss_bytes"`
 }
 
 // churnBatch builds one crawler-shaped batch against pg: mostly edge
@@ -400,6 +403,7 @@ func runStream(preset string, scale float64, seed uint64, out string, workers in
 			time.Duration(row.DeltaNs), time.Duration(row.ApplyNs), time.Duration(row.RefreshNs),
 			time.Duration(coldNs), row.Speedup, row.SolveSkipped, row.Identical, row.RanksMatchTol)
 	}
+	rep.MaxRSSBytes = peakRSS()
 
 	data, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {

@@ -21,6 +21,7 @@ import (
 	"sourcerank/internal/pagegraph"
 	"sourcerank/internal/rank"
 	"sourcerank/internal/source"
+	"sourcerank/internal/sysmem"
 	"sourcerank/internal/webgraph"
 )
 
@@ -67,6 +68,21 @@ func main() {
 	fmt.Printf("raw adjacency:   %.2f bits/edge\n", 32.0)
 	fmt.Printf("gap varint:      %.2f bits/edge (%d bytes)\n", plain.BitsPerEdge(), plain.SizeBytes())
 	fmt.Printf("reference+ivals: %.2f bits/edge (%d bytes)\n", refc.BitsPerEdge(), refc.SizeBytes())
+
+	// Out-of-core sizing: what the transition slabs (P and Pᵀ each hold
+	// one entry per link) would occupy on disk, versus the working set an
+	// out-of-core solve keeps resident — the RowPtr array plus two dense
+	// float64 iterate vectors; Cols/Vals pages stream through and are
+	// released behind each stripe.
+	rows, nnz := g.NumNodes(), g.NumEdges()
+	slab64 := linalg.SlabFileBytes(rows, nnz, linalg.SlabFloat64)
+	slab32 := linalg.SlabFileBytes(rows, nnz, linalg.SlabFloat32)
+	resident := 8*int64(rows+1) + 2*8*int64(rows)
+	fmt.Println("\n== out-of-core (projected) ==")
+	fmt.Printf("transition slab: %s float64 / %s float32 (x2 for P and Pᵀ)\n",
+		sysmem.FormatBytes(slab64), sysmem.FormatBytes(slab32))
+	fmt.Printf("solve residency: ~%s (RowPtr + 2 iterate vectors; matrix pages stream)\n",
+		sysmem.FormatBytes(resident))
 
 	sg, err := source.Build(pg, source.Options{})
 	if err != nil {

@@ -26,7 +26,9 @@ import (
 	"sourcerank/internal/pagegraph"
 	"sourcerank/internal/rank"
 	"sourcerank/internal/source"
+	"sourcerank/internal/sysmem"
 	"sourcerank/internal/throttle"
+	"sourcerank/internal/webgraph"
 )
 
 func main() {
@@ -47,6 +49,8 @@ func main() {
 		ckptEvery = flag.Int("checkpoint-every", 10, "iterations between checkpoints")
 		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf   = flag.String("memprofile", "", "write a heap profile to this file on exit")
+		slabDir   = flag.String("slab-dir", "", "commit the solve operand as a memory-mapped slab file under this directory (out-of-core solve; pagerank, srsr, sourcerank)")
+		maxResStr = flag.String("max-resident", "", "residency budget for the slab-backed operand, e.g. 512m (requires -slab-dir; 0 or empty maps without release-behind)")
 	)
 	flag.Parse()
 
@@ -79,6 +83,20 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	var maxResident int64
+	if *maxResStr != "" {
+		if maxResident, err = sysmem.ParseBytes(*maxResStr); err != nil {
+			fatal(err)
+		}
+		if *slabDir == "" {
+			fatal(fmt.Errorf("-max-resident requires -slab-dir"))
+		}
+	}
+	if *slabDir != "" {
+		if err := os.MkdirAll(*slabDir, 0o755); err != nil {
+			fatal(err)
+		}
+	}
 
 	pg, spamSources, err := loadCorpus(*pagesPath, *spamPath, *preset, *scale, *seed)
 	if err != nil {
@@ -89,6 +107,15 @@ func main() {
 
 	switch *algo {
 	case "pagerank":
+		if *slabDir != "" {
+			scores, stats, err := pageRankSlab(pg, *alpha, *workers, prec, *slabDir, maxResident)
+			if err != nil {
+				fatal(err)
+			}
+			printStats(stats)
+			printTopPages(pg, scores, *top)
+			break
+		}
 		res, err := rank.PageRank(pg.ToGraph(), rank.Options{Alpha: *alpha, Workers: *workers, Precision: prec})
 		if err != nil {
 			fatal(err)
@@ -125,7 +152,7 @@ func main() {
 			}
 			ck = &core.CheckpointConfig{Dir: *ckptDir, Every: *ckptEvery}
 		}
-		scores, err := sourceLevelScores(*algo, pg, sg, spamSources, *alpha, *topK, *workers, prec, ck)
+		scores, err := sourceLevelScores(*algo, pg, sg, spamSources, *alpha, *topK, *workers, prec, ck, *slabDir, maxResident)
 		if err != nil {
 			fatal(err)
 		}
@@ -141,10 +168,11 @@ func main() {
 	}
 }
 
-func sourceLevelScores(algo string, pg *pagegraph.Graph, sg *source.Graph, spamSources []int32, alpha float64, topK, workers int, prec linalg.Precision, ck *core.CheckpointConfig) (linalg.Vector, error) {
+func sourceLevelScores(algo string, pg *pagegraph.Graph, sg *source.Graph, spamSources []int32, alpha float64, topK, workers int, prec linalg.Precision, ck *core.CheckpointConfig, slabDir string, maxResident int64) (linalg.Vector, error) {
 	switch algo {
 	case "sourcerank":
-		res, err := core.BaselineSourceRank(sg, core.Config{Alpha: alpha, Workers: workers, Precision: prec})
+		res, err := core.BaselineSourceRank(sg, core.Config{Alpha: alpha, Workers: workers, Precision: prec,
+			SlabDir: slabDir, MaxResident: maxResident})
 		if err != nil {
 			return nil, err
 		}
@@ -178,7 +206,8 @@ func sourceLevelScores(algo string, pg *pagegraph.Graph, sg *source.Graph, spamS
 			topK = int(0.027*float64(sg.NumSources()) + 0.5)
 		}
 		res, err := core.PipelineFromSourceGraph(sg, core.PipelineConfig{
-			Config:     core.Config{Alpha: alpha, Workers: workers, Precision: prec},
+			Config: core.Config{Alpha: alpha, Workers: workers, Precision: prec,
+				SlabDir: slabDir, MaxResident: maxResident},
 			SpamSeeds:  spamSources,
 			TopK:       topK,
 			Checkpoint: ck,
@@ -200,6 +229,44 @@ func sourceLevelScores(algo string, pg *pagegraph.Graph, sg *source.Graph, spamS
 		fmt.Printf("throttled top-%d sources by spam proximity\n", topK)
 		return res.Scores, nil
 	}
+}
+
+// pageRankSlab is the fully out-of-core PageRank route: the page graph
+// is compressed, lowered to transition slabs without materializing an
+// in-RAM CSR (webgraph.BuildTransitionSlabs), and the power iteration
+// streams the memory-mapped transpose with the uniform teleport folded
+// into the kernel — so only the two dense iterate vectors stay resident.
+// Scores are bitwise identical to rank.PageRank at every worker count.
+func pageRankSlab(pg *pagegraph.Graph, alpha float64, workers int, prec linalg.Precision, slabDir string, maxResident int64) (linalg.Vector, linalg.IterStats, error) {
+	c, err := webgraph.Compress(pg.ToGraph())
+	if err != nil {
+		return nil, linalg.IterStats{}, err
+	}
+	slabPrec := linalg.SlabFloat64
+	if prec == linalg.Float32 {
+		slabPrec = linalg.SlabFloat32
+	}
+	paths, err := webgraph.BuildTransitionSlabs(nil, slabDir, c, webgraph.SlabOptions{Precision: slabPrec})
+	if err != nil {
+		return nil, linalg.IterStats{}, err
+	}
+	opt := linalg.SolverOptions{Workers: workers}
+	n := c.NumNodes()
+	c = nil // the compressed graph is no longer needed; let the solve run lean
+	if prec == linalg.Float32 {
+		s, err := linalg.OpenSlabCSR32(paths.PT, linalg.SlabOpenOptions{MaxResident: maxResident})
+		if err != nil {
+			return nil, linalg.IterStats{}, err
+		}
+		defer s.Close()
+		return linalg.PowerMethodT32(s.Matrix(), alpha, linalg.NewUniformVector(n), nil, opt)
+	}
+	s, err := linalg.OpenSlabCSR(paths.PT, linalg.SlabOpenOptions{MaxResident: maxResident})
+	if err != nil {
+		return nil, linalg.IterStats{}, err
+	}
+	defer s.Close()
+	return linalg.PowerMethodTUniform(s.Matrix(), alpha, opt)
 }
 
 func loadCorpus(pagesPath, spamPath, preset string, scale float64, seed uint64) (*pagegraph.Graph, []int32, error) {

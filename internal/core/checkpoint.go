@@ -304,6 +304,12 @@ func RankCheckpointed(sg *source.Graph, kappa []float64, cfg Config, ck Checkpoi
 		// resume semantics byte-identical to the reference path.
 		return nil, info, errors.New("core: checkpointing requires the float64 solve (Config.Precision)")
 	}
+	if cfg.SlabDir != "" {
+		// Checkpoint fingerprints and resume states are defined over the
+		// in-heap operand; silently dropping the caller's residency request
+		// would be worse than refusing it.
+		return nil, info, errors.New("core: checkpointing requires in-heap operands (Config.SlabDir)")
+	}
 	fsys := ck.fs()
 	tpp, err := throttle.Apply(sg.T, kappa)
 	if err != nil {

@@ -18,6 +18,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"path/filepath"
 
 	"sourcerank/internal/linalg"
 	"sourcerank/internal/pagegraph"
@@ -74,6 +75,20 @@ type Config struct {
 	// under either precision. Incompatible with Checkpointing, which must
 	// observe float64 iterates (RankCheckpointed rejects Float32).
 	Precision linalg.Precision
+	// SlabDir, when set, routes the stationary solve through the
+	// out-of-core path: the throttled transpose is committed as a slab
+	// file under SlabDir (at the precision selected by Precision) and the
+	// solve consumes the memory-mapped file instead of the in-heap
+	// arrays. Scores are bitwise identical to the in-memory solve at
+	// every worker count. Incompatible with Checkpointing: resume states
+	// are defined over in-heap operands (RankCheckpointed rejects SlabDir).
+	SlabDir string
+	// MaxResident, with SlabDir set, bounds the resident footprint of
+	// the slab-backed operand during the solve: row stripes are streamed
+	// with prefetch hints and released behind the iteration, so only the
+	// dense iterate vectors (plus the row-pointer array) stay resident.
+	// <= 0 maps the file without release-behind.
+	MaxResident int64
 }
 
 func (c Config) rankOptions() rank.Options {
@@ -143,6 +158,11 @@ func Rank(sg *source.Graph, kappa []float64, cfg Config) (*Result, error) {
 	}
 	tppT := throttledTranspose(sg, tpp, cfg.Workers)
 	res := &Result{Kappa: append([]float64(nil), kappa...), Throttled: tpp, Precision: cfg.Precision}
+	op, err := cfg.solveOperand(tppT)
+	if err != nil {
+		return nil, err
+	}
+	defer op.close()
 	switch cfg.Solver {
 	case Jacobi:
 		n := tpp.Rows
@@ -153,10 +173,10 @@ func Rank(sg *source.Graph, kappa []float64, cfg Config) (*Result, error) {
 		}
 		var scores linalg.Vector
 		var stats linalg.IterStats
-		if cfg.Precision == linalg.Float32 {
-			scores, stats, err = linalg.JacobiAffineT32(linalg.NewCSR32(tppT), cfg.alpha(), b, sopt)
+		if op.m32 != nil {
+			scores, stats, err = linalg.JacobiAffineT32(op.m32, cfg.alpha(), b, sopt)
 		} else {
-			scores, stats, err = linalg.JacobiAffineT(tppT, cfg.alpha(), b, sopt)
+			scores, stats, err = linalg.JacobiAffineT(op.m, cfg.alpha(), b, sopt)
 		}
 		if err != nil {
 			return nil, err
@@ -164,13 +184,69 @@ func Rank(sg *source.Graph, kappa []float64, cfg Config) (*Result, error) {
 		scores.Normalize1()
 		res.Scores, res.Stats = scores, stats
 	default:
-		r, err := rank.StationaryT(tppT, cfg.rankOptions())
+		var r *rank.Result
+		if op.m32 != nil {
+			// The float32 operand already carries NewCSR32's bits (the
+			// slab writer narrows identically), so iterating it directly
+			// equals StationaryT's Float32 route without the narrowing
+			// copy.
+			r, err = rank.StationaryT32(op.m32, cfg.rankOptions())
+		} else {
+			r, err = rank.StationaryT(op.m, cfg.rankOptions())
+		}
 		if err != nil {
 			return nil, err
 		}
 		res.Scores, res.Stats = r.Scores, r.Stats
 	}
 	return res, nil
+}
+
+// solveOperand is the backing-erasure seam between Rank and the solvers:
+// exactly one of m/m32 is set, in heap or slab-mapped form.
+type solveOperand struct {
+	m     *linalg.CSR
+	m32   *linalg.CSR32
+	close func()
+}
+
+// solveOperand resolves the stationary-solve operand for tppT under the
+// configured precision and backing. With SlabDir unset this is the
+// in-memory matrix (narrowed for Float32, matching the historical path
+// bit for bit). With SlabDir set, tppT is committed as a slab file and
+// reopened memory-mapped; the heap copy becomes garbage once the caller
+// drops tppT, leaving the solve to stream the file.
+func (c Config) solveOperand(tppT *linalg.CSR) (solveOperand, error) {
+	f32 := c.Precision == linalg.Float32
+	if c.SlabDir == "" {
+		if f32 {
+			// Power solves narrow inside rank.StationaryT; narrowing here
+			// for both solvers keeps one seam. Bits are identical either
+			// way (NewCSR32 in both places).
+			return solveOperand{m32: linalg.NewCSR32(tppT), close: func() {}}, nil
+		}
+		return solveOperand{m: tppT, close: func() {}}, nil
+	}
+	path := filepath.Join(c.SlabDir, "throttled_t.slab")
+	opt := linalg.SlabOpenOptions{MaxResident: c.MaxResident}
+	if f32 {
+		if err := linalg.WriteSlabCSR(nil, path, tppT, linalg.SlabFloat32); err != nil {
+			return solveOperand{}, fmt.Errorf("core: writing slab: %w", err)
+		}
+		s, err := linalg.OpenSlabCSR32(path, opt)
+		if err != nil {
+			return solveOperand{}, fmt.Errorf("core: opening slab: %w", err)
+		}
+		return solveOperand{m32: s.Matrix(), close: func() { s.Close() }}, nil
+	}
+	if err := linalg.WriteSlabCSR(nil, path, tppT, linalg.SlabFloat64); err != nil {
+		return solveOperand{}, fmt.Errorf("core: writing slab: %w", err)
+	}
+	s, err := linalg.OpenSlabCSR(path, opt)
+	if err != nil {
+		return solveOperand{}, fmt.Errorf("core: opening slab: %w", err)
+	}
+	return solveOperand{m: s.Matrix(), close: func() { s.Close() }}, nil
 }
 
 // BaselineSourceRank computes the un-throttled SourceRank over the same

@@ -1,0 +1,25 @@
+//go:build !(linux || darwin)
+
+package durable
+
+import (
+	"io"
+	"os"
+)
+
+// mmapRO on platforms without the mmap syscalls reads the file into the
+// heap. The Mapped API degrades gracefully: Release and the advise hints
+// become no-ops (mapped=false), and Close just drops the reference.
+func mmapRO(f *os.File, size int64) (data []byte, mapped bool, err error) {
+	b := make([]byte, size)
+	if _, err := io.ReadFull(f, b); err != nil {
+		return nil, false, err
+	}
+	return b, false, nil
+}
+
+func munmapRO(b []byte) error { return nil }
+
+func madviseRelease(b []byte)    {}
+func madviseSequential(b []byte) {}
+func madviseWillNeed(b []byte)   {}

@@ -1,0 +1,34 @@
+//go:build linux || darwin
+
+package durable
+
+import (
+	"os"
+	"syscall"
+)
+
+// mmapRO maps f read-only. The returned slice covers the whole file;
+// mapped reports whether munmapRO must be called to release it.
+func mmapRO(f *os.File, size int64) (data []byte, mapped bool, err error) {
+	b, err := syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		return nil, false, err
+	}
+	return b, true, nil
+}
+
+func munmapRO(b []byte) error { return syscall.Munmap(b) }
+
+// madviseRelease drops the resident pages backing b. On a read-only
+// file-backed mapping MADV_DONTNEED cannot lose data — the pages are
+// clean by construction — it only evicts them from this process's
+// resident set; a later access re-faults from the page cache or disk.
+// b's start must be page-aligned (pageSpan guarantees it).
+func madviseRelease(b []byte) { _ = syscall.Madvise(b, syscall.MADV_DONTNEED) }
+
+// madviseSequential asks for aggressive readahead and read-behind drop
+// over the whole mapping.
+func madviseSequential(b []byte) { _ = syscall.Madvise(b, syscall.MADV_SEQUENTIAL) }
+
+// madviseWillNeed schedules readahead for b.
+func madviseWillNeed(b []byte) { _ = syscall.Madvise(b, syscall.MADV_WILLNEED) }

@@ -18,6 +18,12 @@ type CSR struct {
 	RowPtr []int64
 	Cols   []int32
 	Vals   []float64
+
+	// res is non-nil when the arrays alias a memory-mapped slab opened
+	// in streaming-residency mode (see slab.go); the fused kernels use
+	// it to drop each row stripe's pages after consuming them. Ordinary
+	// in-RAM matrices leave it nil.
+	res *slabResidency
 }
 
 // Entry is a single (row, col, value) triple used when building a CSR.
@@ -253,6 +259,15 @@ func (m *CSR) TransposeParallel(workers int) *CSR {
 // Validate checks structural invariants: monotone row pointers, in-range
 // and strictly increasing column indices per row, finite values.
 func (m *CSR) Validate() error {
+	if err := m.validateShape(); err != nil {
+		return err
+	}
+	return m.validateRowRange(0, m.Rows)
+}
+
+// validateShape checks the O(1) storage invariants: dimensions, array
+// lengths, and the row-pointer anchors.
+func (m *CSR) validateShape() error {
 	if m.Rows < 0 || m.ColsN < 0 {
 		return ErrBadShape
 	}
@@ -266,9 +281,23 @@ func (m *CSR) Validate() error {
 		return fmt.Errorf("linalg: storage lengths inconsistent: RowPtr end %d, cols %d, vals %d",
 			m.RowPtr[m.Rows], len(m.Cols), len(m.Vals))
 	}
-	for i := 0; i < m.Rows; i++ {
+	return nil
+}
+
+// validateRowRange checks the per-row invariants for rows [lo, hi). The
+// slab opener sweeps a mapped matrix through it in bounded-residency
+// blocks (slab.go); Validate covers the whole range in one call.
+func (m *CSR) validateRowRange(lo, hi int) error {
+	for i := lo; i < hi; i++ {
 		if m.RowPtr[i] > m.RowPtr[i+1] {
 			return fmt.Errorf("linalg: row %d has negative extent", i)
+		}
+		// Bound the pointers before Row slices with them: monotonicity
+		// alone does not keep an adversarial RowPtr (e.g. a decoded slab)
+		// inside the entry arrays until the whole array has been walked.
+		if m.RowPtr[i] < 0 || m.RowPtr[i+1] > int64(len(m.Cols)) {
+			return fmt.Errorf("linalg: row %d extent [%d,%d) outside the %d stored entries",
+				i, m.RowPtr[i], m.RowPtr[i+1], len(m.Cols))
 		}
 		cols, vals := m.Row(i)
 		for k, c := range cols {

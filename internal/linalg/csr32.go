@@ -12,6 +12,10 @@ type CSR32 struct {
 	RowPtr []int64 // shared with the source CSR; do not mutate
 	Cols   []int32 // shared with the source CSR; do not mutate
 	Vals   []float32
+
+	// res is non-nil when the arrays alias a memory-mapped slab opened
+	// in streaming-residency mode (see slab.go). Mirrors CSR.res.
+	res *slabResidency
 }
 
 // NewCSR32 narrows m's values entrywise (round to nearest even), sharing
@@ -75,6 +79,12 @@ type csr32Blocked struct {
 // operand's entries are too scattered for blocking to pay (average run
 // shorter than csr32BlockedMinRun).
 func buildCSR32Blocked(m *CSR32, bounds []int) *csr32Blocked {
+	if m.res != nil {
+		// A slab-backed operand streams its entries from the mapping and
+		// sheds them after each stripe; the blocked layout would copy
+		// Cols/Vals into the heap, defeating the point of the slab.
+		return nil
+	}
 	if m.ColsN <= csr32ColBlockCols {
 		return nil
 	}

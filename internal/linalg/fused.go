@@ -74,9 +74,9 @@ func stripeCountFor(nnz, rows int) int {
 
 // fused kernel phases (see runStripe).
 const (
-	fusedPhaseMul = iota // dst[i] = c·(row i of pt)·src
-	fusedPhaseFinish     // dst[i] += lost·t[i], residual partials
-	fusedPhaseAffine     // dst[i] = c·(row i of at)·src + b[i], residual partials
+	fusedPhaseMul    = iota // dst[i] = c·(row i of pt)·src
+	fusedPhaseFinish        // dst[i] += lost·t[i], residual partials
+	fusedPhaseAffine        // dst[i] = c·(row i of at)·src + b[i], residual partials
 )
 
 // fusedKernel is the shared machinery of FusedPower and FusedAffine: a
@@ -89,8 +89,24 @@ const (
 type fusedKernel struct {
 	mat  *CSR
 	c    float64
-	aux  Vector // teleport t (power) or bias b (affine)
+	aux  Vector // teleport t (power) or bias b (affine); nil when auxUniform
 	norm ResidualNorm
+
+	// auxUniform holds the teleport implicitly as the uniform value
+	// auxVal = 1/Rows instead of a dense aux vector, saving one resident
+	// vector — which matters on slab-backed solves where the dense
+	// iterate vectors are the entire memory budget. lost·auxVal computes
+	// the same bits as lost·t[i] for a materialized uniform t, so the
+	// uniform kernel is bitwise identical to the explicit one.
+	auxUniform bool
+	auxVal     float64
+
+	// release, when non-nil, is called with each stripe's row range
+	// after a matrix-touching phase consumes it; slab-backed operands
+	// use it to drop the stripe's Cols/Vals pages from the resident set
+	// (see slabResidency). Releasing is a pure residency hint and never
+	// changes computed bits.
+	release func(lo, hi int)
 
 	bounds  []int     // stripe row boundaries, len(partial)+1
 	partial []float64 // per-stripe residual partials
@@ -112,6 +128,7 @@ func newFusedKernel(mat *CSR, c float64, aux Vector, norm ResidualNorm, workers 
 		c:       c,
 		aux:     aux,
 		norm:    norm,
+		release: mat.stripeRelease(),
 		bounds:  partitionRowsByNNZ(mat, stripes),
 		partial: make([]float64, stripes),
 	}
@@ -174,8 +191,38 @@ func (k *fusedKernel) runStripe(s int) {
 			}
 			dst[i] = sum * c
 		}
+		if k.release != nil {
+			k.release(lo, hi)
+		}
 	case fusedPhaseFinish:
-		lost, t := k.lost, k.aux
+		lost := k.lost
+		if k.auxUniform {
+			// lost·auxVal once equals lost·t[i] per element for a
+			// materialized uniform t: identical operands, identical bits.
+			add := lost * k.auxVal
+			if !k.wantRes {
+				for i := lo; i < hi; i++ {
+					dst[i] += add
+				}
+				return
+			}
+			var r float64
+			if k.norm == ResidualL1 {
+				for i := lo; i < hi; i++ {
+					dst[i] += add
+					r += math.Abs(dst[i] - src[i])
+				}
+			} else {
+				for i := lo; i < hi; i++ {
+					dst[i] += add
+					d := dst[i] - src[i]
+					r += d * d
+				}
+			}
+			k.partial[s] = r
+			return
+		}
+		t := k.aux
 		if !k.wantRes {
 			for i := lo; i < hi; i++ {
 				dst[i] += lost * t[i]
@@ -209,6 +256,9 @@ func (k *fusedKernel) runStripe(s int) {
 				v += b[i]
 				dst[i] = v
 			}
+			if k.release != nil {
+				k.release(lo, hi)
+			}
 			return
 		}
 		var r float64
@@ -229,6 +279,9 @@ func (k *fusedKernel) runStripe(s int) {
 			}
 		}
 		k.partial[s] = r
+		if k.release != nil {
+			k.release(lo, hi)
+		}
 	}
 }
 
@@ -283,6 +336,23 @@ func NewFusedPower(pt *CSR, c float64, t Vector, norm ResidualNorm, workers int)
 		return nil, ErrDimension
 	}
 	return &FusedPower{k: newFusedKernel(pt, c, t, norm, workers)}, nil
+}
+
+// NewFusedPowerUniform builds a fused power kernel whose teleport is the
+// uniform distribution held implicitly as the scalar 1/Rows instead of a
+// dense vector. Step output is bitwise identical to NewFusedPower with a
+// materialized uniform t at every worker count, but the kernel keeps one
+// fewer dense vector resident — the margin that lets a slab-backed
+// PageRank solve fit a residency cap of two iterate vectors (see
+// PowerMethodTUniform and DESIGN.md §14).
+func NewFusedPowerUniform(pt *CSR, c float64, norm ResidualNorm, workers int) (*FusedPower, error) {
+	if pt.Rows != pt.ColsN || pt.Rows == 0 {
+		return nil, ErrDimension
+	}
+	k := newFusedKernel(pt, c, nil, norm, workers)
+	k.auxUniform = true
+	k.auxVal = 1 / float64(pt.Rows)
+	return &FusedPower{k: k}, nil
 }
 
 // Step advances one iteration: dst ← c·(pt·src) + lost·t. When
@@ -363,10 +433,17 @@ type stepKernel interface {
 // the MaxIter-th), mirroring FixedPointChecked's iterate/Progress/stop
 // ordering exactly.
 func iterateFused(k stepKernel, x0 Vector, opt SolverOptions) (Vector, IterStats, error) {
+	return iterateFusedOwned(k, x0.Clone(), opt)
+}
+
+// iterateFusedOwned is iterateFused taking ownership of cur as the
+// starting iterate instead of cloning it. Callers that construct the
+// start vector themselves (PowerMethodTUniform filling a uniform x0)
+// use it to avoid a third transient full-length vector.
+func iterateFusedOwned(k stepKernel, cur Vector, opt SolverOptions) (Vector, IterStats, error) {
 	opt = opt.withDefaults()
 	check := opt.checkEvery()
-	cur := x0.Clone()
-	next := NewVector(len(x0))
+	next := NewVector(len(cur))
 	var st IterStats
 	for st.Iterations = 1; st.Iterations <= opt.MaxIter; st.Iterations++ {
 		wantRes := st.Iterations%check == 0 || st.Iterations == opt.MaxIter

@@ -40,6 +40,12 @@ type fusedKernel32 struct {
 	aux  Vector32 // teleport t (power) or bias b (affine)
 	norm ResidualNorm
 
+	// release mirrors fusedKernel.release: the slab streaming hook,
+	// called per stripe after a matrix-touching phase. Slab-backed
+	// float32 operands skip the cache-blocked layout (csr32.go), so the
+	// hook always covers the pages the stripe actually touched.
+	release func(lo, hi int)
+
 	bounds  []int     // stripe row boundaries, len(partial)+1
 	partial []float64 // per-stripe residual partials
 	acc     []float64 // len Rows; float64 row sums of the multiply pass
@@ -63,6 +69,7 @@ func newFusedKernel32(mat *CSR32, c float64, aux Vector32, norm ResidualNorm, wo
 		c:       c,
 		aux:     aux,
 		norm:    norm,
+		release: mat.stripeRelease(),
 		bounds:  bounds,
 		partial: make([]float64, stripes),
 		acc:     make([]float64, mat.Rows),
@@ -188,6 +195,9 @@ func (k *fusedKernel32) runStripe(s int) {
 		for i := lo; i < hi; i++ {
 			dst[i] = float32(acc[i] * c)
 		}
+		if k.release != nil {
+			k.release(lo, hi)
+		}
 	case fusedPhaseFinish:
 		lost, t := k.lost, k.aux
 		if !k.wantRes {
@@ -241,6 +251,9 @@ func (k *fusedKernel32) runStripe(s int) {
 		}
 		if k.wantRes {
 			k.partial[s] = r
+		}
+		if k.release != nil {
+			k.release(lo, hi)
 		}
 	}
 }

@@ -1,0 +1,872 @@
+package linalg
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"unsafe"
+
+	"sourcerank/internal/durable"
+)
+
+// This file implements the on-disk CSR slab format behind the out-of-core
+// solve path. A slab is a durable-committed file (CRC32-C trailer frame,
+// crash-safe rename) whose payload lays the three CSR arrays out as raw
+// little-endian sections:
+//
+//	offset  size        field
+//	0       4           magic "SRSL"
+//	4       4           version (1)
+//	8       4           value kind: 0 = float64, 1 = float32
+//	12      4           reserved, must be zero
+//	16      8           rows
+//	24      8           cols
+//	32      8           nnz
+//	40      8×6         (offset, byteLength) pairs for the RowPtr, Cols,
+//	                    and Vals sections, in that order
+//	88      …           sections; Vals is 8-byte aligned via zero padding
+//
+// Section offsets are 8-byte aligned relative to the payload start, and
+// the payload starts at file offset 0 with the trailer at the end — so a
+// page-aligned mapping of the file can reinterpret the sections in place
+// as []int64/[]int32/[]float64 on little-endian hosts (the common case;
+// big-endian or misaligned views fall back to a copy-decode). Opening a
+// slab therefore costs address space, not heap: the matrix arrays alias
+// the mapping, and the fused kernels stream row stripes through the page
+// cache, optionally dropping each stripe's pages right after use so only
+// the dense iterate vectors stay resident (see slabResidency).
+const (
+	slabMagic      = 0x5352534C // "SRSL"
+	slabVersion    = 1
+	slabHeaderSize = 88
+)
+
+// SlabPrecision selects the value width of a slab file. The index
+// sections are identical in both precisions, so a float32 slab is the
+// on-disk mirror of NewCSR32: same structure, half-width values.
+type SlabPrecision int
+
+const (
+	// SlabFloat64 stores values as 8-byte IEEE 754 doubles.
+	SlabFloat64 SlabPrecision = iota
+	// SlabFloat32 stores values as 4-byte IEEE 754 singles.
+	SlabFloat32
+)
+
+func (p SlabPrecision) valWidth() int64 {
+	if p == SlabFloat32 {
+		return 4
+	}
+	return 8
+}
+
+func (p SlabPrecision) valKind() uint32 { return uint32(p) }
+
+// ErrSlabFormat is the sentinel matched by errors.Is for every
+// *SlabFormatError reported by the slab decoder.
+var ErrSlabFormat = errors.New("linalg: invalid slab file")
+
+// SlabFormatError reports a slab payload that failed header or section
+// validation, with the payload byte offset at which the check failed.
+type SlabFormatError struct {
+	Offset int64
+	Reason string
+}
+
+func (e *SlabFormatError) Error() string {
+	return fmt.Sprintf("linalg: invalid slab at offset %d: %s", e.Offset, e.Reason)
+}
+
+func (e *SlabFormatError) Is(target error) bool { return target == ErrSlabFormat }
+
+func slabErrf(off int64, format string, args ...any) error {
+	return &SlabFormatError{Offset: off, Reason: fmt.Sprintf(format, args...)}
+}
+
+// slabSectionLens returns the byte lengths of the three sections plus
+// the alignment padding between Cols and Vals.
+func slabSectionLens(rows int, nnz int64, valW int64) (rowPtrLen, colsLen, pad, valsLen int64) {
+	rowPtrLen = 8 * (int64(rows) + 1)
+	colsLen = 4 * nnz
+	end := int64(slabHeaderSize) + rowPtrLen + colsLen
+	pad = (8 - end%8) % 8
+	valsLen = valW * nnz
+	return
+}
+
+// SlabPayloadBytes returns the payload size of a slab holding a
+// rows-row matrix with nnz stored entries at the given precision.
+func SlabPayloadBytes(rows int, nnz int64, prec SlabPrecision) int64 {
+	rp, cl, pad, vl := slabSectionLens(rows, nnz, prec.valWidth())
+	return slabHeaderSize + rp + cl + pad + vl
+}
+
+// SlabFileBytes is SlabPayloadBytes plus the durable trailer frame: the
+// exact on-disk size of a committed slab. cmd/graphstats uses it to
+// project slab sizes before a build.
+func SlabFileBytes(rows int, nnz int64, prec SlabPrecision) int64 {
+	return SlabPayloadBytes(rows, nnz, prec) + durable.TrailerSize
+}
+
+// slabHeader is the decoded header of a slab payload, with the three
+// sections sliced out of the payload (bounds-checked by parseSlabHeader,
+// so indexing them cannot escape the payload).
+type slabHeader struct {
+	rows    int
+	colsN   int
+	nnz     int64
+	valKind uint32
+	rowPtr  []byte
+	cols    []byte
+	vals    []byte
+	// section offsets relative to the payload start, for residency math
+	rowPtrOff, colsOff, valsOff int64
+}
+
+// parseSlabHeader validates a slab payload's header and table of
+// contents against the payload bounds. It is pure on its input — no
+// allocation proportional to header-declared sizes, no panics on
+// arbitrary bytes (the fuzz target's contract): every declared dimension
+// is cross-checked against the section lengths, which are themselves
+// checked against len(payload), before anything is sliced.
+func parseSlabHeader(payload []byte) (slabHeader, error) {
+	var h slabHeader
+	if len(payload) < slabHeaderSize {
+		return h, slabErrf(int64(len(payload)), "payload is %d bytes, shorter than the %d-byte header", len(payload), slabHeaderSize)
+	}
+	u32 := func(off int) uint32 {
+		b := payload[off:]
+		return uint32(b[0]) | uint32(b[1])<<8 | uint32(b[2])<<16 | uint32(b[3])<<24
+	}
+	u64 := func(off int) uint64 {
+		return uint64(u32(off)) | uint64(u32(off+4))<<32
+	}
+	if got := u32(0); got != slabMagic {
+		return h, slabErrf(0, "bad magic %#x, want %#x", got, slabMagic)
+	}
+	if got := u32(4); got != slabVersion {
+		return h, slabErrf(4, "unsupported version %d", got)
+	}
+	h.valKind = u32(8)
+	if h.valKind > 1 {
+		return h, slabErrf(8, "unknown value kind %d", h.valKind)
+	}
+	if got := u32(12); got != 0 {
+		return h, slabErrf(12, "reserved field is %#x, want 0", got)
+	}
+	rows64, cols64, nnz64 := u64(16), u64(24), u64(32)
+	if rows64 > math.MaxInt32 {
+		return h, slabErrf(16, "rows %d exceeds the supported maximum", rows64)
+	}
+	if cols64 > math.MaxInt32 {
+		return h, slabErrf(24, "cols %d exceeds the int32 column-index range", cols64)
+	}
+	if nnz64 > math.MaxInt64/8 {
+		return h, slabErrf(32, "nnz %d exceeds the supported maximum", nnz64)
+	}
+	h.rows, h.colsN, h.nnz = int(rows64), int(cols64), int64(nnz64)
+	valW := int64(8)
+	if h.valKind == 1 {
+		valW = 4
+	}
+	wantRP, wantCols, _, wantVals := slabSectionLens(h.rows, h.nnz, valW)
+	plen := uint64(len(payload))
+	section := func(fieldOff int, want int64, align uint64, name string) ([]byte, int64, error) {
+		off, length := u64(fieldOff), u64(fieldOff+8)
+		if length != uint64(want) {
+			return nil, 0, slabErrf(int64(fieldOff+8), "%s section is %d bytes, want %d for the declared dimensions", name, length, want)
+		}
+		if off < slabHeaderSize {
+			return nil, 0, slabErrf(int64(fieldOff), "%s section offset %d overlaps the header", name, off)
+		}
+		if off%align != 0 {
+			return nil, 0, slabErrf(int64(fieldOff), "%s section offset %d is not %d-byte aligned", name, off, align)
+		}
+		if off > plen || length > plen-off {
+			return nil, 0, slabErrf(int64(fieldOff), "%s section [%d, %d+%d) escapes the %d-byte payload", name, off, off, length, plen)
+		}
+		return payload[off : off+length], int64(off), nil
+	}
+	var err error
+	if h.rowPtr, h.rowPtrOff, err = section(40, wantRP, 8, "rowptr"); err != nil {
+		return h, err
+	}
+	if h.cols, h.colsOff, err = section(56, wantCols, 4, "cols"); err != nil {
+		return h, err
+	}
+	if h.vals, h.valsOff, err = section(72, wantVals, 8, "vals"); err != nil {
+		return h, err
+	}
+	return h, nil
+}
+
+// ---------------------------------------------------------------------------
+// Writing
+
+// SlabSections describes one slab file for WriteSlabFile: the matrix
+// dimensions plus one callback per section. Each callback must write
+// exactly the section's byte length (8·(Rows+1) for RowPtr, 4·NNZ for
+// ColIdx, valW·NNZ for Values) in little-endian order; WriteSlabFile
+// counts the bytes and fails the commit on a mismatch. The callback form
+// lets builders stream sections from sources that never exist as in-RAM
+// arrays — the webgraph decode-to-slab writer emits a billion-edge Cols
+// section bucket by bucket through a bounded buffer.
+type SlabSections struct {
+	Rows   int
+	Cols   int
+	NNZ    int64
+	RowPtr func(io.Writer) error
+	ColIdx func(io.Writer) error
+	Values func(io.Writer) error
+}
+
+// WriteSlabFile commits one slab file through the durable protocol:
+// header, streamed sections, CRC trailer, fsync, atomic rename. On any
+// error (including a section writing the wrong byte count) the target
+// path is left untouched.
+func WriteSlabFile(fsys durable.FS, path string, prec SlabPrecision, s SlabSections) error {
+	if s.Rows < 0 || s.Cols < 0 || s.NNZ < 0 {
+		return ErrBadShape
+	}
+	if s.Cols > math.MaxInt32 {
+		return fmt.Errorf("linalg: slab cols %d exceeds the int32 column-index range", s.Cols)
+	}
+	valW := prec.valWidth()
+	rowPtrLen, colsLen, pad, valsLen := slabSectionLens(s.Rows, s.NNZ, valW)
+	rowPtrOff := int64(slabHeaderSize)
+	colsOff := rowPtrOff + rowPtrLen
+	valsOff := colsOff + colsLen + pad
+	var hdr [slabHeaderSize]byte
+	putU32 := func(off int, v uint32) {
+		hdr[off] = byte(v)
+		hdr[off+1] = byte(v >> 8)
+		hdr[off+2] = byte(v >> 16)
+		hdr[off+3] = byte(v >> 24)
+	}
+	putU64 := func(off int, v uint64) {
+		putU32(off, uint32(v))
+		putU32(off+4, uint32(v>>32))
+	}
+	putU32(0, slabMagic)
+	putU32(4, slabVersion)
+	putU32(8, prec.valKind())
+	putU64(16, uint64(s.Rows))
+	putU64(24, uint64(s.Cols))
+	putU64(32, uint64(s.NNZ))
+	putU64(40, uint64(rowPtrOff))
+	putU64(48, uint64(rowPtrLen))
+	putU64(56, uint64(colsOff))
+	putU64(64, uint64(colsLen))
+	putU64(72, uint64(valsOff))
+	putU64(80, uint64(valsLen))
+	return durable.WriteFile(fsys, path, func(w io.Writer) error {
+		if _, err := w.Write(hdr[:]); err != nil {
+			return err
+		}
+		if err := writeSlabSection(w, s.RowPtr, rowPtrLen, "rowptr"); err != nil {
+			return err
+		}
+		if err := writeSlabSection(w, s.ColIdx, colsLen, "cols"); err != nil {
+			return err
+		}
+		if pad > 0 {
+			var zeros [8]byte
+			if _, err := w.Write(zeros[:pad]); err != nil {
+				return err
+			}
+		}
+		return writeSlabSection(w, s.Values, valsLen, "vals")
+	})
+}
+
+func writeSlabSection(w io.Writer, write func(io.Writer) error, want int64, name string) error {
+	if write == nil {
+		if want == 0 {
+			return nil
+		}
+		return fmt.Errorf("linalg: slab %s section has no writer for %d bytes", name, want)
+	}
+	cw := &countingWriter{w: w}
+	if err := write(cw); err != nil {
+		return err
+	}
+	if cw.n != want {
+		return fmt.Errorf("linalg: slab %s section wrote %d bytes, want %d", name, cw.n, want)
+	}
+	return nil
+}
+
+type countingWriter struct {
+	w io.Writer
+	n int64
+}
+
+func (c *countingWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.n += int64(n)
+	return n, err
+}
+
+// leChunkBytes sizes the fixed encode buffer of the WriteXxxLE helpers:
+// large enough to amortize Write calls, small enough to live on the
+// stack. binary.Write is avoided deliberately — it reflects per call and
+// allocates a full-size staging copy, which matters when a section is
+// tens of gigabytes.
+const leChunkBytes = 32 << 10
+
+// WriteInt64sLE writes xs as little-endian 8-byte values through a fixed
+// staging buffer.
+func WriteInt64sLE(w io.Writer, xs []int64) error {
+	var buf [leChunkBytes]byte
+	n := 0
+	for _, x := range xs {
+		v := uint64(x)
+		buf[n] = byte(v)
+		buf[n+1] = byte(v >> 8)
+		buf[n+2] = byte(v >> 16)
+		buf[n+3] = byte(v >> 24)
+		buf[n+4] = byte(v >> 32)
+		buf[n+5] = byte(v >> 40)
+		buf[n+6] = byte(v >> 48)
+		buf[n+7] = byte(v >> 56)
+		if n += 8; n == len(buf) {
+			if _, err := w.Write(buf[:]); err != nil {
+				return err
+			}
+			n = 0
+		}
+	}
+	if n > 0 {
+		_, err := w.Write(buf[:n])
+		return err
+	}
+	return nil
+}
+
+// WriteInt32sLE writes xs as little-endian 4-byte values.
+func WriteInt32sLE(w io.Writer, xs []int32) error {
+	var buf [leChunkBytes]byte
+	n := 0
+	for _, x := range xs {
+		v := uint32(x)
+		buf[n] = byte(v)
+		buf[n+1] = byte(v >> 8)
+		buf[n+2] = byte(v >> 16)
+		buf[n+3] = byte(v >> 24)
+		if n += 4; n == len(buf) {
+			if _, err := w.Write(buf[:]); err != nil {
+				return err
+			}
+			n = 0
+		}
+	}
+	if n > 0 {
+		_, err := w.Write(buf[:n])
+		return err
+	}
+	return nil
+}
+
+// WriteFloat64sLE writes xs bit-preservingly as little-endian 8-byte
+// values.
+func WriteFloat64sLE(w io.Writer, xs []float64) error {
+	var buf [leChunkBytes]byte
+	n := 0
+	for _, x := range xs {
+		v := math.Float64bits(x)
+		buf[n] = byte(v)
+		buf[n+1] = byte(v >> 8)
+		buf[n+2] = byte(v >> 16)
+		buf[n+3] = byte(v >> 24)
+		buf[n+4] = byte(v >> 32)
+		buf[n+5] = byte(v >> 40)
+		buf[n+6] = byte(v >> 48)
+		buf[n+7] = byte(v >> 56)
+		if n += 8; n == len(buf) {
+			if _, err := w.Write(buf[:]); err != nil {
+				return err
+			}
+			n = 0
+		}
+	}
+	if n > 0 {
+		_, err := w.Write(buf[:n])
+		return err
+	}
+	return nil
+}
+
+// WriteFloat32sLE writes xs bit-preservingly as little-endian 4-byte
+// values.
+func WriteFloat32sLE(w io.Writer, xs []float32) error {
+	var buf [leChunkBytes]byte
+	n := 0
+	for _, x := range xs {
+		v := math.Float32bits(x)
+		buf[n] = byte(v)
+		buf[n+1] = byte(v >> 8)
+		buf[n+2] = byte(v >> 16)
+		buf[n+3] = byte(v >> 24)
+		if n += 4; n == len(buf) {
+			if _, err := w.Write(buf[:]); err != nil {
+				return err
+			}
+			n = 0
+		}
+	}
+	if n > 0 {
+		_, err := w.Write(buf[:n])
+		return err
+	}
+	return nil
+}
+
+// WriteSlabCSR commits m to path as a slab at the given precision.
+// SlabFloat32 narrows values entrywise exactly like NewCSR32 (round to
+// nearest even), so a float32 slab of m round-trips to the same bits as
+// the in-RAM float32 mirror.
+func WriteSlabCSR(fsys durable.FS, path string, m *CSR, prec SlabPrecision) error {
+	sections := SlabSections{
+		Rows:   m.Rows,
+		Cols:   m.ColsN,
+		NNZ:    int64(m.NNZ()),
+		RowPtr: func(w io.Writer) error { return WriteInt64sLE(w, m.RowPtr) },
+		ColIdx: func(w io.Writer) error { return WriteInt32sLE(w, m.Cols) },
+	}
+	if prec == SlabFloat32 {
+		sections.Values = func(w io.Writer) error {
+			var tmp [4096]float32
+			for lo := 0; lo < len(m.Vals); lo += len(tmp) {
+				hi := lo + len(tmp)
+				if hi > len(m.Vals) {
+					hi = len(m.Vals)
+				}
+				for i := lo; i < hi; i++ {
+					tmp[i-lo] = float32(m.Vals[i])
+				}
+				if err := WriteFloat32sLE(w, tmp[:hi-lo]); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+	} else {
+		sections.Values = func(w io.Writer) error { return WriteFloat64sLE(w, m.Vals) }
+	}
+	return WriteSlabFile(fsys, path, prec, sections)
+}
+
+// ---------------------------------------------------------------------------
+// Opening
+
+// slabVerifyChunk bounds the resident window of the open-time CRC sweep.
+const slabVerifyChunk = 4 << 20
+
+// slabValidateChunkRows bounds the open-time structural sweep the same
+// way: rows are validated in blocks, and in streaming mode each block's
+// matrix pages are dropped right after checking.
+const slabValidateChunkRows = 1 << 16
+
+// SlabOpenOptions configures how a slab is opened.
+type SlabOpenOptions struct {
+	// MaxResident, when positive, selects streaming-residency mode: the
+	// open-time CRC and structural sweeps drop pages behind themselves,
+	// and the fused kernels release each row stripe's Cols/Vals pages
+	// right after consuming it (prefetching the next stripe's window),
+	// so a solve keeps only the dense iterate vectors and the RowPtr
+	// array resident. The value is the caller's residency target in
+	// bytes; it selects the behavior, and the achieved peak is measured
+	// by the caller (see cmd/bench -mode outofcore). <= 0 leaves page
+	// residency to the kernel's page cache policy.
+	MaxResident int64
+}
+
+// SlabCSR is a float64 CSR whose arrays alias a read-only mapping of a
+// slab file. Matrix returns the *CSR view accepted by every kernel and
+// solver in this package; the slab plumbs itself into the fused kernels
+// through the CSR's residency hook, so PowerMethodT/JacobiAffineT on a
+// slab-backed operand stream it from disk with no code changes. The
+// matrix must not be used after Close.
+type SlabCSR struct {
+	m  *CSR
+	mp *durable.Mapped
+}
+
+// Matrix returns the slab-backed matrix view.
+func (s *SlabCSR) Matrix() *CSR { return s.m }
+
+// Close unmaps the slab. Idempotent.
+func (s *SlabCSR) Close() error {
+	if s.mp == nil {
+		return nil
+	}
+	mp := s.mp
+	s.mp = nil
+	return mp.Close()
+}
+
+// SlabCSR32 is the float32 mirror of SlabCSR over a SlabFloat32 file.
+type SlabCSR32 struct {
+	m  *CSR32
+	mp *durable.Mapped
+}
+
+// Matrix returns the slab-backed float32 matrix view.
+func (s *SlabCSR32) Matrix() *CSR32 { return s.m }
+
+// Close unmaps the slab. Idempotent.
+func (s *SlabCSR32) Close() error {
+	if s.mp == nil {
+		return nil
+	}
+	mp := s.mp
+	s.mp = nil
+	return mp.Close()
+}
+
+// openSlab maps path, verifies the CRC trailer (releasing behind itself
+// in streaming mode), and parses the header, expecting wantKind values.
+func openSlab(path string, opt SlabOpenOptions, wantKind uint32) (*durable.Mapped, slabHeader, bool, error) {
+	mp, err := durable.OpenMapped(path)
+	if err != nil {
+		return nil, slabHeader{}, false, err
+	}
+	streaming := opt.MaxResident > 0
+	payload, err := mp.VerifyPayload(slabVerifyChunk, streaming)
+	if err != nil {
+		_ = mp.Close()
+		return nil, slabHeader{}, false, err
+	}
+	h, err := parseSlabHeader(payload)
+	if err != nil {
+		_ = mp.Close()
+		return nil, slabHeader{}, false, fmt.Errorf("%s: %w", path, err)
+	}
+	if h.valKind != wantKind {
+		_ = mp.Close()
+		return nil, slabHeader{}, false, fmt.Errorf("%s: %w", path, slabErrf(8, "value kind %d, want %d", h.valKind, wantKind))
+	}
+	return mp, h, streaming, nil
+}
+
+// OpenSlabCSR maps a SlabFloat64 file read-only and returns the
+// slab-backed matrix. The open verifies the durable CRC trailer and
+// runs the full structural validation sweep (monotone row pointers,
+// in-range strictly-increasing columns, finite values) before returning,
+// so a corrupt or hostile file is rejected with a typed error and can
+// never induce an out-of-range access later.
+func OpenSlabCSR(path string, opt SlabOpenOptions) (*SlabCSR, error) {
+	mp, h, streaming, err := openSlab(path, opt, 0)
+	if err != nil {
+		return nil, err
+	}
+	if m, ok := aliasSlabCSR(h); ok {
+		var res *slabResidency
+		if streaming {
+			res = &slabResidency{mp: mp, colsOff: h.colsOff, valsOff: h.valsOff, valW: 8}
+			m.res = res
+		}
+		mp.AdviseSequential()
+		if err := validateSlabCSR(m, res); err != nil {
+			_ = mp.Close()
+			return nil, fmt.Errorf("%s: %w", path, err)
+		}
+		return &SlabCSR{m: m, mp: mp}, nil
+	}
+	// Big-endian host or misaligned view: copy-decode into the heap.
+	m, err := decodeSlabCSR(h)
+	_ = mp.Close()
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if err := validateSlabCSR(m, nil); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &SlabCSR{m: m}, nil
+}
+
+// OpenSlabCSR32 maps a SlabFloat32 file read-only; the float32 analog of
+// OpenSlabCSR.
+func OpenSlabCSR32(path string, opt SlabOpenOptions) (*SlabCSR32, error) {
+	mp, h, streaming, err := openSlab(path, opt, 1)
+	if err != nil {
+		return nil, err
+	}
+	if m, ok := aliasSlabCSR32(h); ok {
+		var res *slabResidency
+		if streaming {
+			res = &slabResidency{mp: mp, colsOff: h.colsOff, valsOff: h.valsOff, valW: 4}
+			m.res = res
+		}
+		mp.AdviseSequential()
+		if err := validateSlabCSR32(m, res); err != nil {
+			_ = mp.Close()
+			return nil, fmt.Errorf("%s: %w", path, err)
+		}
+		return &SlabCSR32{m: m, mp: mp}, nil
+	}
+	m, err := decodeSlabCSR32(h)
+	_ = mp.Close()
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if err := validateSlabCSR32(m, nil); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &SlabCSR32{m: m}, nil
+}
+
+// hostLittleEndian reports whether the host stores multi-byte integers
+// little-endian — the precondition for aliasing slab sections in place.
+var hostLittleEndian = func() bool {
+	var x uint16 = 0x0102
+	return *(*byte)(unsafe.Pointer(&x)) == 0x02
+}()
+
+func sliceAligned(b []byte, align uintptr) bool {
+	return len(b) == 0 || uintptr(unsafe.Pointer(&b[0]))%align == 0
+}
+
+// aliasSlabCSR reinterprets the parsed sections in place as the CSR
+// arrays, without copying. ok is false when the host layout cannot alias
+// (big-endian, or a backing buffer that is not suitably aligned — heap
+// fallbacks of durable.OpenMapped are not guaranteed page alignment).
+func aliasSlabCSR(h slabHeader) (*CSR, bool) {
+	if !hostLittleEndian || !sliceAligned(h.rowPtr, 8) || !sliceAligned(h.cols, 4) || !sliceAligned(h.vals, 8) {
+		return nil, false
+	}
+	// nnz==0 leaves Cols/Vals nil, matching NewCSR on an empty entry set.
+	m := &CSR{
+		Rows:   h.rows,
+		ColsN:  h.colsN,
+		RowPtr: unsafe.Slice((*int64)(unsafe.Pointer(&h.rowPtr[0])), h.rows+1),
+	}
+	if h.nnz > 0 {
+		m.Cols = unsafe.Slice((*int32)(unsafe.Pointer(&h.cols[0])), h.nnz)
+		m.Vals = unsafe.Slice((*float64)(unsafe.Pointer(&h.vals[0])), h.nnz)
+	}
+	return m, true
+}
+
+// aliasSlabCSR32 is aliasSlabCSR for SlabFloat32 sections.
+func aliasSlabCSR32(h slabHeader) (*CSR32, bool) {
+	if !hostLittleEndian || !sliceAligned(h.rowPtr, 8) || !sliceAligned(h.cols, 4) || !sliceAligned(h.vals, 4) {
+		return nil, false
+	}
+	m := &CSR32{
+		Rows:   h.rows,
+		ColsN:  h.colsN,
+		RowPtr: unsafe.Slice((*int64)(unsafe.Pointer(&h.rowPtr[0])), h.rows+1),
+	}
+	if h.nnz > 0 {
+		m.Cols = unsafe.Slice((*int32)(unsafe.Pointer(&h.cols[0])), h.nnz)
+		m.Vals = unsafe.Slice((*float32)(unsafe.Pointer(&h.vals[0])), h.nnz)
+	}
+	return m, true
+}
+
+// decodeSlabCSR copy-decodes the sections into fresh heap arrays: the
+// portable fallback, and the pure-bytes path the fuzz target drives.
+func decodeSlabCSR(h slabHeader) (*CSR, error) {
+	m := &CSR{
+		Rows:   h.rows,
+		ColsN:  h.colsN,
+		RowPtr: decodeInt64sLE(h.rowPtr),
+		Cols:   decodeInt32sLE(h.cols),
+		Vals:   decodeFloat64sLE(h.vals),
+	}
+	return m, nil
+}
+
+// decodeSlabCSR32 is decodeSlabCSR for SlabFloat32 sections.
+func decodeSlabCSR32(h slabHeader) (*CSR32, error) {
+	m := &CSR32{
+		Rows:   h.rows,
+		ColsN:  h.colsN,
+		RowPtr: decodeInt64sLE(h.rowPtr),
+		Cols:   decodeInt32sLE(h.cols),
+		Vals:   decodeFloat32sLE(h.vals),
+	}
+	return m, nil
+}
+
+func decodeInt64sLE(b []byte) []int64 {
+	if len(b) == 0 {
+		return nil
+	}
+	out := make([]int64, len(b)/8)
+	for i := range out {
+		p := b[i*8:]
+		out[i] = int64(uint64(p[0]) | uint64(p[1])<<8 | uint64(p[2])<<16 | uint64(p[3])<<24 |
+			uint64(p[4])<<32 | uint64(p[5])<<40 | uint64(p[6])<<48 | uint64(p[7])<<56)
+	}
+	return out
+}
+
+func decodeInt32sLE(b []byte) []int32 {
+	if len(b) == 0 {
+		return nil
+	}
+	out := make([]int32, len(b)/4)
+	for i := range out {
+		p := b[i*4:]
+		out[i] = int32(uint32(p[0]) | uint32(p[1])<<8 | uint32(p[2])<<16 | uint32(p[3])<<24)
+	}
+	return out
+}
+
+func decodeFloat64sLE(b []byte) []float64 {
+	if len(b) == 0 {
+		return nil
+	}
+	out := make([]float64, len(b)/8)
+	for i := range out {
+		p := b[i*8:]
+		out[i] = math.Float64frombits(uint64(p[0]) | uint64(p[1])<<8 | uint64(p[2])<<16 | uint64(p[3])<<24 |
+			uint64(p[4])<<32 | uint64(p[5])<<40 | uint64(p[6])<<48 | uint64(p[7])<<56)
+	}
+	return out
+}
+
+func decodeFloat32sLE(b []byte) []float32 {
+	if len(b) == 0 {
+		return nil
+	}
+	out := make([]float32, len(b)/4)
+	for i := range out {
+		p := b[i*4:]
+		out[i] = math.Float32frombits(uint32(p[0]) | uint32(p[1])<<8 | uint32(p[2])<<16 | uint32(p[3])<<24)
+	}
+	return out
+}
+
+// ---------------------------------------------------------------------------
+// Residency
+
+// slabResidency is the streaming-residency hook a slab-backed matrix
+// carries when opened with MaxResident > 0. The fused kernels call
+// releaseEntries after consuming each row stripe's entries; the hook
+// prefetches the adjacent window (the next stripe in file order) and
+// drops the consumed window's Cols/Vals pages, so at any instant only
+// one stripe's matrix pages — plus RowPtr, which every pass rereads —
+// are resident. Releasing never changes computed bits: the pages are
+// clean file-backed read-only memory, and a re-fault observes the same
+// bytes.
+type slabResidency struct {
+	mp      *durable.Mapped
+	colsOff int64 // payload (== file) offset of the Cols section
+	valsOff int64
+	valW    int64 // value width in bytes: 8 or 4
+}
+
+// releaseEntries prefetches entries [pHi, pHi+(pHi-pLo)) and drops
+// entries [pLo, pHi) of the Cols and Vals sections from the resident
+// set. Out-of-range windows are clamped by the mapping.
+func (r *slabResidency) releaseEntries(pLo, pHi int64) {
+	if r == nil || pHi <= pLo {
+		return
+	}
+	n := pHi - pLo
+	r.mp.AdviseWillNeed(r.colsOff+4*pHi, 4*n)
+	r.mp.AdviseWillNeed(r.valsOff+r.valW*pHi, r.valW*n)
+	r.mp.Release(r.colsOff+4*pLo, 4*n)
+	r.mp.Release(r.valsOff+r.valW*pLo, r.valW*n)
+}
+
+// stripeRelease returns the per-stripe release hook the fused kernels
+// install for slab-backed operands, or nil for ordinary in-RAM matrices.
+func (m *CSR) stripeRelease() func(lo, hi int) {
+	if m.res == nil {
+		return nil
+	}
+	res, rowPtr := m.res, m.RowPtr
+	return func(lo, hi int) { res.releaseEntries(rowPtr[lo], rowPtr[hi]) }
+}
+
+// stripeRelease is the float32 mirror of (*CSR).stripeRelease.
+func (m *CSR32) stripeRelease() func(lo, hi int) {
+	if m.res == nil {
+		return nil
+	}
+	res, rowPtr := m.res, m.RowPtr
+	return func(lo, hi int) { res.releaseEntries(rowPtr[lo], rowPtr[hi]) }
+}
+
+// ---------------------------------------------------------------------------
+// Validation
+
+// validateSlabCSR runs the full structural sweep over a slab-backed
+// matrix in bounded-residency chunks: shape first, then rows in blocks,
+// releasing each block's entry pages behind itself in streaming mode.
+func validateSlabCSR(m *CSR, res *slabResidency) error {
+	if err := m.validateShape(); err != nil {
+		return err
+	}
+	for lo := 0; lo < m.Rows; lo += slabValidateChunkRows {
+		hi := lo + slabValidateChunkRows
+		if hi > m.Rows {
+			hi = m.Rows
+		}
+		if err := m.validateRowRange(lo, hi); err != nil {
+			return err
+		}
+		if res != nil {
+			res.releaseEntries(m.RowPtr[lo], m.RowPtr[hi])
+		}
+	}
+	return nil
+}
+
+// validateSlabCSR32 is the float32 structural sweep: same checks as
+// CSR.Validate with float32 finiteness.
+func validateSlabCSR32(m *CSR32, res *slabResidency) error {
+	if m.Rows < 0 || m.ColsN < 0 {
+		return ErrBadShape
+	}
+	if len(m.RowPtr) != m.Rows+1 {
+		return fmt.Errorf("linalg: RowPtr length %d, want %d", len(m.RowPtr), m.Rows+1)
+	}
+	if m.RowPtr[0] != 0 {
+		return fmt.Errorf("linalg: RowPtr[0] = %d, want 0", m.RowPtr[0])
+	}
+	if int64(len(m.Cols)) != m.RowPtr[m.Rows] || len(m.Cols) != len(m.Vals) {
+		return fmt.Errorf("linalg: storage lengths inconsistent: RowPtr end %d, cols %d, vals %d",
+			m.RowPtr[m.Rows], len(m.Cols), len(m.Vals))
+	}
+	for lo := 0; lo < m.Rows; lo += slabValidateChunkRows {
+		hi := lo + slabValidateChunkRows
+		if hi > m.Rows {
+			hi = m.Rows
+		}
+		for i := lo; i < hi; i++ {
+			if m.RowPtr[i] > m.RowPtr[i+1] {
+				return fmt.Errorf("linalg: row %d has negative extent", i)
+			}
+			// Bound before indexing: monotonicity alone does not keep an
+			// adversarial RowPtr inside the entry arrays (see
+			// (*CSR).validateRowRange).
+			if m.RowPtr[i] < 0 || m.RowPtr[i+1] > int64(len(m.Cols)) {
+				return fmt.Errorf("linalg: row %d extent [%d,%d) outside the %d stored entries",
+					i, m.RowPtr[i], m.RowPtr[i+1], len(m.Cols))
+			}
+			a, b := m.RowPtr[i], m.RowPtr[i+1]
+			for k := a; k < b; k++ {
+				c := m.Cols[k]
+				if c < 0 || int(c) >= m.ColsN {
+					return fmt.Errorf("linalg: row %d col %d out of range [0,%d)", i, c, m.ColsN)
+				}
+				if k > a && m.Cols[k-1] >= c {
+					return fmt.Errorf("linalg: row %d columns not strictly increasing", i)
+				}
+				if v := m.Vals[k]; v != v || v > math.MaxFloat32 || v < -math.MaxFloat32 {
+					return fmt.Errorf("linalg: row %d col %d non-finite value", i, c)
+				}
+			}
+		}
+		if res != nil {
+			res.releaseEntries(m.RowPtr[lo], m.RowPtr[hi])
+		}
+	}
+	return nil
+}

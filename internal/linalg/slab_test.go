@@ -1,0 +1,357 @@
+package linalg
+
+import (
+	"errors"
+	"io"
+	"math"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"sourcerank/internal/durable"
+)
+
+func writeSlabTemp(t *testing.T, m *CSR, prec SlabPrecision) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "m.slab")
+	if err := WriteSlabCSR(nil, path, m, prec); err != nil {
+		t.Fatalf("WriteSlabCSR: %v", err)
+	}
+	return path
+}
+
+func sameBits(t *testing.T, name string, a, b Vector) {
+	t.Helper()
+	if len(a) != len(b) {
+		t.Fatalf("%s: length %d != %d", name, len(a), len(b))
+	}
+	for i := range a {
+		if math.Float64bits(a[i]) != math.Float64bits(b[i]) {
+			t.Fatalf("%s: bit divergence at %d: %x != %x", name, i, math.Float64bits(a[i]), math.Float64bits(b[i]))
+		}
+	}
+}
+
+func TestSlabRoundTripFloat64(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		m    *CSR
+	}{
+		{"random", randCSR(t, 3, 37, 53, 400)},
+		{"empty rows", mustCSR(t, 5, 5, []Entry{{2, 1, 0.5}, {2, 3, 0.5}})},
+		{"no entries", mustCSR(t, 4, 4, nil)},
+		{"zero rows", mustCSR(t, 0, 0, nil)},
+		{"hub", hubCSR(t, 64, 64, 2000, 0.5)},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			path := writeSlabTemp(t, tc.m, SlabFloat64)
+			st, err := os.Stat(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if want := SlabFileBytes(tc.m.Rows, int64(tc.m.NNZ()), SlabFloat64); st.Size() != want {
+				t.Fatalf("file size %d, want SlabFileBytes %d", st.Size(), want)
+			}
+			for _, budget := range []int64{0, 1 << 20} {
+				s, err := OpenSlabCSR(path, SlabOpenOptions{MaxResident: budget})
+				if err != nil {
+					t.Fatalf("OpenSlabCSR(budget=%d): %v", budget, err)
+				}
+				sameCSR(t, tc.name, tc.m, s.Matrix())
+				if err := s.Close(); err != nil {
+					t.Fatalf("Close: %v", err)
+				}
+				if err := s.Close(); err != nil {
+					t.Fatalf("second Close: %v", err)
+				}
+			}
+		})
+	}
+}
+
+func TestSlabRoundTripFloat32(t *testing.T) {
+	m := randCSR(t, 9, 41, 47, 500)
+	want := NewCSR32(m)
+	path := writeSlabTemp(t, m, SlabFloat32)
+	st, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wantSz := SlabFileBytes(m.Rows, int64(m.NNZ()), SlabFloat32); st.Size() != wantSz {
+		t.Fatalf("file size %d, want SlabFileBytes %d", st.Size(), wantSz)
+	}
+	for _, budget := range []int64{0, 1 << 20} {
+		s, err := OpenSlabCSR32(path, SlabOpenOptions{MaxResident: budget})
+		if err != nil {
+			t.Fatalf("OpenSlabCSR32(budget=%d): %v", budget, err)
+		}
+		got := s.Matrix()
+		if got.Rows != want.Rows || got.ColsN != want.ColsN || got.NNZ() != want.NNZ() {
+			t.Fatalf("shape mismatch")
+		}
+		for i := range want.RowPtr {
+			if got.RowPtr[i] != want.RowPtr[i] {
+				t.Fatalf("RowPtr[%d] differs", i)
+			}
+		}
+		for k := range want.Vals {
+			if got.Cols[k] != want.Cols[k] {
+				t.Fatalf("Cols[%d] differs", k)
+			}
+			if math.Float32bits(got.Vals[k]) != math.Float32bits(want.Vals[k]) {
+				t.Fatalf("Vals[%d]: %x != %x (narrowing must match NewCSR32)", k,
+					math.Float32bits(got.Vals[k]), math.Float32bits(want.Vals[k]))
+			}
+		}
+		s.Close()
+	}
+}
+
+func TestSlabOpenWrongKind(t *testing.T) {
+	m := randCSR(t, 5, 10, 10, 40)
+	p64 := writeSlabTemp(t, m, SlabFloat64)
+	p32 := writeSlabTemp(t, m, SlabFloat32)
+	if _, err := OpenSlabCSR(p32, SlabOpenOptions{}); !errors.Is(err, ErrSlabFormat) {
+		t.Fatalf("OpenSlabCSR on float32 slab = %v, want ErrSlabFormat", err)
+	}
+	if _, err := OpenSlabCSR32(p64, SlabOpenOptions{}); !errors.Is(err, ErrSlabFormat) {
+		t.Fatalf("OpenSlabCSR32 on float64 slab = %v, want ErrSlabFormat", err)
+	}
+}
+
+func TestSlabOpenRejectsCorruption(t *testing.T) {
+	m := randCSR(t, 5, 40, 40, 600)
+	path := writeSlabTemp(t, m, SlabFloat64)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	cases := []struct {
+		name   string
+		mutate func([]byte) []byte
+		want   error
+	}{
+		{"payload bit flip", func(b []byte) []byte {
+			c := append([]byte(nil), b...)
+			c[len(c)/2] ^= 0x10
+			return c
+		}, durable.ErrCorrupt},
+		{"truncation", func(b []byte) []byte { return b[:len(b)/2] }, durable.ErrCorrupt},
+		{"empty", func(b []byte) []byte { return nil }, durable.ErrCorrupt},
+		// Valid trailer over a hostile header: CRC passes, the slab
+		// parser must reject it.
+		{"bad magic reframed", func(b []byte) []byte {
+			payload := append([]byte(nil), b[:len(b)-durable.TrailerSize]...)
+			payload[0] ^= 0xff
+			return durable.Frame(payload)
+		}, ErrSlabFormat},
+		{"oversized nnz reframed", func(b []byte) []byte {
+			payload := append([]byte(nil), b[:len(b)-durable.TrailerSize]...)
+			// nnz at offset 32: declare more entries than the sections hold.
+			payload[32] = 0xff
+			payload[33] = 0xff
+			return durable.Frame(payload)
+		}, ErrSlabFormat},
+		{"short header reframed", func(b []byte) []byte {
+			return durable.Frame(make([]byte, slabHeaderSize-1))
+		}, ErrSlabFormat},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			bad := filepath.Join(dir, "bad.slab")
+			if err := os.WriteFile(bad, tc.mutate(data), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			for _, budget := range []int64{0, 1 << 20} {
+				if _, err := OpenSlabCSR(bad, SlabOpenOptions{MaxResident: budget}); !errors.Is(err, tc.want) {
+					t.Fatalf("OpenSlabCSR(budget=%d) = %v, want %v", budget, err, tc.want)
+				}
+			}
+		})
+	}
+}
+
+// TestSlabSolveBitwiseIdentical is the core determinism contract of the
+// out-of-core path: a slab-backed solve must produce byte-identical
+// scores to the in-memory solve at every worker count, with and without
+// a residency budget.
+func TestSlabSolveBitwiseIdentical(t *testing.T) {
+	defer func(v int) { fusedMinNNZ = v }(fusedMinNNZ)
+	defer func(v int) { fusedNNZPerStripe = v }(fusedNNZPerStripe)
+	fusedMinNNZ = 1
+	fusedNNZPerStripe = 64 // force many stripes on the small fixture
+
+	p := stochasticChain(t, rand.New(rand.NewSource(17)), 400)
+	pt := p.Transpose()
+	alpha := 0.85
+	tele := NewUniformVector(pt.Rows)
+	opt := SolverOptions{Tol: 1e-12, Workers: 1}
+	ref, st, err := PowerMethodT(pt, alpha, tele, nil, opt)
+	if err != nil || !st.Converged {
+		t.Fatalf("reference solve: %v %+v", err, st)
+	}
+
+	path := writeSlabTemp(t, pt, SlabFloat64)
+	for _, budget := range []int64{0, 4096} {
+		for _, workers := range []int{1, 2, 3, 4, 8} {
+			s, err := OpenSlabCSR(path, SlabOpenOptions{MaxResident: budget})
+			if err != nil {
+				t.Fatal(err)
+			}
+			opt := SolverOptions{Tol: 1e-12, Workers: workers}
+			got, st, err := PowerMethodT(s.Matrix(), alpha, tele, nil, opt)
+			if err != nil || !st.Converged {
+				t.Fatalf("slab solve (budget=%d workers=%d): %v %+v", budget, workers, err, st)
+			}
+			sameBits(t, "slab power", ref, got)
+
+			// Affine path over the same slab-backed operand.
+			b := tele.Clone()
+			b.Scale(1 - alpha)
+			jref, _, err := JacobiAffineT(pt, alpha, b, opt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			jgot, _, err := JacobiAffineT(s.Matrix(), alpha, b, opt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sameBits(t, "slab affine", jref, jgot)
+			s.Close()
+		}
+	}
+}
+
+// TestSlabSolve32BitwiseIdentical mirrors the contract for the float32
+// kernels over a SlabFloat32 file.
+func TestSlabSolve32BitwiseIdentical(t *testing.T) {
+	defer func(v int) { fusedMinNNZ = v }(fusedMinNNZ)
+	defer func(v int) { fusedNNZPerStripe = v }(fusedNNZPerStripe)
+	fusedMinNNZ = 1
+	fusedNNZPerStripe = 64
+
+	p := stochasticChain(t, rand.New(rand.NewSource(23)), 300)
+	pt := p.Transpose()
+	alpha := 0.85
+	tele := NewUniformVector(pt.Rows)
+	opt := SolverOptions{Workers: 1}
+	mem32 := NewCSR32(pt)
+	ref, st, err := PowerMethodT32(mem32, alpha, tele, nil, opt)
+	if err != nil || !st.Converged {
+		t.Fatalf("reference float32 solve: %v %+v", err, st)
+	}
+
+	path := writeSlabTemp(t, pt, SlabFloat32)
+	for _, budget := range []int64{0, 4096} {
+		for _, workers := range []int{1, 2, 4} {
+			s, err := OpenSlabCSR32(path, SlabOpenOptions{MaxResident: budget})
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, st, err := PowerMethodT32(s.Matrix(), alpha, tele, nil, SolverOptions{Workers: workers})
+			if err != nil || !st.Converged {
+				t.Fatalf("slab32 solve (budget=%d workers=%d): %v %+v", budget, workers, err, st)
+			}
+			sameBits(t, "slab32 power", ref, got)
+			s.Close()
+		}
+	}
+}
+
+// TestPowerMethodTUniformMatchesExplicit pins the implicit-uniform
+// teleport kernel to the materialized one, bit for bit, across worker
+// counts — the substitution the out-of-core bench relies on to shed a
+// resident vector.
+func TestPowerMethodTUniformMatchesExplicit(t *testing.T) {
+	defer func(v int) { fusedMinNNZ = v }(fusedMinNNZ)
+	defer func(v int) { fusedNNZPerStripe = v }(fusedNNZPerStripe)
+	fusedMinNNZ = 1
+	fusedNNZPerStripe = 64
+
+	p := stochasticChain(t, rand.New(rand.NewSource(31)), 350)
+	pt := p.Transpose()
+	alpha := 0.85
+	tele := NewUniformVector(pt.Rows)
+	for _, workers := range []int{1, 2, 3, 8} {
+		for _, checkEvery := range []int{0, 4} {
+			opt := SolverOptions{Tol: 1e-12, Workers: workers, CheckEvery: checkEvery}
+			want, st1, err := PowerMethodT(pt, alpha, tele, nil, opt)
+			if err != nil || !st1.Converged {
+				t.Fatalf("explicit: %v %+v", err, st1)
+			}
+			got, st2, err := PowerMethodTUniform(pt, alpha, opt)
+			if err != nil || !st2.Converged {
+				t.Fatalf("uniform: %v %+v", err, st2)
+			}
+			if st1.Iterations != st2.Iterations || math.Float64bits(st1.Residual) != math.Float64bits(st2.Residual) {
+				t.Fatalf("stats diverge: %+v vs %+v", st1, st2)
+			}
+			sameBits(t, "uniform teleport", want, got)
+		}
+	}
+}
+
+// TestSlabSolveUniformOnSlab runs the full out-of-core configuration in
+// miniature: slab-backed operand, residency budget, implicit uniform
+// teleport — against the plain in-memory explicit-teleport solve.
+func TestSlabSolveUniformOnSlab(t *testing.T) {
+	defer func(v int) { fusedMinNNZ = v }(fusedMinNNZ)
+	defer func(v int) { fusedNNZPerStripe = v }(fusedNNZPerStripe)
+	fusedMinNNZ = 1
+	fusedNNZPerStripe = 64
+
+	p := stochasticChain(t, rand.New(rand.NewSource(41)), 500)
+	pt := p.Transpose()
+	alpha := 0.9
+	ref, st, err := PowerMethodT(pt, alpha, NewUniformVector(pt.Rows), nil, SolverOptions{Workers: 1})
+	if err != nil || !st.Converged {
+		t.Fatalf("reference: %v %+v", err, st)
+	}
+	path := writeSlabTemp(t, pt, SlabFloat64)
+	for _, workers := range []int{1, 3} {
+		s, err := OpenSlabCSR(path, SlabOpenOptions{MaxResident: 4096})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, st, err := PowerMethodTUniform(s.Matrix(), alpha, SolverOptions{Workers: workers})
+		if err != nil || !st.Converged {
+			t.Fatalf("slab uniform solve: %v %+v", err, st)
+		}
+		sameBits(t, "slab uniform", ref, got)
+		s.Close()
+	}
+}
+
+func TestSlabPayloadBytes(t *testing.T) {
+	// Alignment padding: 88 + 8·(rows+1) + 4·nnz must be rounded to 8.
+	if got := SlabPayloadBytes(1, 1, SlabFloat64); got != 88+16+4+4+8 {
+		t.Fatalf("SlabPayloadBytes(1,1,f64) = %d", got)
+	}
+	if got := SlabPayloadBytes(1, 2, SlabFloat64); got != 88+16+8+0+16 {
+		t.Fatalf("SlabPayloadBytes(1,2,f64) = %d", got)
+	}
+	if got := SlabPayloadBytes(0, 0, SlabFloat32); got != 88+8 {
+		t.Fatalf("SlabPayloadBytes(0,0,f32) = %d", got)
+	}
+}
+
+func TestWriteSlabFileEnforcesSectionLengths(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "bad.slab")
+	err := WriteSlabFile(nil, path, SlabFloat64, SlabSections{
+		Rows: 2, Cols: 2, NNZ: 1,
+		// RowPtr writes nothing: 0 bytes against a declared 24.
+		RowPtr: func(io.Writer) error { return nil },
+		ColIdx: func(w io.Writer) error { return WriteInt32sLE(w, []int32{0}) },
+		Values: func(w io.Writer) error { return WriteFloat64sLE(w, []float64{1}) },
+	})
+	if err == nil {
+		t.Fatal("WriteSlabFile accepted a short rowptr section")
+	}
+	// The commit protocol must not have left the target behind.
+	if _, serr := os.Stat(path); !os.IsNotExist(serr) {
+		t.Fatalf("target exists after failed write: %v", serr)
+	}
+}

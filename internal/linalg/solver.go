@@ -198,3 +198,38 @@ func PowerMethodT(pt *CSR, c float64, t Vector, x0 Vector, opt SolverOptions) (V
 	defer k.Close()
 	return iterateFused(k, x0, opt)
 }
+
+// PowerMethodTUniform is PowerMethodT specialized to the uniform
+// teleport distribution t[i] = 1/n held implicitly, with x0 = t: the
+// classic PageRank configuration. The result is bitwise identical to
+// PowerMethodT(pt, c, uniform, nil, opt) at every worker count, but the
+// solve keeps only the two ping-pong iterate vectors resident — no
+// teleport vector, no retained x0 — which is what lets a slab-backed
+// solve of a larger-than-budget operand stay under its residency cap
+// (the dense vectors are the entire heap-side footprint; the matrix
+// streams through the page cache).
+func PowerMethodTUniform(pt *CSR, c float64, opt SolverOptions) (Vector, IterStats, error) {
+	if pt.Rows != pt.ColsN || pt.Rows == 0 {
+		return nil, IterStats{}, ErrDimension
+	}
+	n := pt.Rows
+	tv := 1 / float64(n)
+	if opt.Dist != nil {
+		// The unfused fallback needs the teleport materialized anyway.
+		t := NewVector(n)
+		for i := range t {
+			t[i] = tv
+		}
+		return PowerMethodT(pt, c, t, nil, opt)
+	}
+	k, err := NewFusedPowerUniform(pt, c, ResidualL2, opt.Workers)
+	if err != nil {
+		return nil, IterStats{}, err
+	}
+	defer k.Close()
+	cur := NewVector(n)
+	for i := range cur {
+		cur[i] = tv
+	}
+	return iterateFusedOwned(k, cur, opt)
+}

@@ -2,6 +2,7 @@ package linalg
 
 import (
 	"fmt"
+	"math/bits"
 	"runtime"
 	"sync"
 )
@@ -69,7 +70,9 @@ func partitionRowsByNNZ(m *CSR, workers int) []int {
 
 // partitionPtrByNNZ is partitionRowsByNNZ on a bare row-pointer array,
 // shared with the float32 mirror (which reuses its source CSR's RowPtr,
-// so both precisions see identical stripe boundaries).
+// so both precisions see identical stripe boundaries) and with
+// slab-backed operands, whose memory-mapped RowPtr section stripes
+// through here untouched.
 func partitionPtrByNNZ(rowPtr []int64, rows, workers int) []int {
 	bounds := make([]int, workers+1)
 	bounds[workers] = rows
@@ -83,7 +86,17 @@ func partitionPtrByNNZ(rowPtr []int64, rows, workers int) []int {
 	}
 	row := 0
 	for w := 1; w < workers; w++ {
-		target := total * int64(w) / int64(workers)
+		// target = total·w/workers in 128-bit arithmetic: the direct
+		// int64 product overflows once total exceeds MaxInt64/workers
+		// (a few tens of exabytes of entries are not needed for that —
+		// a crafted or corrupt prefix sum suffices). bits.Div64 cannot
+		// panic here: the quotient is < total ≤ MaxInt64, so the high
+		// word is always < workers. Exact division keeps the result
+		// bit-identical to the old expression wherever it didn't
+		// overflow.
+		phi, plo := bits.Mul64(uint64(total), uint64(w))
+		q, _ := bits.Div64(phi, plo, uint64(workers))
+		target := int64(q)
 		for row < rows && rowPtr[row] < target {
 			row++
 		}

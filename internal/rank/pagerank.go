@@ -135,6 +135,33 @@ func StationaryT(tt *linalg.CSR, opt Options) (*Result, error) {
 	return &Result{Scores: scores, Stats: stats}, nil
 }
 
+// StationaryT32 is StationaryT over an already-narrowed transpose: the
+// caller holds Tᵀ in float32 form (e.g. a float32 slab opened from disk)
+// and the iteration runs on the float32 kernels directly, with no
+// per-call narrowing copy. Equivalent to StationaryT with
+// Options.Precision = linalg.Float32 when the float32 operand carries
+// the same bits as linalg.NewCSR32 of the float64 transpose.
+func StationaryT32(tt *linalg.CSR32, opt Options) (*Result, error) {
+	if tt.Rows == 0 {
+		return nil, ErrEmptyGraph
+	}
+	tele := opt.Teleport
+	if tele == nil {
+		tele = linalg.NewUniformVector(tt.Rows)
+	}
+	if len(tele) != tt.Rows {
+		return nil, linalg.ErrDimension
+	}
+	if opt.X0 != nil && len(opt.X0) != tt.Rows {
+		return nil, linalg.ErrDimension
+	}
+	scores, stats, err := linalg.PowerMethodT32(tt, opt.alpha(), tele, opt.X0, opt.solver())
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Scores: scores, Stats: stats}, nil
+}
+
 // powerMethodT routes the power iteration by opt.Precision: the float64
 // reference solver, or the float32 bandwidth path (which narrows the
 // operand once per call and widens the result back).

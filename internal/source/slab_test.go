@@ -1,0 +1,54 @@
+package source
+
+import (
+	"math"
+	"path/filepath"
+	"testing"
+
+	"sourcerank/internal/linalg"
+	"sourcerank/internal/pagegraph"
+)
+
+func TestTransposedTSlabBitwise(t *testing.T) {
+	g := pagegraph.New()
+	var pages []pagegraph.PageID
+	for s := 0; s < 4; s++ {
+		id := g.AddSource(string(rune('a'+s)) + ".com")
+		pages = append(pages, g.AddPage(id), g.AddPage(id))
+	}
+	g.AddLink(pages[0], pages[2])
+	g.AddLink(pages[1], pages[4])
+	g.AddLink(pages[2], pages[6])
+	g.AddLink(pages[4], pages[0])
+	g.AddLink(pages[6], pages[3])
+	sg, err := Build(g, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := sg.TransposedT(2)
+	for _, maxResident := range []int64{0, 1024} {
+		path := filepath.Join(t.TempDir(), "tt.slab")
+		s, err := sg.TransposedTSlab(nil, path, linalg.SlabOpenOptions{MaxResident: maxResident}, 2)
+		if err != nil {
+			t.Fatalf("TransposedTSlab(res=%d): %v", maxResident, err)
+		}
+		got := s.Matrix()
+		if got.Rows != want.Rows || got.NNZ() != want.NNZ() {
+			t.Fatalf("shape mismatch")
+		}
+		for i := range want.RowPtr {
+			if want.RowPtr[i] != got.RowPtr[i] {
+				t.Fatalf("RowPtr[%d] differs", i)
+			}
+		}
+		for k := range want.Vals {
+			if want.Cols[k] != got.Cols[k] {
+				t.Fatalf("Cols[%d] differs", k)
+			}
+			if math.Float64bits(want.Vals[k]) != math.Float64bits(got.Vals[k]) {
+				t.Fatalf("Vals[%d] bits differ", k)
+			}
+		}
+		s.Close()
+	}
+}

@@ -1,0 +1,42 @@
+//go:build linux
+
+package sysmem
+
+import (
+	"bufio"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// readStatusKB reads a "<key>   <n> kB" line from /proc/self/status.
+func readStatusKB(key string) (int64, bool) {
+	f, err := os.Open("/proc/self/status")
+	if err != nil {
+		return 0, false
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, key) {
+			continue
+		}
+		fields := strings.Fields(line[len(key):])
+		if len(fields) < 1 {
+			return 0, false
+		}
+		kb, err := strconv.ParseInt(fields[0], 10, 64)
+		if err != nil {
+			return 0, false
+		}
+		return kb << 10, true
+	}
+	return 0, false
+}
+
+// resetPeakRSS writes "5" to /proc/self/clear_refs, which resets VmHWM
+// to the current VmRSS (Linux >= 4.0).
+func resetPeakRSS() bool {
+	return os.WriteFile("/proc/self/clear_refs", []byte("5"), 0) == nil
+}

@@ -1,0 +1,7 @@
+//go:build !linux
+
+package sysmem
+
+func readStatusKB(string) (int64, bool) { return 0, false }
+
+func resetPeakRSS() bool { return false }

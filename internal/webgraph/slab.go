@@ -1,0 +1,332 @@
+package webgraph
+
+import (
+	"fmt"
+	"io"
+	"path/filepath"
+
+	"sourcerank/internal/durable"
+	"sourcerank/internal/linalg"
+)
+
+// This file builds the transition-matrix slab files (internal/linalg slab
+// format) straight from a compressed graph, without ever materializing an
+// in-RAM CSR. The peak heap cost of a build is O(nodes) for the degree
+// and row-pointer arrays plus one bounded transpose bucket — independent
+// of the edge count — so a graph whose matrices dwarf RAM can still be
+// lowered to solvable slabs.
+//
+// Bitwise contract: the P slab decodes to exactly the uniform out-degree
+// transition matrix (rank's builder: row u holds 1/o(u) per successor,
+// dangling rows empty), and the Pᵀ slab to exactly its transpose as
+// TransposeParallel/rank.TransitionT order it (per destination row,
+// sources ascending). Slab-backed solves therefore reproduce the
+// in-memory solver output bit for bit.
+
+// SlabOptions configures BuildTransitionSlabs.
+type SlabOptions struct {
+	// Precision selects float64 or float32 value sections. The float32
+	// narrowing matches linalg.NewCSR32 (nearest-even), so a float32 slab
+	// equals the in-RAM float32 mirror bit for bit.
+	Precision linalg.SlabPrecision
+	// BufferBytes bounds the transpose bucket buffer; <= 0 selects 64 MiB.
+	// Smaller buffers mean more decode passes over the compressed graph,
+	// not a different result.
+	BufferBytes int64
+}
+
+// slabBufferDefault sizes the transpose bucket: large enough that
+// ordinary graphs transpose in one pass, small enough to stay irrelevant
+// next to the dense iterate vectors of the solve that follows.
+const slabBufferDefault = 64 << 20
+
+// SlabPaths names the two slab files a build commits.
+type SlabPaths struct {
+	P  string // forward transition matrix
+	PT string // its transpose, the power-iteration operand
+}
+
+// BuildTransitionSlabs lowers c to two committed slab files in dir:
+// transition.slab (P) and transition_t.slab (Pᵀ). Sections are streamed
+// from repeated decodes of the compressed adjacency slab, so no CSR array
+// is ever resident; the transpose is assembled by a bucketed counting
+// sort over destination-row ranges sized to opt.BufferBytes.
+func BuildTransitionSlabs(fsys durable.FS, dir string, c *Compressed, opt SlabOptions) (SlabPaths, error) {
+	bufBytes := opt.BufferBytes
+	if bufBytes <= 0 {
+		bufBytes = slabBufferDefault
+	}
+	n := c.NumNodes()
+	paths := SlabPaths{
+		P:  filepath.Join(dir, "transition.slab"),
+		PT: filepath.Join(dir, "transition_t.slab"),
+	}
+
+	// Degree pass: one sequential decode fixes both row-pointer arrays
+	// and the per-source weights.
+	outdeg := make([]int64, n)
+	indeg := make([]int64, n)
+	nnz := int64(0)
+	err := c.eachAdjacency(func(u int32, succ []int32) error {
+		outdeg[u] = int64(len(succ))
+		nnz += int64(len(succ))
+		for _, v := range succ {
+			indeg[v]++
+		}
+		return nil
+	})
+	if err != nil {
+		return SlabPaths{}, err
+	}
+
+	// inv[u] = 1/o(u), the value of every entry in row u of P — exactly
+	// rank's transition builder. Dangling u never emits, so inv there is
+	// never read.
+	inv := make([]float64, n)
+	for u := 0; u < n; u++ {
+		if outdeg[u] > 0 {
+			inv[u] = 1 / float64(outdeg[u])
+		}
+	}
+
+	if err := writeSlabFromDegrees(fsys, paths.P, opt.Precision, c, nnz, outdeg, inv); err != nil {
+		return SlabPaths{}, fmt.Errorf("webgraph: transition slab: %w", err)
+	}
+	if err := writeTransposeSlab(fsys, paths.PT, opt.Precision, c, nnz, indeg, inv, bufBytes); err != nil {
+		return SlabPaths{}, fmt.Errorf("webgraph: transpose slab: %w", err)
+	}
+	return paths, nil
+}
+
+// eachAdjacency decodes every adjacency list front to back, reusing one
+// scratch buffer.
+func (c *Compressed) eachAdjacency(fn func(u int32, succ []int32) error) error {
+	var scratch []int32
+	for u := 0; u < c.numNodes; u++ {
+		lo, hi := c.offsets[u], c.offsets[u+1]
+		if lo < 0 || hi < lo || hi > int64(len(c.slab)) {
+			return fmt.Errorf("%w: offsets of node %d out of bounds", ErrCodec, u)
+		}
+		var err error
+		scratch, _, err = DecodeAdjacency(c.slab[lo:hi], int32(u), c.numNodes, scratch[:0])
+		if err != nil {
+			return fmt.Errorf("webgraph: node %d: %w", u, err)
+		}
+		if err := fn(int32(u), scratch); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// writeRowPtrFromDegrees streams the prefix sum of deg as the rowptr
+// section without materializing it.
+func writeRowPtrFromDegrees(w io.Writer, deg []int64) error {
+	const chunk = 4096
+	buf := make([]int64, 0, chunk)
+	buf = append(buf, 0)
+	sum := int64(0)
+	for _, d := range deg {
+		sum += d
+		buf = append(buf, sum)
+		if len(buf) == chunk {
+			if err := linalg.WriteInt64sLE(w, buf); err != nil {
+				return err
+			}
+			buf = buf[:0]
+		}
+	}
+	return linalg.WriteInt64sLE(w, buf)
+}
+
+// writeWeights writes, for each row, deg[row] copies of weight[row] at
+// the selected precision — the value section of a uniform out-degree
+// matrix, streamed from the degree array alone.
+func writeWeights(w io.Writer, prec linalg.SlabPrecision, deg []int64, weight []float64) error {
+	const chunk = 4096
+	if prec == linalg.SlabFloat32 {
+		buf := make([]float32, 0, chunk)
+		for r, d := range deg {
+			v := float32(weight[r])
+			for ; d > 0; d-- {
+				buf = append(buf, v)
+				if len(buf) == chunk {
+					if err := linalg.WriteFloat32sLE(w, buf); err != nil {
+						return err
+					}
+					buf = buf[:0]
+				}
+			}
+		}
+		return linalg.WriteFloat32sLE(w, buf)
+	}
+	buf := make([]float64, 0, chunk)
+	for r, d := range deg {
+		v := weight[r]
+		for ; d > 0; d-- {
+			buf = append(buf, v)
+			if len(buf) == chunk {
+				if err := linalg.WriteFloat64sLE(w, buf); err != nil {
+					return err
+				}
+				buf = buf[:0]
+			}
+		}
+	}
+	return linalg.WriteFloat64sLE(w, buf)
+}
+
+// writeSlabFromDegrees commits the forward transition slab: rowptr from
+// outdeg, columns from one decode pass, values from outdeg alone.
+func writeSlabFromDegrees(fsys durable.FS, path string, prec linalg.SlabPrecision, c *Compressed, nnz int64, outdeg []int64, inv []float64) error {
+	return linalg.WriteSlabFile(fsys, path, prec, linalg.SlabSections{
+		Rows: c.NumNodes(),
+		Cols: c.NumNodes(),
+		NNZ:  nnz,
+		RowPtr: func(w io.Writer) error {
+			return writeRowPtrFromDegrees(w, outdeg)
+		},
+		ColIdx: func(w io.Writer) error {
+			return c.eachAdjacency(func(u int32, succ []int32) error {
+				return linalg.WriteInt32sLE(w, succ)
+			})
+		},
+		Values: func(w io.Writer) error {
+			return writeWeights(w, prec, outdeg, inv)
+		},
+	})
+}
+
+// transposeBuckets splits destination rows [0, n) into contiguous ranges
+// whose entry counts fit a bufBytes bucket of 4-byte elements (always at
+// least one row per range), returning the range boundaries.
+func transposeBuckets(indeg []int64, bufBytes int64) []int {
+	maxEntries := bufBytes / 4
+	if maxEntries < 1 {
+		maxEntries = 1
+	}
+	bounds := []int{0}
+	count := int64(0)
+	for v, d := range indeg {
+		if count > 0 && count+d > maxEntries {
+			bounds = append(bounds, v)
+			count = 0
+		}
+		count += d
+	}
+	bounds = append(bounds, len(indeg))
+	return bounds
+}
+
+// fillBucket decodes the graph once and collects, for destination rows
+// [lo, hi), the source of every in-edge in (destination, source)
+// ascending order — the exact entry order of the transposed CSR — then
+// hands each destination row's sources to emit.
+func fillBucket(c *Compressed, lo, hi int, indeg []int64, buf []int32, emit func(sources []int32) error) error {
+	// next[v-lo] is the bucket write cursor for destination v.
+	start := make([]int64, hi-lo+1)
+	for v := lo; v < hi; v++ {
+		start[v-lo+1] = start[v-lo] + indeg[v]
+	}
+	next := make([]int64, hi-lo)
+	copy(next, start[:hi-lo])
+	err := c.eachAdjacency(func(u int32, succ []int32) error {
+		for _, v := range succ {
+			if int(v) >= lo && int(v) < hi {
+				buf[next[v-int32(lo)]] = u
+				next[v-int32(lo)]++
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	for v := lo; v < hi; v++ {
+		if err := emit(buf[start[v-lo]:start[v-lo+1]]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// writeTransposeSlab commits the transpose slab via a bucketed counting
+// sort: destination rows are grouped into ranges that fit the bucket
+// buffer, and the compressed graph is re-decoded once per range for the
+// column section and once per range for the value section (sections are
+// streamed in file order, so they cannot share a pass without spilling).
+func writeTransposeSlab(fsys durable.FS, path string, prec linalg.SlabPrecision, c *Compressed, nnz int64, indeg []int64, inv []float64, bufBytes int64) error {
+	bounds := transposeBuckets(indeg, bufBytes)
+	var bucketMax int64
+	for b := 0; b+1 < len(bounds); b++ {
+		var cnt int64
+		for v := bounds[b]; v < bounds[b+1]; v++ {
+			cnt += indeg[v]
+		}
+		if cnt > bucketMax {
+			bucketMax = cnt
+		}
+	}
+	buf := make([]int32, bucketMax)
+	forEachRow := func(emit func(sources []int32) error) error {
+		for b := 0; b+1 < len(bounds); b++ {
+			if err := fillBucket(c, bounds[b], bounds[b+1], indeg, buf, emit); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	return linalg.WriteSlabFile(fsys, path, prec, linalg.SlabSections{
+		Rows: c.NumNodes(),
+		Cols: c.NumNodes(),
+		NNZ:  nnz,
+		RowPtr: func(w io.Writer) error {
+			return writeRowPtrFromDegrees(w, indeg)
+		},
+		ColIdx: func(w io.Writer) error {
+			return forEachRow(func(sources []int32) error {
+				return linalg.WriteInt32sLE(w, sources)
+			})
+		},
+		Values: func(w io.Writer) error {
+			// Value k of the transpose is inv[source k]: replay the same
+			// bucket fill and map sources through inv.
+			if prec == linalg.SlabFloat32 {
+				vbuf := make([]float32, 0, 4096)
+				err := forEachRow(func(sources []int32) error {
+					for _, u := range sources {
+						vbuf = append(vbuf, float32(inv[u]))
+						if len(vbuf) == cap(vbuf) {
+							if err := linalg.WriteFloat32sLE(w, vbuf); err != nil {
+								return err
+							}
+							vbuf = vbuf[:0]
+						}
+					}
+					return nil
+				})
+				if err != nil {
+					return err
+				}
+				return linalg.WriteFloat32sLE(w, vbuf)
+			}
+			vbuf := make([]float64, 0, 4096)
+			err := forEachRow(func(sources []int32) error {
+				for _, u := range sources {
+					vbuf = append(vbuf, inv[u])
+					if len(vbuf) == cap(vbuf) {
+						if err := linalg.WriteFloat64sLE(w, vbuf); err != nil {
+							return err
+						}
+						vbuf = vbuf[:0]
+					}
+				}
+				return nil
+			})
+			if err != nil {
+				return err
+			}
+			return linalg.WriteFloat64sLE(w, vbuf)
+		},
+	})
+}

@@ -1,0 +1,166 @@
+package webgraph
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"sourcerank/internal/graph"
+	"sourcerank/internal/linalg"
+	"sourcerank/internal/rank"
+)
+
+// forwardTransition mirrors rank's unexported transition builder: the
+// uniform out-degree matrix assembled through NewCSR.
+func forwardTransition(t *testing.T, g *graph.Graph) *linalg.CSR {
+	t.Helper()
+	entries := []linalg.Entry{}
+	for u := 0; u < g.NumNodes(); u++ {
+		succ := g.Successors(int32(u))
+		if len(succ) == 0 {
+			continue
+		}
+		w := 1 / float64(len(succ))
+		for _, v := range succ {
+			entries = append(entries, linalg.Entry{Row: u, Col: int(v), Val: w})
+		}
+	}
+	m, err := linalg.NewCSR(g.NumNodes(), g.NumNodes(), entries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func csrBitsEqual(t *testing.T, name string, want, got *linalg.CSR) {
+	t.Helper()
+	if want.Rows != got.Rows || want.ColsN != got.ColsN || want.NNZ() != got.NNZ() {
+		t.Fatalf("%s: shape mismatch (%d,%d,%d) vs (%d,%d,%d)", name,
+			want.Rows, want.ColsN, want.NNZ(), got.Rows, got.ColsN, got.NNZ())
+	}
+	for i := range want.RowPtr {
+		if want.RowPtr[i] != got.RowPtr[i] {
+			t.Fatalf("%s: RowPtr[%d] = %d, want %d", name, i, got.RowPtr[i], want.RowPtr[i])
+		}
+	}
+	for k := range want.Vals {
+		if want.Cols[k] != got.Cols[k] {
+			t.Fatalf("%s: Cols[%d] = %d, want %d", name, k, got.Cols[k], want.Cols[k])
+		}
+		if math.Float64bits(want.Vals[k]) != math.Float64bits(got.Vals[k]) {
+			t.Fatalf("%s: Vals[%d] bits differ", name, k)
+		}
+	}
+}
+
+func buildSlabsFor(t *testing.T, g *graph.Graph, opt SlabOptions) SlabPaths {
+	t.Helper()
+	c, err := Compress(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	paths, err := BuildTransitionSlabs(nil, t.TempDir(), c, opt)
+	if err != nil {
+		t.Fatalf("BuildTransitionSlabs: %v", err)
+	}
+	return paths
+}
+
+func TestBuildTransitionSlabsBitwise(t *testing.T) {
+	graphs := map[string]*graph.Graph{
+		"random":   randomGraph(rand.New(rand.NewSource(7)), 300, 2500),
+		"dangling": graph.FromAdjacency([][]int32{{1, 2}, {}, {0}, {}}),
+		"empty":    graph.FromAdjacency(nil),
+		"edgeless": graph.FromAdjacency([][]int32{{}, {}, {}}),
+	}
+	for name, g := range graphs {
+		t.Run(name, func(t *testing.T) {
+			paths := buildSlabsFor(t, g, SlabOptions{})
+			wantP := forwardTransition(t, g)
+			wantPT := rank.TransitionT(g)
+
+			sp, err := linalg.OpenSlabCSR(paths.P, linalg.SlabOpenOptions{})
+			if err != nil {
+				t.Fatalf("open P: %v", err)
+			}
+			defer sp.Close()
+			csrBitsEqual(t, "P", wantP, sp.Matrix())
+
+			spt, err := linalg.OpenSlabCSR(paths.PT, linalg.SlabOpenOptions{})
+			if err != nil {
+				t.Fatalf("open PT: %v", err)
+			}
+			defer spt.Close()
+			csrBitsEqual(t, "PT", wantPT, spt.Matrix())
+			// And against the actual transpose of the forward matrix.
+			csrBitsEqual(t, "PT-vs-transpose", wantP.Transpose(), spt.Matrix())
+		})
+	}
+}
+
+// TestBuildTransitionSlabsMultiBucket forces the transpose counting sort
+// through many buffer-bounded passes and checks the result is unchanged.
+func TestBuildTransitionSlabsMultiBucket(t *testing.T) {
+	g := randomGraph(rand.New(rand.NewSource(11)), 200, 3000)
+	want := rank.TransitionT(g)
+	for _, bufBytes := range []int64{1, 64, 4096} {
+		paths := buildSlabsFor(t, g, SlabOptions{BufferBytes: bufBytes})
+		spt, err := linalg.OpenSlabCSR(paths.PT, linalg.SlabOpenOptions{})
+		if err != nil {
+			t.Fatalf("open PT (buf=%d): %v", bufBytes, err)
+		}
+		csrBitsEqual(t, "PT", want, spt.Matrix())
+		spt.Close()
+	}
+}
+
+// TestBuildTransitionSlabsFloat32 pins the float32 slabs to the in-RAM
+// float32 mirror: same narrowing, same bits.
+func TestBuildTransitionSlabsFloat32(t *testing.T) {
+	g := randomGraph(rand.New(rand.NewSource(13)), 150, 1800)
+	paths := buildSlabsFor(t, g, SlabOptions{Precision: linalg.SlabFloat32, BufferBytes: 512})
+	want := linalg.NewCSR32(rank.TransitionT(g))
+	spt, err := linalg.OpenSlabCSR32(paths.PT, linalg.SlabOpenOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer spt.Close()
+	got := spt.Matrix()
+	if got.Rows != want.Rows || got.NNZ() != want.NNZ() {
+		t.Fatalf("shape mismatch")
+	}
+	for k := range want.Vals {
+		if got.Cols[k] != want.Cols[k] {
+			t.Fatalf("Cols[%d] differs", k)
+		}
+		if math.Float32bits(got.Vals[k]) != math.Float32bits(want.Vals[k]) {
+			t.Fatalf("Vals[%d] bits differ from NewCSR32", k)
+		}
+	}
+}
+
+// TestSlabSolveMatchesRankPageRank closes the loop: a power solve over
+// the slab-built transpose must reproduce rank.PageRank bit for bit.
+func TestSlabSolveMatchesRankPageRank(t *testing.T) {
+	g := randomGraph(rand.New(rand.NewSource(17)), 250, 2000)
+	res, err := rank.PageRank(g, rank.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	paths := buildSlabsFor(t, g, SlabOptions{})
+	spt, err := linalg.OpenSlabCSR(paths.PT, linalg.SlabOpenOptions{MaxResident: 4096})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer spt.Close()
+	n := g.NumNodes()
+	got, st, err := linalg.PowerMethodT(spt.Matrix(), 0.85, linalg.NewUniformVector(n), nil, linalg.SolverOptions{})
+	if err != nil || !st.Converged {
+		t.Fatalf("slab solve: %v %+v", err, st)
+	}
+	for i := range got {
+		if math.Float64bits(got[i]) != math.Float64bits(res.Scores[i]) {
+			t.Fatalf("score %d diverges from rank.PageRank", i)
+		}
+	}
+}
