@@ -70,6 +70,9 @@ type refreshReport struct {
 	Graph      graphInfo         `json:"graph"`
 	BaselineNs int64             `json:"baseline_build_ns"`
 	Scenarios  []refreshScenario `json:"scenarios"`
+	// MaxRSSBytes is the process peak RSS at report time (0 where the
+	// platform doesn't expose it), matching the other bench modes.
+	MaxRSSBytes int64 `json:"max_rss_bytes"`
 }
 
 // churnLinks re-adds existing links picked at random: page-level churn
@@ -229,6 +232,8 @@ func runRefresh(preset string, scale float64, seed uint64, out string, workers i
 			sc.name, sc.links, row.LinksChangedPct, cold.BuildNs, cold.Iterations,
 			warm.BuildNs, warm.Iterations, row.WallSpeedup, match)
 	}
+
+	rep.MaxRSSBytes = peakRSS()
 
 	data, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {

@@ -51,6 +51,7 @@ import (
 	"sourcerank/internal/pagegraph"
 	"sourcerank/internal/replica"
 	"sourcerank/internal/server"
+	"sourcerank/internal/sysmem"
 )
 
 func main() {
@@ -66,6 +67,8 @@ func main() {
 		workers   = flag.Int("workers", 0, "solver goroutines (0 = GOMAXPROCS)")
 		precision = flag.String("precision", "float64", "stationary-solve arithmetic: float64 (reference) | float32 (bandwidth kernels; served scores stay float64)")
 		refresh   = flag.Duration("refresh", 0, "recompute+republish interval (0 disables)")
+		slabDir   = flag.String("slab-refresh-dir", "", "solve SRSR over a slab-backed operand committed under this directory (bounds build/refresh RSS; scores unchanged)")
+		slabRes   = flag.String("slab-max-resident", "", "resident entry-byte budget for slab-backed solves, e.g. 300m (empty or 0 = map without release-behind; needs -slab-refresh-dir)")
 		coldRef   = flag.Bool("cold-refresh", false, "disable warm-starting refresh solves from the previous snapshot")
 		maxBO     = flag.Duration("max-backoff", 0, "cap on the retry delay after failed refreshes (0 = 16x refresh interval)")
 		staleTO   = flag.Duration("staleness-budget", 0, "snapshot age at which /healthz turns degraded (0 disables)")
@@ -120,13 +123,30 @@ func main() {
 	if err != nil {
 		log.Fatalf("srserve: %v", err)
 	}
+	var slabMaxRes int64
+	if *slabRes != "" {
+		if slabMaxRes, err = sysmem.ParseBytes(*slabRes); err != nil {
+			log.Fatalf("srserve: -slab-max-resident: %v", err)
+		}
+	}
+	if slabMaxRes != 0 && *slabDir == "" {
+		log.Fatalf("srserve: -slab-max-resident needs -slab-refresh-dir")
+	}
+	if *slabDir != "" {
+		if err := os.MkdirAll(*slabDir, 0o755); err != nil {
+			log.Fatalf("srserve: creating slab dir: %v", err)
+		}
+		log.Printf("slab-backed SRSR solves under %s (resident budget %s)", *slabDir, sysmem.FormatBytes(slabMaxRes))
+	}
 	cfg := server.BuildConfig{
-		Alpha:     *alpha,
-		TopK:      *topK,
-		Workers:   *workers,
-		Precision: prec,
-		Name:      name,
-		Extra:     extra,
+		Alpha:       *alpha,
+		TopK:        *topK,
+		Workers:     *workers,
+		Precision:   prec,
+		SlabDir:     *slabDir,
+		MaxResident: slabMaxRes,
+		Name:        name,
+		Extra:       extra,
 	}
 
 	build := func(ctx context.Context, warm *server.WarmStart) (*server.Snapshot, error) {

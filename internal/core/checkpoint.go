@@ -138,6 +138,23 @@ func fingerprintOf(t *linalg.CSR, alpha float64, x0 linalg.Vector) fingerprint {
 	return fingerprint{nodes: uint64(t.Rows), hash: h.Sum64()}
 }
 
+// withSlab folds a slab header CRC into the fingerprint. Slab-backed
+// checkpointed solves iterate the memory-mapped operand, so the resume
+// identity must also cover the file the solve will actually read: a
+// checkpoint recorded against one slab cannot resume against a swapped
+// or re-written one, nor against the in-heap operand (the payload bytes
+// themselves are guarded by the durable trailer at open time).
+func (fp fingerprint) withSlab(crc uint32) fingerprint {
+	h := fnv.New64a()
+	le := binary.LittleEndian
+	var buf [8]byte
+	le.PutUint64(buf[:], fp.hash)
+	h.Write(buf[:])
+	le.PutUint32(buf[:4], crc)
+	h.Write(buf[:4])
+	return fingerprint{nodes: fp.nodes, hash: h.Sum64()}
+}
+
 func checkpointPath(dir string, iter int) string {
 	return filepath.Join(dir, fmt.Sprintf("%s%012d%s", ckptPrefix, iter, ckptSuffix))
 }
@@ -283,8 +300,11 @@ func clearCheckpoints(fsys durable.FS, dir string) {
 // persists the iterate every ck.Every iterations and warm-starts from
 // the newest valid checkpoint in ck.Dir (through the same mechanism as
 // RankFrom). Checkpoints recorded against a different graph, throttle
-// vector, or α are discarded. On convergence the checkpoints are
-// cleared. Only the Power solver is supported; cfg.Solver is ignored.
+// vector, α, or slab backing are discarded. On convergence the
+// checkpoints are cleared. Only the Power solver is supported;
+// cfg.Solver is ignored. With cfg.SlabDir set the solve streams the
+// committed slab under cfg.MaxResident like Rank does, and the resume
+// fingerprint additionally covers the slab's header CRC.
 //
 // The resumed iterate sequence is identical to an uninterrupted run, so
 // a solve killed and restarted any number of times returns the same
@@ -304,12 +324,6 @@ func RankCheckpointed(sg *source.Graph, kappa []float64, cfg Config, ck Checkpoi
 		// resume semantics byte-identical to the reference path.
 		return nil, info, errors.New("core: checkpointing requires the float64 solve (Config.Precision)")
 	}
-	if cfg.SlabDir != "" {
-		// Checkpoint fingerprints and resume states are defined over the
-		// in-heap operand; silently dropping the caller's residency request
-		// would be worse than refusing it.
-		return nil, info, errors.New("core: checkpointing requires in-heap operands (Config.SlabDir)")
-	}
 	fsys := ck.fs()
 	tpp, err := throttle.Apply(sg.T, kappa)
 	if err != nil {
@@ -319,7 +333,19 @@ func RankCheckpointed(sg *source.Graph, kappa []float64, cfg Config, ck Checkpoi
 	if warm != nil && len(warm) != sg.NumSources() {
 		return nil, info, linalg.ErrDimension
 	}
+	op, err := cfg.solveOperand(throttledTranspose(sg, tpp, cfg.Workers))
+	if err != nil {
+		return nil, info, err
+	}
+	defer op.close()
 	fp := fingerprintOf(tpp, cfg.alpha(), warm)
+	if op.slabPath != "" {
+		si, err := linalg.ReadSlabInfo(nil, op.slabPath)
+		if err != nil {
+			return nil, info, fmt.Errorf("core: fingerprinting slab: %w", err)
+		}
+		fp = fp.withSlab(si.HeaderCRC)
+	}
 	x0, startIter, err := resumeCheckpoint(fsys, ck.Dir, fp, &info)
 	if err != nil {
 		return nil, info, fmt.Errorf("core: scanning checkpoints: %w", err)
@@ -347,7 +373,7 @@ func RankCheckpointed(sg *source.Graph, kappa []float64, cfg Config, ck Checkpoi
 			return nil
 		},
 	}
-	scores, stats, err := linalg.PowerMethodT(throttledTranspose(sg, tpp, cfg.Workers), cfg.alpha(), tele, x0, opt)
+	scores, stats, err := linalg.PowerMethodT(op.m, cfg.alpha(), tele, x0, opt)
 	if err != nil {
 		return nil, info, err
 	}

@@ -80,8 +80,9 @@ type Config struct {
 	// file under SlabDir (at the precision selected by Precision) and the
 	// solve consumes the memory-mapped file instead of the in-heap
 	// arrays. Scores are bitwise identical to the in-memory solve at
-	// every worker count. Incompatible with Checkpointing: resume states
-	// are defined over in-heap operands (RankCheckpointed rejects SlabDir).
+	// every worker count. Checkpointed solves fold the slab's header CRC
+	// into the resume fingerprint, so a checkpoint taken against one slab
+	// backing never resumes against a swapped slab or the in-heap operand.
 	SlabDir string
 	// MaxResident, with SlabDir set, bounds the resident footprint of
 	// the slab-backed operand during the solve: row stripes are streamed
@@ -205,9 +206,12 @@ func Rank(sg *source.Graph, kappa []float64, cfg Config) (*Result, error) {
 // solveOperand is the backing-erasure seam between Rank and the solvers:
 // exactly one of m/m32 is set, in heap or slab-mapped form.
 type solveOperand struct {
-	m     *linalg.CSR
-	m32   *linalg.CSR32
-	close func()
+	m   *linalg.CSR
+	m32 *linalg.CSR32
+	// slabPath is the committed slab file when the operand is slab-backed
+	// ("" for in-heap operands); RankCheckpointed fingerprints its header.
+	slabPath string
+	close    func()
 }
 
 // solveOperand resolves the stationary-solve operand for tppT under the
@@ -237,7 +241,7 @@ func (c Config) solveOperand(tppT *linalg.CSR) (solveOperand, error) {
 		if err != nil {
 			return solveOperand{}, fmt.Errorf("core: opening slab: %w", err)
 		}
-		return solveOperand{m32: s.Matrix(), close: func() { s.Close() }}, nil
+		return solveOperand{m32: s.Matrix(), slabPath: path, close: func() { s.Close() }}, nil
 	}
 	if err := linalg.WriteSlabCSR(nil, path, tppT, linalg.SlabFloat64); err != nil {
 		return solveOperand{}, fmt.Errorf("core: writing slab: %w", err)
@@ -246,7 +250,7 @@ func (c Config) solveOperand(tppT *linalg.CSR) (solveOperand, error) {
 	if err != nil {
 		return solveOperand{}, fmt.Errorf("core: opening slab: %w", err)
 	}
-	return solveOperand{m: s.Matrix(), close: func() { s.Close() }}, nil
+	return solveOperand{m: s.Matrix(), slabPath: path, close: func() { s.Close() }}, nil
 }
 
 // BaselineSourceRank computes the un-throttled SourceRank over the same

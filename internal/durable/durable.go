@@ -230,6 +230,46 @@ func Verify(data []byte) ([]byte, error) {
 	return payload, nil
 }
 
+// CheckTrailer validates a trailer frame against a payload length and
+// CRC32-C accumulated while streaming the payload. It is the sequential
+// counterpart of Verify for readers that cannot afford to buffer the
+// whole file: read the payload once, feed it through a crc32 Castagnoli
+// hash, then hand the final TrailerSize bytes here. Errors are
+// *CorruptError with Offset relative to the trailer start.
+func CheckTrailer(trailer []byte, payloadLen int64, crc uint32) error {
+	if len(trailer) != TrailerSize {
+		return &CorruptError{
+			Offset: int64(len(trailer)),
+			Reason: fmt.Sprintf("trailer is %d bytes, want %d", len(trailer), TrailerSize),
+		}
+	}
+	le := binary.LittleEndian
+	if got := le.Uint32(trailer[0:4]); got != trailerMagic {
+		return &CorruptError{
+			Offset: 0,
+			Reason: fmt.Sprintf("bad trailer magic %#x (truncated or unframed file?)", got),
+		}
+	}
+	if got := le.Uint64(trailer[4:12]); got != uint64(payloadLen) {
+		return &CorruptError{
+			Offset: 4,
+			Reason: fmt.Sprintf("trailer declares %d payload bytes, reader consumed %d", got, payloadLen),
+		}
+	}
+	if want := le.Uint32(trailer[12:16]); want != crc {
+		return &CorruptError{
+			Offset: 12,
+			Reason: fmt.Sprintf("CRC32-C mismatch: payload hashes to %#x, trailer says %#x", crc, want),
+		}
+	}
+	return nil
+}
+
+// CRC32C returns a running CRC32-C (Castagnoli) hash, matching the
+// checksum WriteFile commits in the trailer frame. Streaming readers pair
+// it with CheckTrailer.
+func CRC32C() hash.Hash32 { return crc32.New(castagnoli) }
+
 // ReadFile reads a file committed by WriteFile, verifies its trailer, and
 // returns the payload. Corruption is reported as *CorruptError carrying
 // path and offset context.

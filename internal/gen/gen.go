@@ -119,6 +119,18 @@ func (c Config) Validate() error {
 	return nil
 }
 
+// corpusSink receives the generator's structural events in emission
+// order. *pagegraph.Graph satisfies it directly (the in-RAM path);
+// spillSink (spill.go) streams the same events into bounded on-disk
+// shard runs. Both sinks see the identical call sequence for a given
+// Config, because the generator's RNG draws never depend on the sink —
+// which is what makes the streamed corpus bit-for-bit the in-RAM one.
+type corpusSink interface {
+	AddSource(label string) pagegraph.SourceID
+	AddPage(s pagegraph.SourceID) pagegraph.PageID
+	AddLink(from, to pagegraph.PageID)
+}
+
 // zipfIndex samples an index in [0, n) with probability approximately
 // proportional to 1/(k+1) (log-uniform), concentrating mass on small
 // indices like intra-site link popularity does.
@@ -139,11 +151,26 @@ func zipfIndex(rng *RNG, n int) int {
 
 // Generate builds a corpus from cfg.
 func Generate(cfg Config) (*Dataset, error) {
+	g := pagegraph.New()
+	spam, err := generate(cfg, g)
+	if err != nil {
+		return nil, err
+	}
+	ds := &Dataset{Pages: g, SpamSources: spam}
+	if err := g.Validate(); err != nil {
+		return nil, fmt.Errorf("gen: generated corpus invalid: %w", err)
+	}
+	return ds, nil
+}
+
+// generate runs the corpus generator against an arbitrary sink. The RNG
+// draw sequence is pinned: it depends only on cfg, never on the sink, so
+// every sink observes the same event stream for a given configuration.
+func generate(cfg Config, g corpusSink) ([]int32, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
 	rng := NewRNG(cfg.Seed)
-	g := pagegraph.New()
 
 	// 1. Legitimate sources with Pareto page counts. Some sources are
 	// subdomain hosts of their predecessor's registered domain so that
@@ -354,9 +381,5 @@ func Generate(cfg Config) (*Dataset, error) {
 		}
 	}
 
-	ds := &Dataset{Pages: g, SpamSources: spam}
-	if err := g.Validate(); err != nil {
-		return nil, fmt.Errorf("gen: generated corpus invalid: %w", err)
-	}
-	return ds, nil
+	return spam, nil
 }

@@ -1,0 +1,58 @@
+package gen
+
+import (
+	"errors"
+	"os"
+	"testing"
+
+	"sourcerank/internal/durable"
+)
+
+// FuzzRunDecode drives arbitrary bytes through the shard-run decoder.
+// The contract mirrors FuzzSlabDecode: any input either decodes to a
+// strictly-increasing key run or fails with a typed error (ErrRunFormat
+// for structural defects, durable.ErrCorrupt for framing defects) —
+// never a panic. Valid inputs must round-trip through the streaming
+// reader identically, since the merge path consumes runs through it.
+func FuzzRunDecode(f *testing.F) {
+	seedRun := func(keys []uint64) []byte {
+		dir := f.TempDir()
+		s := &spillSink{fsys: durable.OS{}, dir: dir, buf: append(make([]uint64, 0, len(keys)+1), keys...)}
+		s.spill()
+		if s.err != nil || len(s.runs) != 1 {
+			f.Fatalf("seed spill failed: %v (%d runs)", s.err, len(s.runs))
+		}
+		data, err := os.ReadFile(s.runs[0])
+		if err != nil {
+			f.Fatal(err)
+		}
+		return data
+	}
+	valid := seedRun([]uint64{key(0, 1), key(0, 2), key(3, 0)})
+	f.Add(valid)
+	f.Add(valid[:len(valid)-1])                 // torn trailer
+	f.Add(valid[:runHeaderSize])                // header without keys or trailer
+	f.Add(seedRun([]uint64{key(1, 1)}))         // single edge
+	f.Add(durable.Frame(nil))                   // framed empty payload
+	f.Add(durable.Frame(valid[:runHeaderSize])) // framed bare header (count lies)
+	mut := append([]byte(nil), valid...)
+	mut[4] ^= 0xFF // version
+	f.Add(mut)
+	f.Add([]byte{})
+	f.Add([]byte{0x52, 0x45, 0x52, 0x53}) // magic alone, unframed
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		keys, err := DecodeRun(data)
+		if err != nil {
+			if !errors.Is(err, ErrRunFormat) && !errors.Is(err, durable.ErrCorrupt) {
+				t.Fatalf("decode error is untyped: %v", err)
+			}
+			return
+		}
+		for i := 1; i < len(keys); i++ {
+			if keys[i] <= keys[i-1] {
+				t.Fatalf("accepted run with non-increasing keys at %d", i)
+			}
+		}
+	})
+}

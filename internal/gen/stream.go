@@ -1,0 +1,244 @@
+package gen
+
+import (
+	"bufio"
+	"container/heap"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+
+	"sourcerank/internal/durable"
+)
+
+// runBlockKeys is the decode granularity of the streaming run reader:
+// 8192 keys = 64 KiB per in-flight block, so a merge over R runs with
+// prefetch depth d holds at most R×(d+1) blocks resident.
+const runBlockKeys = 8192
+
+// EachAdjacency streams the merged adjacency in node order — every node
+// from 0 to NumNodes()-1 exactly once, successors sorted ascending and
+// deduplicated across runs — reproducing pagegraph.ToGraph's snapshot
+// without materializing it. The succ slice is scratch reused across
+// calls; fn must not retain it. Each run is verified (structure and
+// CRC32-C trailer) as it is consumed.
+func (c *Corpus) EachAdjacency(fn func(u int32, succ []int32) error) error {
+	stop := make(chan struct{})
+	defer close(stop)
+
+	depth := c.workers
+	if depth < 1 {
+		depth = 1
+	}
+	h := make(cursorHeap, 0, len(c.runs))
+	for _, path := range c.runs {
+		cur := &runCursor{ch: startRunReader(c.fsys, path, depth, stop)}
+		ok, err := cur.next()
+		if err != nil {
+			return err
+		}
+		if ok {
+			h = append(h, cur)
+		}
+	}
+	heap.Init(&h)
+
+	curU := int32(-1)
+	succ := make([]int32, 0, 64)
+	var lastKey uint64
+	haveLast := false
+	for len(h) > 0 {
+		cur := h[0]
+		key := cur.key
+		ok, err := cur.next()
+		if err != nil {
+			return err
+		}
+		if ok {
+			heap.Fix(&h, 0)
+		} else {
+			heap.Pop(&h)
+		}
+		if haveLast && key == lastKey {
+			continue // same edge spilled from two runs
+		}
+		if haveLast && key < lastKey {
+			return fmt.Errorf("gen: shard merge order violated: key %#x after %#x", key, lastKey)
+		}
+		lastKey, haveLast = key, true
+		u := int32(key >> 32)
+		v := int32(uint32(key))
+		if int(u) >= c.NumPages || int(v) >= c.NumPages {
+			return fmt.Errorf("gen: shard run references page (%d, %d) beyond corpus of %d pages", u, v, c.NumPages)
+		}
+		if u != curU {
+			if curU >= 0 {
+				if err := fn(curU, succ); err != nil {
+					return err
+				}
+			}
+			for r := curU + 1; r < u; r++ {
+				if err := fn(r, nil); err != nil {
+					return err
+				}
+			}
+			curU = u
+			succ = succ[:0]
+		}
+		succ = append(succ, v)
+	}
+	if curU >= 0 {
+		if err := fn(curU, succ); err != nil {
+			return err
+		}
+	}
+	for r := curU + 1; int(r) < c.NumPages; r++ {
+		if err := fn(r, nil); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// runBlock is one decoded chunk of a shard run, or a terminal error.
+type runBlock struct {
+	keys []uint64
+	err  error
+}
+
+// runCursor iterates one run's keys off its prefetch channel.
+type runCursor struct {
+	ch  <-chan runBlock
+	blk []uint64
+	pos int
+	key uint64
+}
+
+// next advances to the run's next key. ok=false with nil err means the
+// run is exhausted (and its trailer verified).
+func (c *runCursor) next() (ok bool, err error) {
+	for {
+		if c.pos < len(c.blk) {
+			c.key = c.blk[c.pos]
+			c.pos++
+			return true, nil
+		}
+		blk, open := <-c.ch
+		if !open {
+			return false, nil
+		}
+		if blk.err != nil {
+			return false, blk.err
+		}
+		c.blk, c.pos = blk.keys, 0
+	}
+}
+
+// cursorHeap is a min-heap of run cursors keyed by current packed edge.
+type cursorHeap []*runCursor
+
+func (h cursorHeap) Len() int           { return len(h) }
+func (h cursorHeap) Less(i, j int) bool { return h[i].key < h[j].key }
+func (h cursorHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *cursorHeap) Push(x any)        { *h = append(*h, x.(*runCursor)) }
+func (h *cursorHeap) Pop() any {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return x
+}
+
+// startRunReader reads the run at path sequentially — header, key blocks,
+// durable trailer — validating structure and accumulating the payload
+// CRC32-C as it goes, and sends decoded blocks on the returned channel.
+// The channel is closed after the final block once the trailer verifies;
+// any failure is delivered as a terminal runBlock.err. The reader exits
+// promptly when stop closes.
+func startRunReader(fsys durable.FS, path string, depth int, stop <-chan struct{}) <-chan runBlock {
+	ch := make(chan runBlock, depth)
+	go func() {
+		defer close(ch)
+		fail := func(err error) {
+			select {
+			case ch <- runBlock{err: fmt.Errorf("%s: %w", path, err)}:
+			case <-stop:
+			}
+		}
+		f, err := fsys.Open(path)
+		if err != nil {
+			fail(err)
+			return
+		}
+		defer f.Close()
+		crc := durable.CRC32C()
+		br := bufio.NewReaderSize(f, 1<<16)
+		var hdr [runHeaderSize]byte
+		if _, err := io.ReadFull(br, hdr[:]); err != nil {
+			fail(&RunFormatError{Offset: 0, Reason: fmt.Sprintf("short header: %v", err)})
+			return
+		}
+		crc.Write(hdr[:])
+		le := binary.LittleEndian
+		if got := le.Uint32(hdr[0:4]); got != runMagic {
+			fail(&RunFormatError{Offset: 0, Reason: fmt.Sprintf("bad magic %#x", got)})
+			return
+		}
+		if got := le.Uint32(hdr[4:8]); got != runVersion {
+			fail(&RunFormatError{Offset: 4, Reason: fmt.Sprintf("unsupported version %d", got)})
+			return
+		}
+		count := le.Uint64(hdr[8:16])
+		if count > uint64((math.MaxInt64-runHeaderSize)/8) {
+			fail(&RunFormatError{Offset: 8, Reason: fmt.Sprintf("implausible key count %d", count)})
+			return
+		}
+		var prev uint64
+		hasPrev := false
+		buf := make([]byte, 8*runBlockKeys)
+		for remaining := count; remaining > 0; {
+			n := int(min(remaining, runBlockKeys))
+			b := buf[:n*8]
+			if _, err := io.ReadFull(br, b); err != nil {
+				fail(&RunFormatError{Offset: int64(runHeaderSize) + int64(count-remaining)*8, Reason: fmt.Sprintf("short key section: %v", err)})
+				return
+			}
+			crc.Write(b)
+			keys := make([]uint64, n)
+			for i := range keys {
+				k := le.Uint64(b[i*8:])
+				if hasPrev && k <= prev {
+					fail(&RunFormatError{
+						Offset: int64(runHeaderSize) + int64(count-remaining)*8 + int64(i)*8,
+						Reason: fmt.Sprintf("key %#x does not exceed predecessor %#x", k, prev),
+					})
+					return
+				}
+				keys[i] = k
+				prev, hasPrev = k, true
+			}
+			select {
+			case ch <- runBlock{keys: keys}:
+			case <-stop:
+				return
+			}
+			remaining -= uint64(n)
+		}
+		var trailer [durable.TrailerSize]byte
+		if _, err := io.ReadFull(br, trailer[:]); err != nil {
+			fail(&RunFormatError{Offset: int64(runHeaderSize) + int64(count)*8, Reason: fmt.Sprintf("short trailer: %v", err)})
+			return
+		}
+		if _, err := br.ReadByte(); err != io.EOF {
+			fail(&RunFormatError{Offset: int64(runHeaderSize) + int64(count)*8 + durable.TrailerSize, Reason: "bytes after trailer"})
+			return
+		}
+		payloadLen := int64(runHeaderSize) + int64(count)*8
+		if err := durable.CheckTrailer(trailer[:], payloadLen, crc.Sum32()); err != nil {
+			fail(err)
+			return
+		}
+	}()
+	return ch
+}

@@ -81,29 +81,15 @@ type csr32Blocked struct {
 func buildCSR32Blocked(m *CSR32, bounds []int) *csr32Blocked {
 	if m.res != nil {
 		// A slab-backed operand streams its entries from the mapping and
-		// sheds them after each stripe; the blocked layout would copy
-		// Cols/Vals into the heap, defeating the point of the slab.
+		// sheds them after each stripe; a global blocked layout would copy
+		// Cols/Vals into the heap, defeating the point of the slab. Those
+		// operands block per stripe instead (csr32StripeBlocker).
 		return nil
 	}
-	if m.ColsN <= csr32ColBlockCols {
+	if !csr32BlockedWorthIt(m, bounds, nil) {
 		return nil
 	}
 	nblk := (m.ColsN + csr32ColBlockCols - 1) / csr32ColBlockCols
-	if csr32BlockedMinRun > 1 {
-		runs := 0
-		for i := 0; i < m.Rows; i++ {
-			last := int32(-1)
-			for p := m.RowPtr[i]; p < m.RowPtr[i+1]; p++ {
-				if b := m.Cols[p] / int32(csr32ColBlockCols); b != last {
-					runs++
-					last = b
-				}
-			}
-		}
-		if runs == 0 || m.NNZ() < csr32BlockedMinRun*runs {
-			return nil
-		}
-	}
 	stripes := len(bounds) - 1
 	b := &csr32Blocked{
 		stripeRun: make([]int32, stripes+1),
@@ -139,4 +125,125 @@ func buildCSR32Blocked(m *CSR32, bounds []int) *csr32Blocked {
 	}
 	b.runPtr = append(b.runPtr, int64(pos))
 	return b
+}
+
+// csr32BlockedWorthIt decides whether the blocked layout pays for m: the
+// source vector must span several column blocks and the entries must
+// cluster densely enough that the average run clears csr32BlockedMinRun.
+// The run count is a row-local sum, so scanning stripe by stripe (with an
+// optional release hook shedding each stripe's pages afterwards, for
+// slab-backed operands under a residency budget) reaches the identical
+// decision the whole-matrix scan would — which is what keeps the in-heap
+// and streamed kernels on the same layout for the same matrix.
+func csr32BlockedWorthIt(m *CSR32, bounds []int, release func(lo, hi int)) bool {
+	if m.ColsN <= csr32ColBlockCols {
+		return false
+	}
+	if csr32BlockedMinRun <= 1 {
+		return true
+	}
+	runs := 0
+	for s := 0; s+1 < len(bounds); s++ {
+		lo, hi := bounds[s], bounds[s+1]
+		for i := lo; i < hi; i++ {
+			last := int32(-1)
+			for p := m.RowPtr[i]; p < m.RowPtr[i+1]; p++ {
+				if b := m.Cols[p] / int32(csr32ColBlockCols); b != last {
+					runs++
+					last = b
+				}
+			}
+		}
+		if release != nil {
+			release(lo, hi)
+		}
+	}
+	return runs > 0 && m.NNZ() >= csr32BlockedMinRun*runs
+}
+
+// csr32StripeBlocker carries the shape constants of the streamed blocked
+// path: slab-backed operands cannot hold a whole-matrix blocked layout in
+// heap, so each kernel pass regroups one stripe at a time into a bounded
+// per-worker scratch, runs the identical run loop over it, and releases
+// the stripe's pages. Because blockStripe reproduces buildCSR32Blocked's
+// per-stripe run structure exactly — same runs, same order, same entry
+// permutation — the streamed kernel's accumulation order, and therefore
+// its output bits, match the in-heap blocked kernel at every worker count
+// and every residency budget.
+type csr32StripeBlocker struct {
+	nblk    int
+	maxNNZ  int64 // largest stripe's entry count, the scratch capacity
+	maxRows int
+}
+
+// newCSR32StripeBlocker gates and sizes the streamed blocked path for a
+// slab-backed operand, or returns nil when the row-major path should run
+// (same decision rule as the in-heap layout).
+func newCSR32StripeBlocker(m *CSR32, bounds []int, release func(lo, hi int)) *csr32StripeBlocker {
+	if !csr32BlockedWorthIt(m, bounds, release) {
+		return nil
+	}
+	sb := &csr32StripeBlocker{nblk: (m.ColsN + csr32ColBlockCols - 1) / csr32ColBlockCols}
+	for s := 0; s+1 < len(bounds); s++ {
+		lo, hi := bounds[s], bounds[s+1]
+		if nnz := m.RowPtr[hi] - m.RowPtr[lo]; nnz > sb.maxNNZ {
+			sb.maxNNZ = nnz
+		}
+		if rows := hi - lo; rows > sb.maxRows {
+			sb.maxRows = rows
+		}
+	}
+	return sb
+}
+
+// csr32StripeScratch is one worker's regroup buffer. Workers own disjoint
+// scratches, so stripes regroup concurrently with no sharing.
+type csr32StripeScratch struct {
+	runRow []int32
+	runPtr []int64
+	cols   []int32
+	vals   []float32
+	cur    []int64
+}
+
+func (sb *csr32StripeBlocker) newScratch() *csr32StripeScratch {
+	return &csr32StripeScratch{
+		cols: make([]int32, 0, sb.maxNNZ),
+		vals: make([]float32, 0, sb.maxNNZ),
+		cur:  make([]int64, 0, sb.maxRows),
+	}
+}
+
+// blockStripe regroups rows [lo, hi) of m into sc, reproducing exactly
+// the segment of buildCSR32Blocked's layout for this stripe (runPtr is
+// stripe-local instead of global; run contents and order are identical).
+func (sb *csr32StripeBlocker) blockStripe(m *CSR32, lo, hi int, sc *csr32StripeScratch) {
+	sc.runRow = sc.runRow[:0]
+	sc.runPtr = sc.runPtr[:0]
+	sc.cols = sc.cols[:0]
+	sc.vals = sc.vals[:0]
+	sc.cur = append(sc.cur[:0], m.RowPtr[lo:hi]...)
+	stripeNNZ := m.RowPtr[hi] - m.RowPtr[lo]
+	pos := int64(0)
+	for blk := 0; blk < sb.nblk && pos < stripeNNZ; blk++ {
+		limit := int32((blk + 1) * csr32ColBlockCols)
+		for i := lo; i < hi; i++ {
+			p, end := sc.cur[i-lo], m.RowPtr[i+1]
+			start := p
+			// Columns within a row are strictly increasing, so the
+			// block's segment is a prefix of the remaining entries.
+			for p < end && m.Cols[p] < limit {
+				p++
+			}
+			if p > start {
+				sc.runRow = append(sc.runRow, int32(i))
+				sc.runPtr = append(sc.runPtr, pos)
+				sc.cols = append(sc.cols, m.Cols[start:p]...)
+				sc.vals = append(sc.vals, m.Vals[start:p]...)
+				pos += p - start
+				sc.cur[i-lo] = p
+			}
+		}
+	}
+	sc.runPtr = append(sc.runPtr, pos)
 }

@@ -35,16 +35,32 @@ import (
 // stripes) that the blocked passes accumulate into.
 type fusedKernel32 struct {
 	mat  *CSR32
-	blk  *csr32Blocked // nil when src fits one column block
+	blk  *csr32Blocked       // nil when src fits one column block
+	sblk *csr32StripeBlocker // streamed blocked path for slab-backed operands
 	c    float64
-	aux  Vector32 // teleport t (power) or bias b (affine)
+	aux  Vector32 // teleport t (power) or bias b (affine); nil when auxUniform
 	norm ResidualNorm
+
+	// auxUniform mirrors fusedKernel.auxUniform: the teleport is held
+	// implicitly as auxVal = float64(float32(1/Rows)) — the uniform value
+	// narrowed to storage precision exactly as ToVector32 would store it,
+	// then widened once — instead of a dense Vector32. lost·auxVal
+	// computes the same bits as lost·float64(t[i]) for a materialized
+	// uniform t32, so the uniform kernel is bitwise identical to the
+	// explicit one while keeping one fewer dense vector resident.
+	auxUniform bool
+	auxVal     float64
 
 	// release mirrors fusedKernel.release: the slab streaming hook,
 	// called per stripe after a matrix-touching phase. Slab-backed
-	// float32 operands skip the cache-blocked layout (csr32.go), so the
-	// hook always covers the pages the stripe actually touched.
+	// float32 operands regroup each stripe into scratch before the run
+	// loop (csr32StripeBlocker), so the hook always covers the pages the
+	// stripe actually touched.
 	release func(lo, hi int)
+
+	// scratch is the serial path's regroup buffer when sblk is active;
+	// pool workers own their own.
+	scratch *csr32StripeScratch
 
 	bounds  []int     // stripe row boundaries, len(partial)+1
 	partial []float64 // per-stripe residual partials
@@ -74,6 +90,12 @@ func newFusedKernel32(mat *CSR32, c float64, aux Vector32, norm ResidualNorm, wo
 		partial: make([]float64, stripes),
 		acc:     make([]float64, mat.Rows),
 	}
+	if mat.res != nil {
+		// The slab path cannot hold a whole-matrix blocked layout; gate
+		// the streamed per-stripe regroup with the identical decision
+		// rule, shedding the gate scan's pages as it goes.
+		k.sblk = newCSR32StripeBlocker(mat, bounds, k.release)
+	}
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
@@ -91,8 +113,12 @@ func newFusedKernel32(mat *CSR32, c float64, aux Vector32, norm ResidualNorm, wo
 }
 
 func (k *fusedKernel32) worker(work <-chan int) {
+	var sc *csr32StripeScratch
+	if k.sblk != nil {
+		sc = k.sblk.newScratch()
+	}
 	for s := range work {
-		k.runStripe(s)
+		k.runStripe(s, sc)
 		k.done <- struct{}{}
 	}
 }
@@ -104,8 +130,11 @@ func (k *fusedKernel32) worker(work <-chan int) {
 func (k *fusedKernel32) dispatch() {
 	stripes := len(k.partial)
 	if k.work == nil {
+		if k.sblk != nil && k.scratch == nil {
+			k.scratch = k.sblk.newScratch()
+		}
 		for s := 0; s < stripes; s++ {
-			k.runStripe(s)
+			k.runStripe(s, k.scratch)
 		}
 		return
 	}
@@ -174,15 +203,14 @@ func rowSums32Go(rowPtr []int64, vals []float32, cols []int32, src []float32, ac
 	}
 }
 
-func (k *fusedKernel32) runStripe(s int) {
+func (k *fusedKernel32) runStripe(s int, sc *csr32StripeScratch) {
 	lo, hi := k.bounds[s], k.bounds[s+1]
 	m, src, dst := k.mat, k.src, k.dst
 	switch k.phase {
 	case fusedPhaseMul:
 		c, acc := k.c, k.acc
-		if k.blk == nil {
-			rowSums32(m, src, acc, lo, hi)
-		} else {
+		switch {
+		case k.blk != nil:
 			blk := k.blk
 			for i := lo; i < hi; i++ {
 				acc[i] = 0
@@ -191,6 +219,17 @@ func (k *fusedKernel32) runStripe(s int) {
 				a, b := blk.runPtr[r], blk.runPtr[r+1]
 				acc[blk.runRow[r]] += dotRow32(blk.vals[a:b], blk.cols[a:b], src)
 			}
+		case k.sblk != nil:
+			k.sblk.blockStripe(m, lo, hi, sc)
+			for i := lo; i < hi; i++ {
+				acc[i] = 0
+			}
+			for r := 0; r+1 < len(sc.runPtr); r++ {
+				a, b := sc.runPtr[r], sc.runPtr[r+1]
+				acc[sc.runRow[r]] += dotRow32(sc.vals[a:b], sc.cols[a:b], src)
+			}
+		default:
+			rowSums32(m, src, acc, lo, hi)
 		}
 		for i := lo; i < hi; i++ {
 			dst[i] = float32(acc[i] * c)
@@ -199,7 +238,36 @@ func (k *fusedKernel32) runStripe(s int) {
 			k.release(lo, hi)
 		}
 	case fusedPhaseFinish:
-		lost, t := k.lost, k.aux
+		lost := k.lost
+		if k.auxUniform {
+			// lost·auxVal once equals lost·float64(t[i]) per element for a
+			// materialized uniform t32: identical operands, identical bits.
+			add := lost * k.auxVal
+			if !k.wantRes {
+				for i := lo; i < hi; i++ {
+					dst[i] = float32(float64(dst[i]) + add)
+				}
+				return
+			}
+			var r float64
+			if k.norm == ResidualL1 {
+				for i := lo; i < hi; i++ {
+					v := float32(float64(dst[i]) + add)
+					dst[i] = v
+					r += math.Abs(float64(v) - float64(src[i]))
+				}
+			} else {
+				for i := lo; i < hi; i++ {
+					v := float32(float64(dst[i]) + add)
+					dst[i] = v
+					d := float64(v) - float64(src[i])
+					r += d * d
+				}
+			}
+			k.partial[s] = r
+			return
+		}
+		t := k.aux
 		if !k.wantRes {
 			for i := lo; i < hi; i++ {
 				dst[i] = float32(float64(dst[i]) + lost*float64(t[i]))
@@ -224,9 +292,8 @@ func (k *fusedKernel32) runStripe(s int) {
 		k.partial[s] = r
 	case fusedPhaseAffine:
 		c, bias, acc := k.c, k.aux, k.acc
-		if k.blk == nil {
-			rowSums32(m, src, acc, lo, hi)
-		} else {
+		switch {
+		case k.blk != nil:
 			blk := k.blk
 			for i := lo; i < hi; i++ {
 				acc[i] = 0
@@ -235,6 +302,17 @@ func (k *fusedKernel32) runStripe(s int) {
 				a, e := blk.runPtr[rr], blk.runPtr[rr+1]
 				acc[blk.runRow[rr]] += dotRow32(blk.vals[a:e], blk.cols[a:e], src)
 			}
+		case k.sblk != nil:
+			k.sblk.blockStripe(m, lo, hi, sc)
+			for i := lo; i < hi; i++ {
+				acc[i] = 0
+			}
+			for rr := 0; rr+1 < len(sc.runPtr); rr++ {
+				a, e := sc.runPtr[rr], sc.runPtr[rr+1]
+				acc[sc.runRow[rr]] += dotRow32(sc.vals[a:e], sc.cols[a:e], src)
+			}
+		default:
+			rowSums32(m, src, acc, lo, hi)
 		}
 		var r float64
 		for i := lo; i < hi; i++ {
@@ -289,6 +367,26 @@ func NewFusedPower32(pt *CSR32, c float64, t Vector32, norm ResidualNorm, worker
 		return nil, ErrDimension
 	}
 	return &FusedPower32{k: newFusedKernel32(pt, c, t, norm, workers)}, nil
+}
+
+// NewFusedPower32Uniform builds a float32 fused power kernel whose
+// teleport is the uniform distribution held implicitly as the scalar
+// float64(float32(1/Rows)) instead of a dense Vector32 — the float32
+// mirror of NewFusedPowerUniform. Step output is bitwise identical to
+// NewFusedPower32 with a teleport of ToVector32(NewUniformVector(Rows))
+// at every worker count, but the kernel keeps one fewer dense vector
+// resident — on slab-backed solves the dense vectors are the entire
+// heap-side footprint, so this is the margin that lets the float32
+// out-of-core solve fit the same residency cap as the float64 one (see
+// PowerMethodT32Uniform and cmd/bench -mode outofcore).
+func NewFusedPower32Uniform(pt *CSR32, c float64, norm ResidualNorm, workers int) (*FusedPower32, error) {
+	if pt.Rows != pt.ColsN || pt.Rows == 0 {
+		return nil, ErrDimension
+	}
+	k := newFusedKernel32(pt, c, nil, norm, workers)
+	k.auxUniform = true
+	k.auxVal = float64(float32(1 / float64(pt.Rows)))
+	return &FusedPower32{k: k}, nil
 }
 
 // Step advances one iteration: dst ← c·(pt·src) + lost·t, returning
@@ -365,10 +463,18 @@ type stepKernel32 interface {
 // float32 solvers reject Progress up front (solver32.go), so no callback
 // runs here.
 func iterateFused32(k stepKernel32, x0 Vector32, opt SolverOptions) (Vector32, IterStats) {
+	return iterateFused32Owned(k, x0.Clone(), opt)
+}
+
+// iterateFused32Owned is iterateFused32 taking ownership of cur as the
+// starting iterate instead of cloning it, mirroring iterateFusedOwned:
+// callers that construct the start vector themselves
+// (PowerMethodT32Uniform filling a uniform x0) use it to avoid a third
+// transient full-length vector.
+func iterateFused32Owned(k stepKernel32, cur Vector32, opt SolverOptions) (Vector32, IterStats) {
 	opt = opt.withDefaults()
 	check := opt.checkEvery()
-	cur := x0.Clone()
-	next := NewVector32(len(x0))
+	next := NewVector32(len(cur))
 	var st IterStats
 	for st.Iterations = 1; st.Iterations <= opt.MaxIter; st.Iterations++ {
 		wantRes := st.Iterations%check == 0 || st.Iterations == opt.MaxIter

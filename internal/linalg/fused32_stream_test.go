@@ -1,0 +1,114 @@
+package linalg
+
+import (
+	"math"
+	"path/filepath"
+	"testing"
+)
+
+// TestFused32SlabStreamedBlockedBitwise pins the streamed per-stripe
+// blocked path: a float32 kernel over a slab-backed operand under a tiny
+// residency budget must engage the blocked layout (no more row-major
+// bypass) and produce iterates and residuals bitwise identical to the
+// in-heap blocked kernel, at every worker count.
+func TestFused32SlabStreamedBlockedBitwise(t *testing.T) {
+	forceFusedParallel(t)
+	forceBlocked32(t, 16)
+	n := 300
+	pt := randChain(t, 51, n).Transpose()
+	pt32 := NewCSR32(pt)
+	tel := ToVector32(NewUniformVector(n))
+	src := tel.Clone()
+
+	ref, err := NewFusedPower32(pt32, 0.85, tel, ResidualL2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ref.Close()
+	if ref.k.blk == nil {
+		t.Fatal("fixture too small: in-heap kernel did not take the blocked layout")
+	}
+	wantDst := NewVector32(n)
+	wantRes := ref.Step(wantDst, src, true)
+	wantDst2 := NewVector32(n)
+	ref.Step(wantDst2, wantDst, false)
+
+	path := filepath.Join(t.TempDir(), "pt32.slab")
+	if err := WriteSlabCSR(nil, path, pt, SlabFloat32); err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 2, 4} {
+		sm, err := OpenSlabCSR32(path, SlabOpenOptions{MaxResident: 4096})
+		if err != nil {
+			t.Fatal(err)
+		}
+		k, err := NewFusedPower32(sm.Matrix(), 0.85, tel, ResidualL2, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if k.k.blk != nil {
+			t.Fatal("slab-backed kernel built a whole-matrix blocked layout")
+		}
+		if k.k.sblk == nil {
+			t.Fatalf("workers=%d: slab-backed kernel bypassed the blocked layout", workers)
+		}
+		dst := NewVector32(n)
+		res := k.Step(dst, src, true)
+		if math.Float64bits(res) != math.Float64bits(wantRes) {
+			t.Fatalf("workers=%d: residual %v != in-heap blocked %v", workers, res, wantRes)
+		}
+		for i := range dst {
+			if math.Float32bits(dst[i]) != math.Float32bits(wantDst[i]) {
+				t.Fatalf("workers=%d: dst[%d] = %v != in-heap blocked %v", workers, i, dst[i], wantDst[i])
+			}
+		}
+		dst2 := NewVector32(n)
+		k.Step(dst2, dst, false)
+		for i := range dst2 {
+			if math.Float32bits(dst2[i]) != math.Float32bits(wantDst2[i]) {
+				t.Fatalf("workers=%d step 2: dst[%d] diverged", workers, i)
+			}
+		}
+		k.Close()
+		sm.Close()
+	}
+}
+
+// TestPowerMethodT32SlabBlockedSolveBitwise closes the loop at the
+// solver level: a full float32 power solve over a residency-capped slab
+// engages the streamed blocked path and reproduces the in-heap blocked
+// solve bit for bit.
+func TestPowerMethodT32SlabBlockedSolveBitwise(t *testing.T) {
+	forceFusedParallel(t)
+	forceBlocked32(t, 16)
+	n := 250
+	pt := randChain(t, 53, n).Transpose()
+	tel := NewUniformVector(n)
+	want, wantSt, err := PowerMethodT32(NewCSR32(pt), 0.85, tel, nil, SolverOptions{})
+	if err != nil || !wantSt.Converged {
+		t.Fatalf("in-heap solve: %v %+v", err, wantSt)
+	}
+	path := filepath.Join(t.TempDir(), "pt32.slab")
+	if err := WriteSlabCSR(nil, path, pt, SlabFloat32); err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 2, 4} {
+		sm, err := OpenSlabCSR32(path, SlabOpenOptions{MaxResident: 4096})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, st, err := PowerMethodT32(sm.Matrix(), 0.85, tel, nil, SolverOptions{Workers: workers})
+		if err != nil || !st.Converged {
+			t.Fatalf("workers=%d slab solve: %v %+v", workers, err, st)
+		}
+		if st.Iterations != wantSt.Iterations {
+			t.Fatalf("workers=%d: %d iterations, in-heap took %d", workers, st.Iterations, wantSt.Iterations)
+		}
+		for i := range got {
+			if math.Float64bits(got[i]) != math.Float64bits(want[i]) {
+				t.Fatalf("workers=%d: score %d diverges from in-heap solve", workers, i)
+			}
+		}
+		sm.Close()
+	}
+}

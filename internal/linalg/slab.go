@@ -506,6 +506,20 @@ func (s *SlabCSR) Close() error {
 	return mp.Close()
 }
 
+// ReleaseEntries drops the resident pages holding entries [pLo, pHi) of
+// the Cols and Vals sections and prefetches the following window —
+// exactly what the fused kernels do between row stripes. It is a no-op
+// unless the slab was opened in streaming-residency mode, and it never
+// changes observable bytes (released pages re-fault from the file).
+// Callers that stream a slab's entries outside a solve — the slab-backed
+// refresh copies clean rows into the next generation — use it to keep
+// the copy's resident footprint bounded.
+func (s *SlabCSR) ReleaseEntries(pLo, pHi int64) {
+	if s.m != nil {
+		s.m.res.releaseEntries(pLo, pHi)
+	}
+}
+
 // SlabCSR32 is the float32 mirror of SlabCSR over a SlabFloat32 file.
 type SlabCSR32 struct {
 	m  *CSR32

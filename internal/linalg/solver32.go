@@ -65,6 +65,40 @@ func PowerMethodT32(pt *CSR32, c float64, t Vector, x0 Vector, opt SolverOptions
 	return x.Vector(), st, nil
 }
 
+// PowerMethodT32Uniform is PowerMethodT32 specialized to the uniform
+// teleport distribution held implicitly, with x0 = t — the float32
+// mirror of PowerMethodTUniform. The result is bitwise identical to
+// PowerMethodT32(pt, c, NewUniformVector(n), nil, opt) at every worker
+// count: the implicit teleport scalar is the uniform value narrowed to
+// float32 exactly as ToVector32 would store it, so every finish-phase
+// operand matches the materialized path bit for bit. The solve keeps
+// only the two float32 ping-pong iterates resident — no float64
+// teleport, no narrowed copies — which is what lets the float32
+// out-of-core solve stay under the same residency cap as the float64
+// one (see cmd/bench -mode outofcore).
+func PowerMethodT32Uniform(pt *CSR32, c float64, opt SolverOptions) (Vector, IterStats, error) {
+	if pt.Rows != pt.ColsN || pt.Rows == 0 {
+		return nil, IterStats{}, ErrDimension
+	}
+	opt, err := clampOptions32(opt)
+	if err != nil {
+		return nil, IterStats{}, err
+	}
+	k, err := NewFusedPower32Uniform(pt, c, ResidualL2, opt.Workers)
+	if err != nil {
+		return nil, IterStats{}, err
+	}
+	defer k.Close()
+	n := pt.Rows
+	tv := float32(1 / float64(n))
+	cur := NewVector32(n)
+	for i := range cur {
+		cur[i] = tv
+	}
+	x, st := iterateFused32Owned(k, cur, opt)
+	return x.Vector(), st, nil
+}
+
 // JacobiAffineT32 is JacobiAffineT on the float32 mirror, solving
 // x = c·Aᵀx + b with float32 storage and float64 accumulation (see
 // FusedAffine32). Same option clamping, widening, and determinism

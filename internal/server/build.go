@@ -38,6 +38,16 @@ type BuildConfig struct {
 	// produced it). The SRSR spam-proximity walk always runs float64, so
 	// κ assignment is precision-invariant.
 	Precision linalg.Precision
+	// SlabDir, when set, routes the SRSR stationary solve through a
+	// slab-backed operand under MaxResident instead of the in-heap CSR
+	// (see core.Config.SlabDir); scores stay bitwise identical. The
+	// source-level PageRank/TrustRank baselines always solve in heap —
+	// their operand is the same size as the throttled one, so operators
+	// bounding refresh RSS should restrict Algos to AlgoSRSR.
+	SlabDir string
+	// MaxResident bounds the slab-backed solve's resident entry bytes
+	// (see core.Config.MaxResident); <=0 maps without release-behind.
+	MaxResident int64
 	// Name labels the corpus in CorpusInfo.
 	Name string
 	// Extra injects precomputed score vectors (e.g. loaded with
@@ -58,7 +68,8 @@ type BuildConfig struct {
 }
 
 func (c BuildConfig) coreConfig() core.Config {
-	return core.Config{Alpha: c.Alpha, Tol: c.Tol, MaxIter: c.MaxIter, Workers: c.Workers, Precision: c.Precision}
+	return core.Config{Alpha: c.Alpha, Tol: c.Tol, MaxIter: c.MaxIter, Workers: c.Workers, Precision: c.Precision,
+		SlabDir: c.SlabDir, MaxResident: c.MaxResident}
 }
 
 func (c BuildConfig) rankOptions(x0 linalg.Vector) rank.Options {

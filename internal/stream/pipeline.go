@@ -51,6 +51,25 @@ type Options struct {
 	FS durable.FS
 	// Store, when set, receives every refreshed snapshot via Publish.
 	Store *server.Store
+	// SlabDir, when non-empty, maintains the shared PageRank/TrustRank
+	// transition operand Mᵀ as slab generations under this (existing)
+	// directory instead of an in-heap CSR: each topology change commits
+	// transition_t.gen<version>.slab through internal/durable's
+	// atomic-rename protocol by recomputing only the dirty predecessor
+	// rows and byte-copying every clean row from the previous generation,
+	// and the solves stream the mapped file. Published scores are bitwise
+	// identical to the in-heap pipeline's. Slab commits go through FS.
+	SlabDir string
+	// MaxResident, with SlabDir set, bounds the resident footprint of the
+	// mapped generation during solves and rewrites (see
+	// linalg.SlabOpenOptions.MaxResident); <= 0 maps without
+	// release-behind.
+	MaxResident int64
+	// SlabPatchEntries bounds the dirty-row patch buffer of a generation
+	// rewrite, in matrix entries; dirty rows are recomputed in ascending
+	// chunks no larger than this. 0 defaults to 1<<20. Chunking never
+	// changes the committed bytes, only the rewrite's memory ceiling.
+	SlabPatchEntries int
 }
 
 func (o Options) algos() []server.Algo {
@@ -103,6 +122,12 @@ type RefreshStats struct {
 	TrustRankSkipped bool
 	// Compacted: the structure overlay was folded this refresh.
 	Compacted bool
+	// SlabRowsPatched / SlabRowsCopied count Mᵀ rows recomputed vs
+	// byte-copied from the previous generation when this refresh rewrote
+	// a transition slab generation (SlabDir mode only; both zero when the
+	// mapped generation was already current).
+	SlabRowsPatched int
+	SlabRowsCopied  int
 	// Emit, Solve, Publish, Total are wall times for the stages.
 	Emit    time.Duration
 	Solve   time.Duration
@@ -133,6 +158,7 @@ type Pipeline struct {
 	// cells leaves their fixed points provably unchanged.
 	mt      *linalg.CSR
 	mtVer   uint64
+	slab    *slabRefresher // non-nil in SlabDir mode; then mt stays nil
 	prSc    linalg.Vector
 	prStats linalg.IterStats
 	prVer   uint64
@@ -154,6 +180,10 @@ func NewPipeline(pg *pagegraph.Graph, opt Options) (*Pipeline, error) {
 		return nil, fmt.Errorf("stream: %w", err)
 	}
 	p := &Pipeline{opt: opt, ing: ing}
+	if opt.SlabDir != "" {
+		p.slab = newSlabRefresher(opt)
+		p.slab.pruneStale()
+	}
 	if opt.WALDir != "" {
 		wal, batches, err := OpenWAL(opt.FS, opt.WALDir)
 		if err != nil {
@@ -240,6 +270,14 @@ func (p *Pipeline) Refresh() (*server.Snapshot, RefreshStats, error) {
 	t0 := time.Now()
 	stats.Seq = p.ing.LastSeq()
 
+	if p.slab != nil {
+		// Capture the dirty Mᵀ rows before Emit consumes the pending set:
+		// a changed source row invalidates the predecessor rows of both
+		// its old and its new successors.
+		p.ing.ForEachPendingStructureRow(func(r int32, old, next []int32) {
+			p.slab.invalidate(old, next)
+		})
+	}
 	sg := p.ing.Emit()
 	stats.Compacted = p.ing.CompactStructure(p.opt.compactEvery())
 	stats.Emit = time.Since(t0)
@@ -269,11 +307,14 @@ func (p *Pipeline) Refresh() (*server.Snapshot, RefreshStats, error) {
 			stats.KappaChanged = info.KappaChanged
 			sets[algo] = server.NewScoreSet(res.Scores, res.Stats)
 		case server.AlgoPageRank:
-			p.ensureTransition(sv)
 			if p.prSc != nil && p.prVer == sv && len(p.prSc) == n {
 				stats.PageRankSkipped = true
 			} else {
-				res, err := rank.StationaryT(p.mt, p.opt.rankOptions(padded(p.prSc, n), nil))
+				mt, err := p.transition(sv, &stats)
+				if err != nil {
+					return nil, stats, err
+				}
+				res, err := rank.StationaryT(mt, p.opt.rankOptions(padded(p.prSc, n), nil))
 				if err != nil {
 					return nil, stats, fmt.Errorf("stream: pagerank refresh: %w", err)
 				}
@@ -281,17 +322,20 @@ func (p *Pipeline) Refresh() (*server.Snapshot, RefreshStats, error) {
 			}
 			sets[algo] = server.NewScoreSet(p.prSc, p.prStats)
 		case server.AlgoTrustRank:
-			p.ensureTransition(sv)
 			seeds := trustedSeeds(sg, p.opt.TrustedSeeds, p.opt.Spam)
 			if p.trSc != nil && p.trVer == sv && len(p.trSc) == n && slices.Equal(seeds, p.trSeeds) {
 				stats.TrustRankSkipped = true
 			} else {
+				mt, err := p.transition(sv, &stats)
+				if err != nil {
+					return nil, stats, err
+				}
 				tele := linalg.NewVector(n)
 				for _, s := range seeds {
 					tele[s] = 1
 				}
 				tele.Normalize1()
-				res, err := rank.StationaryT(p.mt, p.opt.rankOptions(padded(p.trSc, n), tele))
+				res, err := rank.StationaryT(mt, p.opt.rankOptions(padded(p.trSc, n), tele))
 				if err != nil {
 					return nil, stats, fmt.Errorf("stream: trustrank refresh: %w", err)
 				}
@@ -325,6 +369,36 @@ func (p *Pipeline) Refresh() (*server.Snapshot, RefreshStats, error) {
 	stats.Publish = time.Since(tPub)
 	stats.Total = time.Since(t0)
 	return snap, stats, nil
+}
+
+// transition resolves the shared Mᵀ operand for the baseline solves: the
+// in-heap CSR by default, or the current slab generation in SlabDir mode
+// (rewriting it first when the topology moved, with the patch/copy row
+// accounting folded into stats).
+func (p *Pipeline) transition(sv uint64, stats *RefreshStats) (*linalg.CSR, error) {
+	if p.slab == nil {
+		p.ensureTransition(sv)
+		return p.mt, nil
+	}
+	mt, patched, copied, err := p.slab.ensure(p.ing.Structure(), sv)
+	if err != nil {
+		return nil, err
+	}
+	stats.SlabRowsPatched += patched
+	stats.SlabRowsCopied += copied
+	return mt, nil
+}
+
+// Close releases the resources a slab-backed pipeline holds open (the
+// mapped transition generation); its operand must not be used after.
+// Pipelines without SlabDir hold nothing and need no Close.
+func (p *Pipeline) Close() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.slab != nil {
+		return p.slab.close()
+	}
+	return nil
 }
 
 // ensureTransition rebuilds the shared transposed transition matrix Mᵀ

@@ -40,6 +40,35 @@ func Compress(g *graph.Graph) (*Compressed, error) {
 	return c, nil
 }
 
+// CompressFrom encodes any adjacency source into the compressed
+// representation in one sequential pass. Peak heap is the output slab
+// plus the offset index — the source's edges are never materialized —
+// and the result is byte-identical to Compress over the equivalent
+// graph.Graph, because both consume the same sorted, deduplicated
+// adjacency order.
+func CompressFrom(src AdjacencySource) (*Compressed, error) {
+	n := src.NumNodes()
+	c := &Compressed{
+		numNodes: n,
+		offsets:  make([]int64, n+1),
+	}
+	err := src.EachAdjacency(func(u int32, succ []int32) error {
+		c.offsets[u] = int64(len(c.slab))
+		var err error
+		c.slab, err = EncodeAdjacency(c.slab, u, succ)
+		if err != nil {
+			return fmt.Errorf("webgraph: node %d: %w", u, err)
+		}
+		c.numEdges += int64(len(succ))
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	c.offsets[n] = int64(len(c.slab))
+	return c, nil
+}
+
 // NumNodes returns the node count.
 func (c *Compressed) NumNodes() int { return c.numNodes }
 

@@ -46,17 +46,36 @@ type SlabPaths struct {
 	PT string // its transpose, the power-iteration operand
 }
 
+// AdjacencySource is any graph that can replay its adjacency as a
+// sorted, deduplicated sequential pass: every node from 0 to NumNodes()-1
+// exactly once, successors ascending, the succ slice valid only for the
+// duration of the callback. *Compressed satisfies it by decoding its
+// slab; gen.Corpus satisfies it by merging on-disk shard runs — which is
+// what lets slab construction consume a generator's spill files directly,
+// with no compressed graph (let alone an edge list) ever resident.
+type AdjacencySource interface {
+	NumNodes() int
+	EachAdjacency(fn func(u int32, succ []int32) error) error
+}
+
 // BuildTransitionSlabs lowers c to two committed slab files in dir:
 // transition.slab (P) and transition_t.slab (Pᵀ). Sections are streamed
 // from repeated decodes of the compressed adjacency slab, so no CSR array
 // is ever resident; the transpose is assembled by a bucketed counting
 // sort over destination-row ranges sized to opt.BufferBytes.
 func BuildTransitionSlabs(fsys durable.FS, dir string, c *Compressed, opt SlabOptions) (SlabPaths, error) {
+	return BuildTransitionSlabsFrom(fsys, dir, c, opt)
+}
+
+// BuildTransitionSlabsFrom is BuildTransitionSlabs over any adjacency
+// source. Each slab section replays the source once (the transpose, once
+// per bucket range), so the source must tolerate repeated passes.
+func BuildTransitionSlabsFrom(fsys durable.FS, dir string, src AdjacencySource, opt SlabOptions) (SlabPaths, error) {
 	bufBytes := opt.BufferBytes
 	if bufBytes <= 0 {
 		bufBytes = slabBufferDefault
 	}
-	n := c.NumNodes()
+	n := src.NumNodes()
 	paths := SlabPaths{
 		P:  filepath.Join(dir, "transition.slab"),
 		PT: filepath.Join(dir, "transition_t.slab"),
@@ -67,7 +86,7 @@ func BuildTransitionSlabs(fsys durable.FS, dir string, c *Compressed, opt SlabOp
 	outdeg := make([]int64, n)
 	indeg := make([]int64, n)
 	nnz := int64(0)
-	err := c.eachAdjacency(func(u int32, succ []int32) error {
+	err := src.EachAdjacency(func(u int32, succ []int32) error {
 		outdeg[u] = int64(len(succ))
 		nnz += int64(len(succ))
 		for _, v := range succ {
@@ -89,18 +108,18 @@ func BuildTransitionSlabs(fsys durable.FS, dir string, c *Compressed, opt SlabOp
 		}
 	}
 
-	if err := writeSlabFromDegrees(fsys, paths.P, opt.Precision, c, nnz, outdeg, inv); err != nil {
+	if err := writeSlabFromDegrees(fsys, paths.P, opt.Precision, src, nnz, outdeg, inv); err != nil {
 		return SlabPaths{}, fmt.Errorf("webgraph: transition slab: %w", err)
 	}
-	if err := writeTransposeSlab(fsys, paths.PT, opt.Precision, c, nnz, indeg, inv, bufBytes); err != nil {
+	if err := writeTransposeSlab(fsys, paths.PT, opt.Precision, src, nnz, indeg, inv, bufBytes); err != nil {
 		return SlabPaths{}, fmt.Errorf("webgraph: transpose slab: %w", err)
 	}
 	return paths, nil
 }
 
-// eachAdjacency decodes every adjacency list front to back, reusing one
-// scratch buffer.
-func (c *Compressed) eachAdjacency(fn func(u int32, succ []int32) error) error {
+// EachAdjacency decodes every adjacency list front to back, reusing one
+// scratch buffer; it satisfies AdjacencySource.
+func (c *Compressed) EachAdjacency(fn func(u int32, succ []int32) error) error {
 	var scratch []int32
 	for u := 0; u < c.numNodes; u++ {
 		lo, hi := c.offsets[u], c.offsets[u+1]
@@ -178,16 +197,16 @@ func writeWeights(w io.Writer, prec linalg.SlabPrecision, deg []int64, weight []
 
 // writeSlabFromDegrees commits the forward transition slab: rowptr from
 // outdeg, columns from one decode pass, values from outdeg alone.
-func writeSlabFromDegrees(fsys durable.FS, path string, prec linalg.SlabPrecision, c *Compressed, nnz int64, outdeg []int64, inv []float64) error {
+func writeSlabFromDegrees(fsys durable.FS, path string, prec linalg.SlabPrecision, src AdjacencySource, nnz int64, outdeg []int64, inv []float64) error {
 	return linalg.WriteSlabFile(fsys, path, prec, linalg.SlabSections{
-		Rows: c.NumNodes(),
-		Cols: c.NumNodes(),
+		Rows: src.NumNodes(),
+		Cols: src.NumNodes(),
 		NNZ:  nnz,
 		RowPtr: func(w io.Writer) error {
 			return writeRowPtrFromDegrees(w, outdeg)
 		},
 		ColIdx: func(w io.Writer) error {
-			return c.eachAdjacency(func(u int32, succ []int32) error {
+			return src.EachAdjacency(func(u int32, succ []int32) error {
 				return linalg.WriteInt32sLE(w, succ)
 			})
 		},
@@ -222,7 +241,7 @@ func transposeBuckets(indeg []int64, bufBytes int64) []int {
 // [lo, hi), the source of every in-edge in (destination, source)
 // ascending order — the exact entry order of the transposed CSR — then
 // hands each destination row's sources to emit.
-func fillBucket(c *Compressed, lo, hi int, indeg []int64, buf []int32, emit func(sources []int32) error) error {
+func fillBucket(src AdjacencySource, lo, hi int, indeg []int64, buf []int32, emit func(sources []int32) error) error {
 	// next[v-lo] is the bucket write cursor for destination v.
 	start := make([]int64, hi-lo+1)
 	for v := lo; v < hi; v++ {
@@ -230,7 +249,7 @@ func fillBucket(c *Compressed, lo, hi int, indeg []int64, buf []int32, emit func
 	}
 	next := make([]int64, hi-lo)
 	copy(next, start[:hi-lo])
-	err := c.eachAdjacency(func(u int32, succ []int32) error {
+	err := src.EachAdjacency(func(u int32, succ []int32) error {
 		for _, v := range succ {
 			if int(v) >= lo && int(v) < hi {
 				buf[next[v-int32(lo)]] = u
@@ -255,7 +274,7 @@ func fillBucket(c *Compressed, lo, hi int, indeg []int64, buf []int32, emit func
 // buffer, and the compressed graph is re-decoded once per range for the
 // column section and once per range for the value section (sections are
 // streamed in file order, so they cannot share a pass without spilling).
-func writeTransposeSlab(fsys durable.FS, path string, prec linalg.SlabPrecision, c *Compressed, nnz int64, indeg []int64, inv []float64, bufBytes int64) error {
+func writeTransposeSlab(fsys durable.FS, path string, prec linalg.SlabPrecision, src AdjacencySource, nnz int64, indeg []int64, inv []float64, bufBytes int64) error {
 	bounds := transposeBuckets(indeg, bufBytes)
 	var bucketMax int64
 	for b := 0; b+1 < len(bounds); b++ {
@@ -270,15 +289,15 @@ func writeTransposeSlab(fsys durable.FS, path string, prec linalg.SlabPrecision,
 	buf := make([]int32, bucketMax)
 	forEachRow := func(emit func(sources []int32) error) error {
 		for b := 0; b+1 < len(bounds); b++ {
-			if err := fillBucket(c, bounds[b], bounds[b+1], indeg, buf, emit); err != nil {
+			if err := fillBucket(src, bounds[b], bounds[b+1], indeg, buf, emit); err != nil {
 				return err
 			}
 		}
 		return nil
 	}
 	return linalg.WriteSlabFile(fsys, path, prec, linalg.SlabSections{
-		Rows: c.NumNodes(),
-		Cols: c.NumNodes(),
+		Rows: src.NumNodes(),
+		Cols: src.NumNodes(),
 		NNZ:  nnz,
 		RowPtr: func(w io.Writer) error {
 			return writeRowPtrFromDegrees(w, indeg)
